@@ -1,0 +1,114 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Not a table/figure of the paper, but the knobs a practitioner would tune:
+
+* number of partitions per fixed graph (index size vs. query cost trade-off);
+* the local strategy used while *building* summaries (DFS vs MS-BFS);
+* SCC condensation of the compound graphs on/off is implicit in Table 2, so
+  here we measure the query-time effect of the condensation indirectly via
+  dense vs. sparse graphs.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.bench.datasets import load_dataset
+from repro.bench.reporting import format_series, format_table
+from repro.bench.workloads import random_query
+from repro.core.engine import DSREngine
+from repro.core.index import DSRIndex
+from repro.partition.partition import make_partitioning
+
+SCALE = 0.4
+
+
+def test_partition_count_ablation(benchmark):
+    """More partitions → smaller local graphs but more boundary handles."""
+    graph = load_dataset("livej68", scale=SCALE, seed=BENCH_SEED)
+    sources, targets = random_query(graph, 10, 10, seed=BENCH_SEED)
+    counts = [2, 4, 8, 12]
+
+    def sweep():
+        rows = []
+        answers = set()
+        for slaves in counts:
+            engine = DSREngine(
+                graph, num_partitions=slaves, local_index="msbfs", seed=BENCH_SEED
+            )
+            report = engine.build_index()
+            result = engine.query_with_stats(sources, targets)
+            answers.add(frozenset(result.pairs))
+            forward, backward = engine.index.total_boundary_entries()
+            rows.append(
+                {
+                    "slaves": slaves,
+                    "build_s": round(report.parallel_build_seconds, 3),
+                    "query_s": round(result.parallel_seconds, 4),
+                    "cut_edges": engine.partitioning.cut_size(),
+                    "forward_handles": forward,
+                    "backward_handles": backward,
+                }
+            )
+        assert len(answers) == 1  # the partition count never changes answers
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print()
+    print(format_table(rows, title="Ablation — number of partitions (livej68 analogue)"))
+    # The cut (and hence the handle count) grows with the partition count.
+    assert rows[-1]["cut_edges"] >= rows[0]["cut_edges"]
+
+
+def test_summary_strategy_ablation(benchmark):
+    """MS-BFS summaries amortise traversals over the boundary set vs plain DFS."""
+    graph = load_dataset("berkstan", scale=SCALE, seed=BENCH_SEED)
+    partitioning = make_partitioning(graph, 5, strategy="metis", seed=BENCH_SEED)
+
+    def build(strategy):
+        start = time.perf_counter()
+        index = DSRIndex(partitioning, summary_strategy=strategy, local_strategy="dfs")
+        index.build()
+        return time.perf_counter() - start
+
+    msbfs_seconds = run_once(benchmark, build, "msbfs")
+    dfs_seconds = build("dfs")
+    print(
+        f"\nAblation — summary strategy on berkstan analogue: "
+        f"msbfs {msbfs_seconds:.3f}s vs dfs {dfs_seconds:.3f}s"
+    )
+    # Both must produce a working index; relative speed depends on boundary
+    # sizes, so only sanity-bound the ratio.
+    assert msbfs_seconds <= dfs_seconds * 5 + 0.2
+
+
+def test_local_strategy_query_ablation(benchmark):
+    """Query-time effect of the pluggable local strategy on a dense analogue."""
+    graph = load_dataset("twitter", scale=SCALE, seed=BENCH_SEED)
+    sources, targets = random_query(graph, 25, 25, seed=BENCH_SEED)
+    strategies = ["dfs", "msbfs", "ferrari"]
+
+    def sweep():
+        series = {}
+        answers = set()
+        for strategy in strategies:
+            engine = DSREngine(
+                graph, num_partitions=5, local_index=strategy, seed=BENCH_SEED
+            )
+            engine.build_index()
+            start = time.perf_counter()
+            pairs = engine.query(sources, targets)
+            series[strategy] = [round(time.perf_counter() - start, 4)]
+            answers.add(frozenset(pairs))
+        assert len(answers) == 1
+        return series
+
+    series = run_once(benchmark, sweep)
+    print()
+    print(
+        format_series(
+            series, x_values=["25x25"], x_label="|S|x|T|",
+            title="Ablation — local strategy on twitter analogue",
+        )
+    )

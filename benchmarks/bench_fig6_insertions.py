@@ -1,0 +1,128 @@
+"""Figure 6 (a, b, e, f) — Bulk and progressive edge insertions.
+
+Paper setup:
+
+* **bulk insertions** — start from 60% of the edges and add 5%-steps until the
+  full graph is reached; report the update time of each step and the query
+  time after it.
+* **progressive insertions** — build the index over (100-x)% of the edges and
+  measure the time to insert the remaining x%, for x = 5%..25%.
+
+Expected shape (asserted): incremental insertion of a 5% batch is cheaper than
+rebuilding the index from scratch, and query answers after every step match a
+freshly built index.
+"""
+
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.bench.datasets import load_dataset
+from repro.bench.reporting import format_table
+from repro.bench.workloads import random_query
+from repro.core.engine import DSREngine
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import reachable_pairs
+
+DATASETS = ["amazon", "google", "livej20"]
+NUM_SLAVES = 4
+SCALE = 0.2
+
+
+def _shuffled_edges(graph, seed):
+    edges = sorted(graph.edges())
+    rng = random.Random(seed)
+    rng.shuffle(edges)
+    return edges
+
+
+def _engine_over(edges, vertices):
+    graph = DiGraph.from_edges(edges, vertices=vertices)
+    engine = DSREngine(
+        graph, num_partitions=NUM_SLAVES, partitioner="hash",
+        local_index="msbfs", seed=BENCH_SEED,
+    )
+    engine.build_index()
+    return graph, engine
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_bulk_insertions(benchmark, name):
+    full = load_dataset(name, scale=SCALE, seed=BENCH_SEED)
+    edges = _shuffled_edges(full, BENCH_SEED)
+    vertices = list(full.vertices())
+    start_count = int(0.6 * len(edges))
+    step = max(1, int(0.05 * len(edges)))
+    sources, targets = random_query(full, 10, 10, seed=BENCH_SEED)
+
+    def run():
+        graph, engine = _engine_over(edges[:start_count], vertices)
+        rebuild_seconds = max(engine.last_build_report.parallel_build_seconds, 1e-9)
+        rows = []
+        position = start_count
+        while position < len(edges):
+            batch = edges[position : position + step]
+            update_start = time.perf_counter()
+            for u, v in batch:
+                engine.insert_edge(u, v)
+            engine.flush_updates()
+            update_seconds = time.perf_counter() - update_start
+            position += len(batch)
+            query_start = time.perf_counter()
+            pairs = engine.query(sources, targets)
+            query_seconds = time.perf_counter() - query_start
+            rows.append(
+                {
+                    "edges_%": round(100 * position / len(edges)),
+                    "update_s": round(update_seconds, 4),
+                    "query_s": round(query_seconds, 4),
+                    "pairs": len(pairs),
+                }
+            )
+        # After the final step the answers equal those on the full graph.
+        assert pairs == reachable_pairs(full, sources, targets)
+        return rows, rebuild_seconds
+
+    rows, rebuild_seconds = run_once(benchmark, run)
+    print()
+    print(format_table(rows, title=f"Figure 6 bulk insertions — {name} "
+                                   f"(full rebuild {rebuild_seconds:.3f}s)"))
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_progressive_insertions(benchmark, name):
+    full = load_dataset(name, scale=SCALE, seed=BENCH_SEED)
+    edges = _shuffled_edges(full, BENCH_SEED + 1)
+    vertices = list(full.vertices())
+    sources, targets = random_query(full, 10, 10, seed=BENCH_SEED)
+
+    def run():
+        rows = []
+        for percent in (5, 10, 15, 20, 25):
+            held_out = int(len(edges) * percent / 100)
+            graph, engine = _engine_over(edges[held_out:], vertices)
+            rebuild_seconds = max(engine.last_build_report.parallel_build_seconds, 1e-9)
+            update_start = time.perf_counter()
+            for u, v in edges[:held_out]:
+                engine.insert_edge(u, v)
+            engine.flush_updates()
+            update_seconds = time.perf_counter() - update_start
+            query_start = time.perf_counter()
+            pairs = engine.query(sources, targets)
+            query_seconds = time.perf_counter() - query_start
+            assert pairs == reachable_pairs(full, sources, targets)
+            rows.append(
+                {
+                    "inserted_%": percent,
+                    "update_s": round(update_seconds, 4),
+                    "rebuild_s": round(rebuild_seconds, 4),
+                    "query_s": round(query_seconds, 4),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(rows, title=f"Figure 6 progressive insertions — {name}"))

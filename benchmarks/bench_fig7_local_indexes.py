@@ -1,0 +1,66 @@
+"""Figure 7 — Comparison of local reachability indexes inside DSR.
+
+Paper setup: LiveJ-68M and Freebase-1B, query sizes 10x10, 100x100 and 1kx1k,
+DSR combined with plain DFS, FERRARI and MS-BFS as the local search strategy
+(all over SCC-condensed compound graphs).
+
+Expected shape (asserted): all three strategies return identical answers, and
+for the largest query size the index-assisted strategies (FERRARI) and the
+shared-traversal strategy (MS-BFS) do not lose badly to per-source DFS —
+the paper's observation is that DFS is the slowest for large query sets.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once
+from repro.bench.datasets import load_dataset
+from repro.bench.reporting import format_series
+from repro.bench.workloads import query_size_sweep
+from repro.core.engine import DSREngine
+
+DATASETS = ["livej68", "freebase"]
+QUERY_SIZES = [10, 50, 100]
+STRATEGIES = ["dfs", "ferrari", "msbfs"]
+NUM_SLAVES = 5
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_local_reachability_strategies(benchmark, name):
+    graph = load_dataset(name, scale=BENCH_SCALE, seed=BENCH_SEED)
+    sweep = query_size_sweep(graph, QUERY_SIZES, seed=BENCH_SEED)
+
+    engines = {}
+    for strategy in STRATEGIES:
+        engine = DSREngine(
+            graph, num_partitions=NUM_SLAVES, local_index=strategy, seed=BENCH_SEED
+        )
+        engine.build_index()
+        engines[strategy] = engine
+
+    def run_sweep():
+        series = {strategy: [] for strategy in STRATEGIES}
+        for size, sources, targets in sweep:
+            answers = {}
+            for strategy, engine in engines.items():
+                start = time.perf_counter()
+                answers[strategy] = engine.query(sources, targets)
+                series[strategy].append(round(time.perf_counter() - start, 4))
+            assert answers["dfs"] == answers["ferrari"] == answers["msbfs"]
+        return series
+
+    series = run_once(benchmark, run_sweep)
+    print()
+    print(
+        format_series(
+            series,
+            x_values=[f"{s}x{s}" for s in QUERY_SIZES],
+            x_label="|S|x|T|",
+            title=f"Figure 7 — local strategies on {name} (DSR-DFS / DSR-FERRARI / DSR-MSBFS)",
+        )
+    )
+    # For the largest query the shared/multi-source strategies must not be
+    # drastically slower than per-source DFS (the paper shows them winning).
+    largest = -1
+    assert series["msbfs"][largest] <= series["dfs"][largest] * 3 + 0.05

@@ -1,0 +1,64 @@
+"""Figure 8 — The equivalence-sets optimisation applied to Giraph.
+
+Paper setup: the small graphs; for Giraph, Giraph++ and Giraph++wEq report the
+number of supersteps and the communication volume of one 10x10 DSR query.
+
+Expected shape (asserted): Giraph++ needs no more supersteps than vertex-centric
+Giraph, and Giraph++wEq sends no more network messages than Giraph++ — while
+all three return identical answers.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once
+from repro.bench.datasets import load_dataset
+from repro.bench.reporting import format_table
+from repro.bench.workloads import random_query
+from repro.giraph.giraph_dsr import GiraphDSR
+from repro.giraph.giraphpp_dsr import GiraphPlusPlusDSR
+from repro.giraph.giraphpp_eq_dsr import GiraphPlusPlusEqDSR
+from repro.partition.partition import make_partitioning
+
+DATASETS = ["amazon", "berkstan", "google", "notredame", "stanford", "livej20"]
+NUM_SLAVES = 5
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_giraph_equivalence_optimisation(benchmark, name):
+    graph = load_dataset(name, scale=BENCH_SCALE, seed=BENCH_SEED)
+    partitioning = make_partitioning(graph, NUM_SLAVES, strategy="metis", seed=BENCH_SEED)
+    sources, targets = random_query(graph, 10, 10, seed=BENCH_SEED)
+
+    def run():
+        giraph = GiraphDSR(graph, partitioning).query(sources, targets)
+        giraph_pp = GiraphPlusPlusDSR(graph, partitioning).query(sources, targets)
+        giraph_eq = GiraphPlusPlusEqDSR(graph, partitioning).query(sources, targets)
+        return giraph, giraph_pp, giraph_eq
+
+    giraph, giraph_pp, giraph_eq = run_once(benchmark, run)
+    rows = [
+        {
+            "variant": "Giraph",
+            "supersteps": giraph.rounds,
+            "messages": giraph.messages_sent,
+            "kbytes": round(giraph.bytes_sent / 1024, 2),
+        },
+        {
+            "variant": "Giraph++",
+            "supersteps": giraph_pp.rounds,
+            "messages": giraph_pp.messages_sent,
+            "kbytes": round(giraph_pp.bytes_sent / 1024, 2),
+        },
+        {
+            "variant": "Giraph++wEq",
+            "supersteps": giraph_eq.rounds,
+            "messages": giraph_eq.messages_sent,
+            "kbytes": round(giraph_eq.bytes_sent / 1024, 2),
+        },
+    ]
+    print()
+    print(format_table(rows, title=f"Figure 8 — {name}"))
+
+    assert giraph.pairs == giraph_pp.pairs == giraph_eq.pairs
+    assert giraph_pp.rounds <= giraph.rounds
+    assert giraph_eq.messages_sent <= giraph_pp.messages_sent

@@ -1,0 +1,62 @@
+"""Table 4 — The equivalence-sets optimisation in DSR.
+
+Paper columns: query time and boundary-graph sizes (#forward; #backward
+entries) with and without the equivalence optimisation, on the small graphs.
+
+Expected shape (asserted): the optimisation never increases the number of
+forward/backward entries and typically shrinks them substantially, while query
+answers are identical.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once
+from repro.bench.datasets import load_dataset
+from repro.bench.reporting import format_table
+from repro.bench.workloads import random_query
+from repro.core.engine import DSREngine
+from repro.partition.partition import make_partitioning
+
+DATASETS = ["amazon", "berkstan", "google", "notredame", "stanford"]
+NUM_SLAVES = 5
+
+_rows = []
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_equivalence_optimisation(benchmark, name):
+    graph = load_dataset(name, scale=BENCH_SCALE, seed=BENCH_SEED)
+    partitioning = make_partitioning(graph, NUM_SLAVES, strategy="metis", seed=BENCH_SEED)
+    sources, targets = random_query(graph, 10, 10, seed=BENCH_SEED)
+
+    def run(use_equivalence):
+        engine = DSREngine(
+            graph,
+            partitioning=partitioning,
+            local_index="msbfs",
+            use_equivalence=use_equivalence,
+        )
+        engine.build_index()
+        result = engine.query_with_stats(sources, targets)
+        forward, backward = engine.index.total_boundary_entries()
+        return result, forward, backward
+
+    (opt_result, opt_forward, opt_backward) = run_once(benchmark, run, True)
+    (plain_result, plain_forward, plain_backward) = run(False)
+
+    row = {
+        "graph": name,
+        "time_nonopt_s": round(plain_result.parallel_seconds, 4),
+        "time_opt_s": round(opt_result.parallel_seconds, 4),
+        "forward_nonopt": plain_forward,
+        "forward_opt": opt_forward,
+        "backward_nonopt": plain_backward,
+        "backward_opt": opt_backward,
+    }
+    _rows.append(row)
+    print()
+    print(format_table([row], title=f"Table 4 row — {name}"))
+
+    assert opt_result.pairs == plain_result.pairs
+    assert opt_forward <= plain_forward
+    assert opt_backward <= plain_backward

@@ -1,0 +1,56 @@
+"""Table 5 — Impact of hash vs METIS-like partitioning on DSR query times.
+
+Paper setup: 6 nodes, a 10x10 query, hash ("random sharding") versus METIS.
+
+Expected shape (asserted): the min-cut partitioner produces a smaller cut than
+hash partitioning, and the DSR query over the min-cut partitioning is at least
+as fast (the paper observes up to ~5x differences).
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once
+from repro.bench.datasets import load_dataset
+from repro.bench.reporting import format_table
+from repro.bench.workloads import random_query
+from repro.core.engine import DSREngine
+
+DATASETS = ["amazon", "berkstan", "google", "notredame", "stanford", "livej20", "livej68"]
+NUM_SLAVES = 5
+
+
+def _query_time(graph, partitioner, sources, targets):
+    engine = DSREngine(
+        graph,
+        num_partitions=NUM_SLAVES,
+        partitioner=partitioner,
+        local_index="msbfs",
+        seed=BENCH_SEED,
+    )
+    engine.build_index()
+    result = engine.query_with_stats(sources, targets)
+    return result, engine.partitioning.cut_size()
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_partitioning_strategy(benchmark, name):
+    graph = load_dataset(name, scale=BENCH_SCALE, seed=BENCH_SEED)
+    sources, targets = random_query(graph, 10, 10, seed=BENCH_SEED)
+
+    hash_result, hash_cut = run_once(benchmark, _query_time, graph, "hash", sources, targets)
+    metis_result, metis_cut = _query_time(graph, "metis", sources, targets)
+
+    row = {
+        "graph": name,
+        "hash_cut": hash_cut,
+        "metis_cut": metis_cut,
+        "hash_query_s": round(hash_result.parallel_seconds, 4),
+        "metis_query_s": round(metis_result.parallel_seconds, 4),
+        "hash_kbytes": round(hash_result.bytes_sent / 1024, 2),
+        "metis_kbytes": round(metis_result.bytes_sent / 1024, 2),
+    }
+    print()
+    print(format_table([row], title=f"Table 5 row — {name}"))
+
+    assert hash_result.pairs == metis_result.pairs
+    assert metis_cut <= hash_cut

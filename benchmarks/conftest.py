@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark suite.
+
+Every module under ``benchmarks/`` regenerates one table or figure of the
+paper's evaluation (Section 4) on the scaled-down dataset analogues from
+:mod:`repro.bench.datasets`.  The absolute numbers are not expected to match
+the paper (the substrate is a pure-Python simulator, not a 10-node C++/MPI
+cluster); the *shape* — which approach wins, by roughly what factor, and how
+the curves move — is asserted where it is stable and printed for inspection.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the paper-style tables that each benchmark prints.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+# Default scale for dataset analogues: large enough that the paper's
+# qualitative gaps (indexed one-round DSR vs. iterative traversal) are visible
+# above Python timer noise, small enough that the whole suite finishes in a
+# few minutes on a laptop.  Increase for more faithful (but slower) runs.
+BENCH_SCALE = 0.6
+BENCH_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_seed():
+    return BENCH_SEED
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Measure ``fn`` with a single round (most workloads are not micro)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

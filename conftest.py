@@ -1,0 +1,15 @@
+"""Pytest bootstrap.
+
+Makes the in-tree ``src/`` layout importable even when the package has not
+been installed (useful in fully offline environments where ``pip install -e .``
+cannot build an editable wheel).  When the package *is* installed this is a
+harmless no-op because the installed location takes precedence only if it
+appears earlier on ``sys.path``; either way the same source tree is used.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so that
+fully offline environments without the ``wheel`` package can still do an
+editable install via the legacy path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

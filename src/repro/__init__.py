@@ -1,0 +1,39 @@
+"""repro — a full reproduction of "Distributed Set Reachability" (SIGMOD 2016).
+
+The package implements the paper's DSR index and query protocol together with
+every substrate it depends on: a graph kernel, partitioners, centralized
+reachability indexes, a simulated message-passing cluster, Pregel/Giraph-style
+baselines, a SPARQL 1.1 property-path application and a social-network
+community application.
+
+Quickstart
+----------
+>>> from repro import DSREngine
+>>> from repro.graph import generators
+>>> graph = generators.social_graph(1000, avg_degree=6, seed=7)
+>>> engine = DSREngine(graph, num_partitions=4, local_index="msbfs")
+>>> _ = engine.build_index()
+>>> pairs = engine.query(sources=[0, 1, 2], targets=[500, 600])
+"""
+
+from repro.core.engine import DSREngine
+from repro.core.fan import DSRFan
+from repro.core.index import DSRIndex
+from repro.core.naive import DSRNaive
+from repro.core.query import QueryResult
+from repro.graph.digraph import DiGraph
+from repro.partition.partition import GraphPartitioning, make_partitioning
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DSREngine",
+    "DSRIndex",
+    "DSRFan",
+    "DSRNaive",
+    "QueryResult",
+    "DiGraph",
+    "GraphPartitioning",
+    "make_partitioning",
+    "__version__",
+]

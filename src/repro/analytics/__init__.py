@@ -1,0 +1,19 @@
+"""Graph-analytics applications of DSR (Section 4.5-B).
+
+* :mod:`repro.analytics.community` — Louvain-style modularity-based community
+  detection (Blondel et al. [3]), used to pick the communities whose
+  connectedness the paper analyses in Table 7.
+* :mod:`repro.analytics.connectedness` — community-connectedness analysis:
+  sample representatives from two communities and find every reachable pair
+  between them with a DSR query.
+"""
+
+from repro.analytics.community import CommunityDetection, detect_communities
+from repro.analytics.connectedness import CommunityConnectedness, ConnectednessReport
+
+__all__ = [
+    "detect_communities",
+    "CommunityDetection",
+    "CommunityConnectedness",
+    "ConnectednessReport",
+]

@@ -1,0 +1,25 @@
+"""Benchmark harness: datasets, workloads, experiment runner and reporting.
+
+Everything under :mod:`repro.bench` is shared between the ``benchmarks/``
+scripts (one per table/figure of the paper) and the examples: a registry of
+scaled-down synthetic analogues of the paper's graph collections, query
+workload generators, an experiment runner that times index builds and queries
+across competing approaches, and plain-text table formatting that mirrors the
+paper's layout.
+"""
+
+from repro.bench.datasets import DATASETS, DatasetSpec, load_dataset
+from repro.bench.reporting import format_table
+from repro.bench.runner import ApproachResult, ExperimentRunner
+from repro.bench.workloads import random_query, random_vertex_sample
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "random_query",
+    "random_vertex_sample",
+    "ExperimentRunner",
+    "ApproachResult",
+    "format_table",
+]

@@ -1,0 +1,65 @@
+"""Plain-text table formatting for benchmark output.
+
+The ``benchmarks/`` scripts print tables that mirror the paper's layout
+(Table 2, Table 3, ...).  ``format_table`` renders a list of row dictionaries
+with aligned columns; ``format_series`` renders the x/y series behind a figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.5f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells: List[List[str]] = [[str(column) for column in columns]]
+    for row in rows:
+        cells.append([_stringify(row.get(column, "")) for column in columns])
+    widths = [max(len(line[i]) for line in cells) for i in range(len(columns))]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(cell.ljust(width) for cell, width in zip(cells[0], widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row_cells in cells[1:]:
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row_cells, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[object],
+    x_label: str = "x",
+    title: Optional[str] = None,
+) -> str:
+    """Render one or more y-series against shared x values (figure data)."""
+    rows: List[Dict[str, object]] = []
+    for index, x_value in enumerate(x_values):
+        row: Dict[str, object] = {x_label: x_value}
+        for name, values in series.items():
+            row[name] = values[index] if index < len(values) else ""
+        rows.append(row)
+    return format_table(rows, columns=[x_label] + list(series.keys()), title=title)

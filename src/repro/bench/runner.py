@@ -1,0 +1,191 @@
+"""Experiment runner shared by the ``benchmarks/`` scripts.
+
+The runner builds every competing approach over the same graph/partitioning,
+runs the same query workload through each of them, and collects comparable
+records (index build time, query time, communication volume, result size).
+It also verifies that every approach returns the same answer, so a benchmark
+run doubles as an end-to-end consistency check.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.engine import DSREngine
+from repro.core.fan import DSRFan
+from repro.core.naive import DSRNaive
+from repro.giraph.giraph_dsr import GiraphDSR
+from repro.giraph.giraphpp_dsr import GiraphPlusPlusDSR
+from repro.giraph.giraphpp_eq_dsr import GiraphPlusPlusEqDSR
+from repro.graph.digraph import DiGraph
+from repro.partition.partition import GraphPartitioning, make_partitioning
+
+
+@dataclass
+class ApproachResult:
+    """Measurements for one approach on one workload."""
+
+    approach: str
+    index_seconds: float
+    query_seconds: float
+    num_pairs: int
+    messages: int = 0
+    bytes_sent: int = 0
+    rounds: int = 0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "approach": self.approach,
+            "index_s": round(self.index_seconds, 4),
+            "query_s": round(self.query_seconds, 4),
+            "pairs": self.num_pairs,
+            "messages": self.messages,
+            "kbytes": round(self.bytes_sent / 1024.0, 2),
+            "rounds": self.rounds,
+        }
+
+
+# Names accepted by ExperimentRunner.run(...).
+DSR_APPROACHES = ("dsr", "dsr-noeq")
+BASELINE_APPROACHES = ("giraph", "giraph++", "giraph++weq", "dsr-fan", "dsr-naive")
+ALL_APPROACHES = DSR_APPROACHES + BASELINE_APPROACHES
+
+
+class ExperimentRunner:
+    """Builds and times competing DSR approaches over one partitioned graph."""
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        num_partitions: int = 5,
+        partitioner: str = "metis",
+        local_index: str = "msbfs",
+        seed: int = 0,
+        partitioning: Optional[GraphPartitioning] = None,
+    ) -> None:
+        self.graph = graph
+        self.partitioning = partitioning or make_partitioning(
+            graph, num_partitions, strategy=partitioner, seed=seed
+        )
+        self.local_index = local_index
+        self.seed = seed
+        self._engines: Dict[str, object] = {}
+        self._index_seconds: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # approach construction
+    # ------------------------------------------------------------------ #
+    def _build(self, approach: str):
+        if approach in self._engines:
+            return self._engines[approach]
+        start = time.perf_counter()
+        if approach == "dsr":
+            engine = DSREngine(
+                self.graph,
+                partitioning=self.partitioning,
+                local_index=self.local_index,
+                use_equivalence=True,
+            )
+            engine.build_index()
+        elif approach == "dsr-noeq":
+            engine = DSREngine(
+                self.graph,
+                partitioning=self.partitioning,
+                local_index=self.local_index,
+                use_equivalence=False,
+            )
+            engine.build_index()
+        elif approach == "dsr-fan":
+            engine = DSRFan(self.partitioning, local_strategy=self.local_index)
+        elif approach == "dsr-naive":
+            engine = DSRNaive(self.partitioning, local_strategy=self.local_index)
+        elif approach == "giraph":
+            engine = GiraphDSR(self.graph, self.partitioning)
+        elif approach == "giraph++":
+            engine = GiraphPlusPlusDSR(self.graph, self.partitioning)
+        elif approach == "giraph++weq":
+            engine = GiraphPlusPlusEqDSR(self.graph, self.partitioning)
+        else:
+            raise ValueError(f"unknown approach {approach!r}")
+        self._index_seconds[approach] = time.perf_counter() - start
+        self._engines[approach] = engine
+        return engine
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run_approach(
+        self,
+        approach: str,
+        sources: Iterable[int],
+        targets: Iterable[int],
+    ) -> ApproachResult:
+        """Run one approach on one query and record its measurements."""
+        engine = self._build(approach)
+        sources = list(sources)
+        targets = list(targets)
+        start = time.perf_counter()
+        if isinstance(engine, DSREngine):
+            result = engine.query_with_stats(sources, targets)
+        else:
+            result = engine.query(sources, targets)
+        elapsed = time.perf_counter() - start
+        return ApproachResult(
+            approach=approach,
+            index_seconds=self._index_seconds[approach],
+            query_seconds=elapsed,
+            num_pairs=result.num_pairs,
+            messages=result.messages_sent,
+            bytes_sent=result.bytes_sent,
+            rounds=result.rounds,
+        )
+
+    def run(
+        self,
+        approaches: Iterable[str],
+        sources: Iterable[int],
+        targets: Iterable[int],
+        check_consistency: bool = True,
+    ) -> List[ApproachResult]:
+        """Run several approaches on the same query.
+
+        With ``check_consistency`` (the default) the runner asserts that every
+        approach returns exactly the same set of reachable pairs.
+        """
+        sources = list(sources)
+        targets = list(targets)
+        results: List[ApproachResult] = []
+        answers: Dict[str, Set[Tuple[int, int]]] = {}
+        for approach in approaches:
+            engine = self._build(approach)
+            start = time.perf_counter()
+            if isinstance(engine, DSREngine):
+                query_result = engine.query_with_stats(sources, targets)
+            else:
+                query_result = engine.query(sources, targets)
+            elapsed = time.perf_counter() - start
+            answers[approach] = query_result.pairs
+            results.append(
+                ApproachResult(
+                    approach=approach,
+                    index_seconds=self._index_seconds[approach],
+                    query_seconds=elapsed,
+                    num_pairs=query_result.num_pairs,
+                    messages=query_result.messages_sent,
+                    bytes_sent=query_result.bytes_sent,
+                    rounds=query_result.rounds,
+                )
+            )
+        if check_consistency and len(answers) > 1:
+            reference_name = next(iter(answers))
+            reference = answers[reference_name]
+            for approach, pairs in answers.items():
+                if pairs != reference:
+                    raise AssertionError(
+                        f"approach {approach!r} disagrees with {reference_name!r}: "
+                        f"{len(pairs)} vs {len(reference)} pairs"
+                    )
+        return results

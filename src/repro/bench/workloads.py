@@ -1,0 +1,52 @@
+"""Query workload generators.
+
+The paper's query workloads are random source/target samples: 10×10 for most
+experiments, up to 10k×10k for the query-size robustness plots, and 1000×1000
+for the sparsely connected LUBM graph.  These helpers produce the equivalent
+deterministic samples over any graph.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.graph.digraph import DiGraph
+
+
+def random_vertex_sample(graph: DiGraph, count: int, seed: int = 0) -> List[int]:
+    """Sample ``count`` distinct vertices deterministically."""
+    vertices = sorted(graph.vertices())
+    if count >= len(vertices):
+        return vertices
+    rng = random.Random(seed)
+    return sorted(rng.sample(vertices, count))
+
+
+def random_query(
+    graph: DiGraph,
+    num_sources: int = 10,
+    num_targets: int = 10,
+    seed: int = 0,
+) -> Tuple[List[int], List[int]]:
+    """A random DSR query: ``num_sources`` sources and ``num_targets`` targets.
+
+    Sources and targets are drawn independently (they may overlap), matching
+    the paper's "randomly selected 10 source and 10 target vertices" setup.
+    """
+    sources = random_vertex_sample(graph, num_sources, seed=seed)
+    targets = random_vertex_sample(graph, num_targets, seed=seed + 104729)
+    return sources, targets
+
+
+def query_size_sweep(
+    graph: DiGraph,
+    sizes: List[int],
+    seed: int = 0,
+) -> List[Tuple[int, List[int], List[int]]]:
+    """One query per requested ``|S| = |T|`` size (Figure 5 d/h/l/p, Figure 7)."""
+    sweep = []
+    for index, size in enumerate(sizes):
+        sources, targets = random_query(graph, size, size, seed=seed + index)
+        sweep.append((size, sources, targets))
+    return sweep

@@ -1,0 +1,253 @@
+"""Command-line interface for the DSR reproduction.
+
+The CLI exposes the most common workflows without writing any Python:
+
+* ``repro-dsr info <dataset>`` — generate a dataset analogue and print its
+  statistics (vertices, edges, cut sizes under both partitioners).
+* ``repro-dsr query <dataset>`` — build a DSR index and run a random
+  set-reachability query, printing the Table-3-style measurements.
+* ``repro-dsr compare <dataset>`` — run the same query through several
+  approaches (DSR, Giraph variants, DSR-Fan, DSR-Naïve) and print a
+  comparison table.
+* ``repro-dsr sparql <suite>`` — run the paper's property-path queries (L1–L3
+  or F1–F3) through the DSR-backed engine and the Virtuoso-like baseline.
+* ``repro-dsr communities`` — run the community-connectedness application.
+
+Every command accepts ``--scale`` and ``--seed`` so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analytics.connectedness import CommunityConnectedness
+from repro.bench.datasets import DATASETS, load_dataset
+from repro.bench.reporting import format_table
+from repro.bench.runner import ALL_APPROACHES, ExperimentRunner
+from repro.bench.workloads import random_query
+from repro.core.engine import DSREngine
+from repro.graph import generators
+from repro.partition.partition import make_partitioning
+from repro.sparql.baseline import VirtuosoLikeEngine
+from repro.sparql.engine import PropertyPathEngine
+from repro.sparql.freebase_like import freebase_queries, generate_freebase_triples
+from repro.sparql.lubm import generate_lubm_triples, lubm_queries
+from repro.sparql.rdf import TripleStore
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.5, help="dataset scale factor")
+    parser.add_argument("--seed", type=int, default=7, help="random seed")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dsr",
+        description="Distributed Set Reachability (SIGMOD 2016) reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    info = subparsers.add_parser("info", help="print dataset statistics")
+    info.add_argument("dataset", choices=sorted(DATASETS))
+    _add_common_arguments(info)
+
+    query = subparsers.add_parser("query", help="run one DSR query")
+    query.add_argument("dataset", choices=sorted(DATASETS))
+    query.add_argument("--partitions", type=int, default=5)
+    query.add_argument("--partitioner", choices=["metis", "hash"], default="metis")
+    query.add_argument(
+        "--local-index",
+        choices=["dfs", "msbfs", "ferrari", "grail", "closure"],
+        default="msbfs",
+    )
+    query.add_argument("--sources", type=int, default=10)
+    query.add_argument("--targets", type=int, default=10)
+    query.add_argument("--no-equivalence", action="store_true")
+    _add_common_arguments(query)
+
+    compare = subparsers.add_parser("compare", help="compare DSR against baselines")
+    compare.add_argument("dataset", choices=sorted(DATASETS))
+    compare.add_argument("--partitions", type=int, default=5)
+    compare.add_argument(
+        "--approaches",
+        default="dsr,dsr-noeq,giraph++weq,giraph++,giraph,dsr-fan",
+        help="comma-separated subset of: " + ", ".join(ALL_APPROACHES),
+    )
+    compare.add_argument("--sources", type=int, default=10)
+    compare.add_argument("--targets", type=int, default=10)
+    _add_common_arguments(compare)
+
+    sparql = subparsers.add_parser("sparql", help="run the property-path suites")
+    sparql.add_argument("suite", choices=["lubm", "freebase"])
+    sparql.add_argument("--slaves", type=int, default=5)
+    _add_common_arguments(sparql)
+
+    communities = subparsers.add_parser(
+        "communities", help="run the community-connectedness application"
+    )
+    communities.add_argument("--representatives", type=int, default=10)
+    communities.add_argument("--partitions", type=int, default=4)
+    _add_common_arguments(communities)
+
+    return parser
+
+
+# ---------------------------------------------------------------------- #
+# command implementations
+# ---------------------------------------------------------------------- #
+def _command_info(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    spec = DATASETS[args.dataset]
+    rows = []
+    for strategy in ("hash", "metis"):
+        partitioning = make_partitioning(graph, 5, strategy=strategy, seed=args.seed)
+        summary = partitioning.summary()
+        rows.append(
+            {
+                "partitioner": strategy,
+                "cut_edges": summary["cut_edges"],
+                "cut_fraction": round(summary["cut_fraction"], 3),
+                "edge_balance": summary["edge_balance"],
+            }
+        )
+    print(
+        f"{spec.paper_name} analogue — {graph.num_vertices} vertices, "
+        f"{graph.num_edges} edges ({spec.description})"
+    )
+    print(format_table(rows, title="partitioning (5 slaves)"))
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    engine = DSREngine(
+        graph,
+        num_partitions=args.partitions,
+        partitioner=args.partitioner,
+        local_index=args.local_index,
+        use_equivalence=not args.no_equivalence,
+        seed=args.seed,
+    )
+    report = engine.build_index()
+    sources, targets = random_query(graph, args.sources, args.targets, seed=args.seed)
+    result = engine.query_with_stats(sources, targets)
+    print(
+        f"index: {report.parallel_build_seconds:.3f}s simulated-parallel build, "
+        f"max compound graph {report.max_original_edges} edges "
+        f"({report.max_dag_edges} condensed)"
+    )
+    print(format_table([result.as_dict()], title=f"query |S|={args.sources} |T|={args.targets}"))
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    approaches = [name.strip() for name in args.approaches.split(",") if name.strip()]
+    unknown = [name for name in approaches if name not in ALL_APPROACHES]
+    if unknown:
+        print(f"unknown approaches: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    runner = ExperimentRunner(
+        graph, num_partitions=args.partitions, local_index="msbfs", seed=args.seed
+    )
+    sources, targets = random_query(graph, args.sources, args.targets, seed=args.seed)
+    results = runner.run(approaches, sources, targets)
+    print(format_table([r.as_row() for r in results], title=f"{args.dataset} comparison"))
+    return 0
+
+
+def _command_sparql(args: argparse.Namespace) -> int:
+    store = TripleStore()
+    if args.suite == "lubm":
+        store.add_all(
+            generate_lubm_triples(
+                num_universities=max(2, int(8 * args.scale)),
+                departments_per_university=6,
+                groups_per_department=4,
+                students_per_department=8,
+                seed=args.seed,
+            )
+        )
+        queries = lubm_queries()
+    else:
+        store.add_all(
+            generate_freebase_triples(
+                num_countries=max(2, int(4 * args.scale)),
+                states_per_country=5,
+                cities_per_state=6,
+                people_per_city=4,
+                seed=args.seed,
+            )
+        )
+        queries = freebase_queries()
+
+    dsr = PropertyPathEngine(store, num_slaves=args.slaves, local_index="msbfs")
+    baseline = VirtuosoLikeEngine(store, warm=False)
+    rows = []
+    for name, text in queries.items():
+        dsr.warm_up(text)
+        dsr_result = dsr.execute(text)
+        baseline_result = baseline.execute(text)
+        rows.append(
+            {
+                "query": name,
+                "results": dsr_result.num_results,
+                "dsr_s": round(dsr_result.seconds, 4),
+                "baseline_s": round(baseline_result.seconds, 4),
+            }
+        )
+    print(format_table(rows, title=f"{args.suite}: {store.num_triples} triples"))
+    return 0
+
+
+def _command_communities(args: argparse.Namespace) -> int:
+    graph = generators.community_graph(
+        num_communities=8,
+        community_size=max(20, int(60 * args.scale)),
+        intra_prob=0.07,
+        inter_prob=0.003,
+        seed=args.seed,
+    )
+    analysis = CommunityConnectedness(graph, num_partitions=args.partitions, seed=args.seed)
+    report = analysis.analyse(representatives=args.representatives)
+    print(
+        f"{analysis.communities.num_communities} communities "
+        f"(modularity {analysis.communities.modularity:.3f}) over "
+        f"{graph.num_vertices} vertices"
+    )
+    print(
+        format_table(
+            [
+                {
+                    "communities": f"{report.community_a} -> {report.community_b}",
+                    "|S|x|T|": f"{report.num_sources}x{report.num_targets}",
+                    "reachable_pairs": report.num_pairs,
+                    "seconds": round(report.seconds, 4),
+                }
+            ],
+            title="community connectedness",
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "info": _command_info,
+    "query": _command_query,
+    "compare": _command_compare,
+    "sparql": _command_sparql,
+    "communities": _command_communities,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,152 @@
+"""The simulated master/slave cluster.
+
+A :class:`SimulatedCluster` owns ``k`` worker slots (one per graph partition)
+plus a master, a shared :class:`~repro.cluster.network.Network`, and a simple
+parallel-time model: every phase executed with :meth:`run_phase` measures the
+wall-clock time each worker spent and accumulates the *maximum* across workers
+— the time the phase would have taken had the workers truly run in parallel on
+separate machines, which is how the paper reports query times.
+
+Workers can optionally be executed on a thread pool (``parallel=True``); since
+the computations are pure Python the speed-up is limited by the GIL, so the
+default runs them sequentially while still reporting the simulated parallel
+time.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cluster.network import Network
+
+
+@dataclass
+class PhaseTiming:
+    """Timing record for one named phase."""
+
+    name: str
+    per_worker_seconds: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def parallel_seconds(self) -> float:
+        """Simulated parallel wall-clock: the slowest worker."""
+        return max(self.per_worker_seconds.values(), default=0.0)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total CPU work across all workers."""
+        return sum(self.per_worker_seconds.values())
+
+
+@dataclass
+class ClusterStats:
+    """Aggregated execution statistics for a query or a build."""
+
+    phases: List[PhaseTiming] = field(default_factory=list)
+
+    @property
+    def parallel_seconds(self) -> float:
+        return sum(phase.parallel_seconds for phase in self.phases)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(phase.total_seconds for phase in self.phases)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "parallel_seconds": self.parallel_seconds,
+            "total_seconds": self.total_seconds,
+            "phases": {
+                phase.name: round(phase.parallel_seconds, 6) for phase in self.phases
+            },
+        }
+
+
+class SimulatedCluster:
+    """``k`` workers + master with explicit phases and message accounting."""
+
+    MASTER_RANK = -1
+
+    def __init__(self, num_workers: int, parallel: bool = False) -> None:
+        if num_workers < 1:
+            raise ValueError("a cluster needs at least one worker")
+        self.num_workers = num_workers
+        self.parallel = parallel
+        self.network = Network()
+        self.stats = ClusterStats()
+
+    # ------------------------------------------------------------------ #
+    # phase execution
+    # ------------------------------------------------------------------ #
+    def run_phase(
+        self,
+        name: str,
+        worker_fn: Callable[[int], Any],
+        workers: Optional[List[int]] = None,
+    ) -> Dict[int, Any]:
+        """Run ``worker_fn(rank)`` on every worker (or the given subset).
+
+        Returns ``{rank: result}`` and records per-worker timings under the
+        phase ``name``.
+        """
+        ranks = list(range(self.num_workers)) if workers is None else list(workers)
+        timing = PhaseTiming(name=name)
+        results: Dict[int, Any] = {}
+
+        def timed(rank: int) -> Any:
+            start = time.perf_counter()
+            try:
+                return worker_fn(rank)
+            finally:
+                timing.per_worker_seconds[rank] = time.perf_counter() - start
+
+        if self.parallel and len(ranks) > 1:
+            with ThreadPoolExecutor(max_workers=len(ranks)) as pool:
+                futures = {rank: pool.submit(timed, rank) for rank in ranks}
+                for rank, future in futures.items():
+                    results[rank] = future.result()
+        else:
+            for rank in ranks:
+                results[rank] = timed(rank)
+
+        self.stats.phases.append(timing)
+        return results
+
+    def run_master(self, name: str, master_fn: Callable[[], Any]) -> Any:
+        """Run a master-side computation as its own timed phase."""
+        timing = PhaseTiming(name=name)
+        start = time.perf_counter()
+        try:
+            return master_fn()
+        finally:
+            timing.per_worker_seconds[self.MASTER_RANK] = time.perf_counter() - start
+            self.stats.phases.append(timing)
+
+    # ------------------------------------------------------------------ #
+    # communication helpers
+    # ------------------------------------------------------------------ #
+    def send(self, source: int, destination: int, payload: Any, tag: str = "data") -> None:
+        self.network.send(source, destination, payload, tag=tag)
+
+    def deliver(self, destination: int):
+        return self.network.deliver(destination)
+
+    def complete_round(self) -> None:
+        self.network.complete_round()
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    def reset_stats(self) -> None:
+        """Clear timing and network statistics before a new measured run."""
+        self.stats = ClusterStats()
+        self.network.reset_stats()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Combined execution + communication statistics."""
+        combined = self.stats.as_dict()
+        combined.update(self.network.stats.as_dict())
+        return combined

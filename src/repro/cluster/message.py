@@ -1,0 +1,55 @@
+"""Message envelopes and payload size accounting.
+
+Byte sizes are estimated with a simple, deterministic model (4 bytes per
+integer, 1 byte per character, small per-container overhead) so that
+communication-cost plots are stable across Python versions and independent of
+``sys.getsizeof`` idiosyncrasies.  What matters for the reproduction is the
+*relative* communication volume between approaches, which this model captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+_INT_BYTES = 4
+_CONTAINER_OVERHEAD = 8
+
+
+def payload_size(payload: Any) -> int:
+    """Estimate the serialised size of ``payload`` in bytes."""
+    if payload is None:
+        return 1
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return _INT_BYTES
+    if isinstance(payload, float):
+        return 8
+    if isinstance(payload, str):
+        return len(payload) + 1
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return _CONTAINER_OVERHEAD + sum(payload_size(item) for item in payload)
+    if isinstance(payload, dict):
+        return _CONTAINER_OVERHEAD + sum(
+            payload_size(key) + payload_size(value) for key, value in payload.items()
+        )
+    if hasattr(payload, "message_size"):
+        return int(payload.message_size())
+    # Fallback: a conservative fixed cost for unknown objects.
+    return 64
+
+
+@dataclass
+class Message:
+    """A message sent from one worker to another."""
+
+    source: int
+    destination: int
+    payload: Any
+    tag: str = "data"
+    size_bytes: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if not self.size_bytes:
+            self.size_bytes = payload_size(self.payload)

@@ -1,0 +1,75 @@
+"""Simulated network with message, byte and round accounting."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.cluster.message import Message
+
+
+@dataclass
+class NetworkStats:
+    """Cumulative communication statistics."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    rounds: int = 0
+    per_destination_bytes: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def kilobytes_sent(self) -> float:
+        return self.bytes_sent / 1024.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "kilobytes_sent": round(self.kilobytes_sent, 3),
+            "rounds": self.rounds,
+        }
+
+
+class Network:
+    """In-memory message transport between workers.
+
+    ``send`` enqueues a message for its destination; ``deliver`` drains a
+    destination's inbox.  ``complete_round`` marks the end of one communication
+    round (one "single round of message exchange" in DSR terms, one superstep
+    boundary in Giraph terms).
+    """
+
+    def __init__(self) -> None:
+        self._inboxes: Dict[int, List[Message]] = defaultdict(list)
+        self.stats = NetworkStats()
+
+    def send(self, source: int, destination: int, payload: Any, tag: str = "data") -> Message:
+        """Send ``payload`` from ``source`` to ``destination``."""
+        message = Message(source=source, destination=destination, payload=payload, tag=tag)
+        self._inboxes[destination].append(message)
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += message.size_bytes
+        self.stats.per_destination_bytes[destination] = (
+            self.stats.per_destination_bytes.get(destination, 0) + message.size_bytes
+        )
+        return message
+
+    def deliver(self, destination: int) -> List[Message]:
+        """Drain and return every message queued for ``destination``."""
+        messages = self._inboxes.pop(destination, [])
+        return messages
+
+    def pending(self, destination: int = None) -> int:
+        """Number of undelivered messages (for one destination or in total)."""
+        if destination is not None:
+            return len(self._inboxes.get(destination, []))
+        return sum(len(inbox) for inbox in self._inboxes.values())
+
+    def complete_round(self) -> None:
+        """Mark the end of a communication round."""
+        self.stats.rounds += 1
+
+    def reset_stats(self) -> None:
+        """Zero the statistics (inboxes are left untouched)."""
+        self.stats = NetworkStats()

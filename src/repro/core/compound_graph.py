@@ -1,0 +1,189 @@
+"""Compound graphs ``G^C_i`` (Definition 6) and their query-time runtime.
+
+The compound graph of partition ``G_i`` is the union of the local subgraph
+with the boundary graph ``G^B_i``.  Theorem 1 of the paper shows that any
+reachability question between two vertices of ``V_i`` can be answered on
+``G^C_i`` alone; Theorem 2 shows that a cross-partition question needs only
+one message from the source's slave to the target's slave.
+
+Soundness / completeness of the label-free compression used here
+-----------------------------------------------------------------
+
+Every edge inserted into a compound graph corresponds to true reachability in
+the global data graph (local edges and cut edges trivially; class-level edges
+because all members of a forward class have identical local reachability over
+``V_j \\ I_j`` plus the overlap, and all members of a backward class are
+reached by identical vertex sets; member-level edges by construction), hence
+any path found in ``G^C_i`` implies global reachability (**soundness**).
+
+Conversely, take any global path and cut it into maximal segments that lie
+inside a single partition.  Segments inside ``G_i`` are present verbatim;
+segments inside a remote partition ``G_j`` lead from an in-boundary ``x`` to
+an out-boundary ``y`` (or end at a boundary vertex) and are represented either
+by the class-level path ``x → υ(x) → ν(y) → y`` (both endpoints outside the
+overlap), by a member-level edge (any endpoint in the overlap, or an
+in-boundary → in-boundary hop), and consecutive segments are joined by the cut
+edges, which are present verbatim (**completeness**).
+
+At query time local set-reachability is evaluated over the *SCC-condensed*
+compound graph (as the paper does for all three local strategies), wrapped so
+that callers keep using original vertex ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.boundary_graph import add_summary_to_graph
+from repro.core.summary import PartitionSummary
+from repro.graph.digraph import DiGraph
+from repro.graph.scc import condense
+from repro.reachability.base import ReachabilityIndex
+from repro.reachability.factory import make_reachability_index
+
+
+class CondensedReachability:
+    """Set-reachability over the SCC-condensed view of a graph.
+
+    Wraps any centralized strategy built over the condensation and translates
+    between original vertex ids and component ids.
+    """
+
+    def __init__(self, graph: DiGraph, strategy: str = "dfs", **kwargs) -> None:
+        self.graph = graph
+        self.strategy = strategy
+        self._kwargs = kwargs
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        self.dag, self.vertex_to_component = condense(self.graph)
+        self._index: ReachabilityIndex = make_reachability_index(
+            self.strategy, self.dag, **self._kwargs
+        )
+
+    # -- queries -------------------------------------------------------- #
+    def reachable(self, source: int, target: int) -> bool:
+        if source not in self.vertex_to_component or target not in self.vertex_to_component:
+            return False
+        return self._index.reachable(
+            self.vertex_to_component[source], self.vertex_to_component[target]
+        )
+
+    def set_reachability(
+        self, sources: Iterable[int], targets: Iterable[int]
+    ) -> Dict[int, Set[int]]:
+        sources = list(sources)
+        targets = list(targets)
+        known_sources = [s for s in sources if s in self.vertex_to_component]
+        known_targets = [t for t in targets if t in self.vertex_to_component]
+        source_comps = {s: self.vertex_to_component[s] for s in known_sources}
+        target_comps: Dict[int, List[int]] = {}
+        for target in known_targets:
+            target_comps.setdefault(self.vertex_to_component[target], []).append(target)
+
+        comp_result = self._index.set_reachability(
+            set(source_comps.values()), set(target_comps)
+        )
+        result: Dict[int, Set[int]] = {source: set() for source in sources}
+        for source in known_sources:
+            reached_comps = comp_result.get(source_comps[source], set())
+            reached: Set[int] = set()
+            for comp in reached_comps:
+                reached.update(target_comps[comp])
+            result[source] = reached
+        return result
+
+    # -- stats ---------------------------------------------------------- #
+    @property
+    def dag_num_edges(self) -> int:
+        return self.dag.num_edges
+
+    @property
+    def dag_num_vertices(self) -> int:
+        return self.dag.num_vertices
+
+
+@dataclass
+class CompoundGraph:
+    """The compound graph of one partition plus its query-time helpers."""
+
+    partition_id: int
+    graph: DiGraph
+    local_vertices: Set[int]
+    # Entry handles of every *remote* partition, keyed by partition id.
+    remote_forward_handles: Dict[int, Set[int]] = field(default_factory=dict)
+    remote_backward_handles: Dict[int, Set[int]] = field(default_factory=dict)
+    # Remote boundary vertices (real ids) present in this compound graph.
+    remote_boundary_vertices: Set[int] = field(default_factory=set)
+    # Local strategy evaluated over the condensed compound graph.
+    reachability: Optional[CondensedReachability] = None
+
+    # ------------------------------------------------------------------ #
+    def build_reachability(self, strategy: str = "dfs", **kwargs) -> None:
+        """(Re)build the condensed local reachability strategy."""
+        self.reachability = CondensedReachability(self.graph, strategy=strategy, **kwargs)
+
+    def local_set_reachability(
+        self, sources: Iterable[int], targets: Iterable[int]
+    ) -> Dict[int, Set[int]]:
+        """``localSetReachability(.)`` of Algorithms 1 and 2."""
+        if self.reachability is None:
+            self.build_reachability()
+        return self.reachability.set_reachability(sources, targets)
+
+    # -- size statistics (Table 2) --------------------------------------- #
+    def original_num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def dag_num_edges(self) -> int:
+        if self.reachability is None:
+            self.build_reachability()
+        return self.reachability.dag_num_edges
+
+    def estimated_bytes(self) -> int:
+        """Rough storage footprint: 8 bytes per edge + 4 per vertex."""
+        return 8 * self.graph.num_edges + 4 * self.graph.num_vertices
+
+    def forward_handles_of(self, partition_id: int) -> Set[int]:
+        return self.remote_forward_handles.get(partition_id, set())
+
+    def all_forward_handles(self) -> Dict[int, Set[int]]:
+        return self.remote_forward_handles
+
+
+def build_compound_graph(
+    partition_id: int,
+    local_graph: DiGraph,
+    summaries: Mapping[int, PartitionSummary],
+    cut_edges: Iterable[Tuple[int, int]],
+    local_strategy: str = "dfs",
+    strategy_kwargs: Optional[dict] = None,
+) -> CompoundGraph:
+    """Assemble ``G^C_i`` from the local subgraph, remote summaries and cut."""
+    graph = local_graph.copy()
+    remote_forward: Dict[int, Set[int]] = {}
+    remote_backward: Dict[int, Set[int]] = {}
+    remote_boundary: Set[int] = set()
+
+    for other_id, summary in summaries.items():
+        if other_id == partition_id:
+            continue
+        add_summary_to_graph(graph, summary)
+        remote_forward[other_id] = summary.forward_handles()
+        remote_backward[other_id] = summary.backward_handles()
+        remote_boundary |= summary.boundary_vertices
+
+    for u, v in cut_edges:
+        graph.add_edge(u, v)
+
+    compound = CompoundGraph(
+        partition_id=partition_id,
+        graph=graph,
+        local_vertices=set(local_graph.vertices()),
+        remote_forward_handles=remote_forward,
+        remote_backward_handles=remote_backward,
+        remote_boundary_vertices=remote_boundary,
+    )
+    compound.build_reachability(local_strategy, **(strategy_kwargs or {}))
+    return compound

@@ -1,0 +1,256 @@
+"""The public DSR engine.
+
+:class:`DSREngine` is the top-level API a downstream user works with: give it
+a directed graph, choose how to partition it, which local reachability
+strategy to plug in and whether to enable the equivalence-set optimisation,
+then build the index once and run as many set-reachability queries and
+incremental updates as needed.
+
+Example
+-------
+>>> from repro import DSREngine
+>>> from repro.graph import generators
+>>> graph = generators.social_graph(500, avg_degree=6, seed=1)
+>>> engine = DSREngine(graph, num_partitions=4, local_index="msbfs")
+>>> engine.build_index()                                   # doctest: +ELLIPSIS
+IndexBuildReport(...)
+>>> pairs = engine.query(sources=[0, 1, 2], targets=[100, 200])
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.core.index import DSRIndex, IndexBuildReport
+from repro.core.query import DistributedQueryExecutor, QueryResult
+from repro.core.updates import IncrementalMaintainer, UpdateResult
+from repro.graph.digraph import DiGraph
+from repro.partition.partition import GraphPartitioning, make_partitioning
+
+
+class DSREngine:
+    """End-to-end distributed set-reachability engine."""
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        num_partitions: int = 4,
+        partitioner: str = "metis",
+        local_index: str = "dfs",
+        use_equivalence: bool = True,
+        parallel: bool = False,
+        seed: int = 0,
+        partitioning: Optional[GraphPartitioning] = None,
+        local_index_options: Optional[dict] = None,
+        enable_backward: bool = False,
+    ) -> None:
+        self.graph = graph
+        if partitioning is not None:
+            self.partitioning = partitioning
+        else:
+            self.partitioning = make_partitioning(
+                graph, num_partitions, strategy=partitioner, seed=seed
+            )
+        self.cluster = SimulatedCluster(self.partitioning.num_partitions, parallel=parallel)
+        self.index = DSRIndex(
+            self.partitioning,
+            use_equivalence=use_equivalence,
+            local_strategy=local_index,
+            strategy_kwargs=local_index_options,
+            cluster=self.cluster,
+        )
+        # Optional backward-processing support ("Forward vs. Backward
+        # Processing", Section 3.3.2): a mirror index over the reversed graph
+        # that lets a query start from the target side when |T| < |S|.
+        self.enable_backward = enable_backward
+        self._use_equivalence = use_equivalence
+        self._local_index = local_index
+        self._local_index_options = local_index_options
+        self._reverse_index: Optional[DSRIndex] = None
+        self._reverse_executor: Optional[DistributedQueryExecutor] = None
+        self._reverse_maintainer: Optional[IncrementalMaintainer] = None
+
+        self._executor: Optional[DistributedQueryExecutor] = None
+        self._maintainer: Optional[IncrementalMaintainer] = None
+        self.last_build_report: Optional[IndexBuildReport] = None
+        self.last_query_result: Optional[QueryResult] = None
+
+    # ------------------------------------------------------------------ #
+    # index lifecycle
+    # ------------------------------------------------------------------ #
+    def build_index(self) -> IndexBuildReport:
+        """Build the distributed index (summaries + compound graphs)."""
+        self.last_build_report = self.index.build()
+        self._executor = DistributedQueryExecutor(self.index, self.cluster)
+        self._maintainer = IncrementalMaintainer(self.index)
+        if self.enable_backward:
+            self._build_reverse_index()
+        return self.last_build_report
+
+    def _build_reverse_index(self) -> None:
+        """Build the mirror index over the reversed data graph."""
+        reversed_graph = self.graph.reverse()
+        reverse_partitioning = GraphPartitioning(
+            reversed_graph, dict(self.partitioning.assignment),
+            self.partitioning.num_partitions,
+        )
+        self._reverse_index = DSRIndex(
+            reverse_partitioning,
+            use_equivalence=self._use_equivalence,
+            local_strategy=self._local_index,
+            strategy_kwargs=self._local_index_options,
+        )
+        self._reverse_index.build()
+        self._reverse_executor = DistributedQueryExecutor(self._reverse_index)
+        self._reverse_maintainer = IncrementalMaintainer(self._reverse_index)
+
+    @property
+    def is_built(self) -> bool:
+        return self.index.is_built
+
+    def _require_built(self) -> None:
+        if not self.is_built:
+            raise RuntimeError("call build_index() before querying or updating")
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        sources: Iterable[int],
+        targets: Iterable[int],
+        direction: str = "auto",
+    ) -> Set[Tuple[int, int]]:
+        """Return every reachable ``(s, t)`` pair of the DSR query ``S ⇝ T``."""
+        return self.query_with_stats(sources, targets, direction=direction).pairs
+
+    def query_with_stats(
+        self,
+        sources: Iterable[int],
+        targets: Iterable[int],
+        direction: str = "auto",
+    ) -> QueryResult:
+        """Like :meth:`query` but returns timing and communication statistics.
+
+        ``direction`` selects the processing direction (Section 3.3.2,
+        "Forward vs. Backward Processing"):
+
+        * ``"forward"`` — start from the sources (the default behaviour);
+        * ``"backward"`` — start from the targets over the reversed index
+          (requires ``enable_backward=True``);
+        * ``"auto"`` — use the backward index when it is available and the
+          query has fewer targets than sources.
+        """
+        self._require_built()
+        if direction not in ("auto", "forward", "backward"):
+            raise ValueError(f"unknown query direction {direction!r}")
+        sources = list(sources)
+        targets = list(targets)
+        # Any batched incremental updates must be folded into the index before
+        # answering, so query results always reflect every applied update.
+        if self._maintainer is not None and self._maintainer.has_pending_changes:
+            self._maintainer.flush()
+        if self._reverse_maintainer is not None and self._reverse_maintainer.has_pending_changes:
+            self._reverse_maintainer.flush()
+
+        use_backward = direction == "backward" or (
+            direction == "auto"
+            and self._reverse_executor is not None
+            and len(targets) < len(sources)
+        )
+        if use_backward:
+            if self._reverse_executor is None:
+                raise RuntimeError(
+                    "backward processing requires enable_backward=True at construction"
+                )
+            reverse_result = self._reverse_executor.query(targets, sources)
+            result = QueryResult(
+                pairs={(s, t) for t, s in reverse_result.pairs},
+                parallel_seconds=reverse_result.parallel_seconds,
+                total_seconds=reverse_result.total_seconds,
+                messages_sent=reverse_result.messages_sent,
+                bytes_sent=reverse_result.bytes_sent,
+                rounds=reverse_result.rounds,
+                per_phase_seconds=reverse_result.per_phase_seconds,
+            )
+        else:
+            result = self._executor.query(sources, targets)
+        self.last_query_result = result
+        return result
+
+    def reachable(self, source: int, target: int) -> bool:
+        """Single-pair reachability (Algorithm 1)."""
+        self._require_built()
+        return (source, target) in self.query_with_stats([source], [target]).pairs
+
+    @property
+    def last_query_stats(self) -> Dict[str, object]:
+        if self.last_query_result is None:
+            return {}
+        return self.last_query_result.as_dict()
+
+    # ------------------------------------------------------------------ #
+    # incremental updates
+    # ------------------------------------------------------------------ #
+    def insert_edge(self, u: int, v: int) -> UpdateResult:
+        self._require_built()
+        result = self._maintainer.insert_edge(u, v)
+        if self._reverse_maintainer is not None:
+            self._reverse_maintainer.insert_edge(v, u)
+        return result
+
+    def delete_edge(self, u: int, v: int) -> UpdateResult:
+        self._require_built()
+        result = self._maintainer.delete_edge(u, v)
+        if self._reverse_maintainer is not None:
+            self._reverse_maintainer.delete_edge(v, u)
+        return result
+
+    def insert_vertex(
+        self, vertex: Optional[int] = None, partition_id: Optional[int] = None
+    ) -> int:
+        self._require_built()
+        new_vertex = self._maintainer.insert_vertex(vertex, partition_id)
+        if self._reverse_maintainer is not None:
+            self._reverse_maintainer.insert_vertex(
+                new_vertex, self.partitioning.partition_of(new_vertex)
+            )
+        return new_vertex
+
+    def delete_vertex(self, vertex: int) -> UpdateResult:
+        self._require_built()
+        if self._reverse_maintainer is not None:
+            self._reverse_maintainer.delete_vertex(vertex)
+        return self._maintainer.delete_vertex(vertex)
+
+    def flush_updates(self):
+        """Fold any batched incremental updates into the index now.
+
+        Updates are otherwise folded in automatically before the next query;
+        calling this explicitly is useful when measuring maintenance cost
+        (Figure 6) or before serialising index statistics.
+        """
+        self._require_built()
+        return self._maintainer.flush()
+
+    @property
+    def has_pending_updates(self) -> bool:
+        return self._maintainer is not None and self._maintainer.has_pending_changes
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def index_sizes(self) -> Dict[str, object]:
+        """Table-2-style index size summary."""
+        self._require_built()
+        return self.index.index_sizes()
+
+    def partition_summary(self) -> Dict[str, object]:
+        """Partitioning statistics (cut size, balance, boundary counts)."""
+        summary = self.partitioning.summary()
+        if self.is_built:
+            forward, backward = self.index.total_boundary_entries()
+            summary["forward_entries"] = forward
+            summary["backward_entries"] = backward
+        return summary

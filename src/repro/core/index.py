@@ -1,0 +1,259 @@
+"""The distributed DSR index (Section 3.3.1).
+
+:class:`DSRIndex` orchestrates the index build over a simulated cluster:
+
+1. every slave computes the summary of its own partition in parallel
+   (SCCs, equivalence classes, transitive boundary reachability);
+2. the summaries are broadcast — this is the only index-build communication,
+   and its volume is what shrinks when the equivalence optimisation is on;
+3. every slave assembles its compound graph ``G^C_i`` from its local subgraph,
+   the remote summaries and the static cut, condenses it and builds the chosen
+   local reachability strategy over the condensation.
+
+The index also exposes the size statistics reported in Tables 2 and 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.core.boundary_graph import BoundaryGraphStats, boundary_graph_stats
+from repro.core.compound_graph import CompoundGraph, build_compound_graph
+from repro.core.equivalence import ClassIdAllocator
+from repro.core.summary import PartitionSummary, build_partition_summary
+from repro.graph.digraph import DiGraph
+from repro.partition.partition import GraphPartitioning
+from repro.reachability.factory import make_reachability_index
+
+
+@dataclass
+class IndexBuildReport:
+    """Timing and size statistics of one index build."""
+
+    build_seconds: float
+    parallel_build_seconds: float
+    summary_bytes: int
+    per_partition_original_edges: Dict[int, int] = field(default_factory=dict)
+    per_partition_dag_edges: Dict[int, int] = field(default_factory=dict)
+    per_partition_bytes: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def max_original_edges(self) -> int:
+        return max(self.per_partition_original_edges.values(), default=0)
+
+    @property
+    def max_dag_edges(self) -> int:
+        return max(self.per_partition_dag_edges.values(), default=0)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.per_partition_bytes.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "build_seconds": self.build_seconds,
+            "parallel_build_seconds": self.parallel_build_seconds,
+            "summary_bytes": self.summary_bytes,
+            "max_original_edges": self.max_original_edges,
+            "max_dag_edges": self.max_dag_edges,
+            "total_bytes": self.total_bytes,
+        }
+
+
+class DSRIndex:
+    """Precomputed index structures for distributed set reachability."""
+
+    def __init__(
+        self,
+        partitioning: GraphPartitioning,
+        use_equivalence: bool = True,
+        local_strategy: str = "dfs",
+        summary_strategy: str = "msbfs",
+        strategy_kwargs: Optional[dict] = None,
+        cluster: Optional[SimulatedCluster] = None,
+    ) -> None:
+        self.partitioning = partitioning
+        self.use_equivalence = use_equivalence
+        self.local_strategy = local_strategy
+        self.summary_strategy = summary_strategy
+        self.strategy_kwargs = strategy_kwargs or {}
+        self.cluster = cluster or SimulatedCluster(partitioning.num_partitions)
+
+        self.local_graphs: Dict[int, DiGraph] = {}
+        self.summaries: Dict[int, PartitionSummary] = {}
+        self.compound_graphs: Dict[int, CompoundGraph] = {}
+        self.allocator: Optional[ClassIdAllocator] = None
+        self.build_report: Optional[IndexBuildReport] = None
+        self._built = False
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @property
+    def num_partitions(self) -> int:
+        return self.partitioning.num_partitions
+
+    @property
+    def is_built(self) -> bool:
+        return self._built
+
+    def _first_virtual_id(self) -> int:
+        graph = self.partitioning.graph
+        highest = max(graph.vertices(), default=-1)
+        return highest + 1
+
+    def build(self) -> IndexBuildReport:
+        """Run the three-phase distributed index build."""
+        self.cluster.reset_stats()
+        self.allocator = ClassIdAllocator(self._first_virtual_id())
+        self.local_graphs = {
+            pid: self.partitioning.local_subgraph(pid)
+            for pid in range(self.num_partitions)
+        }
+
+        # Phase 1: every slave summarises its own partition.
+        def summarise(rank: int) -> PartitionSummary:
+            return build_partition_summary(
+                partition_id=rank,
+                local_graph=self.local_graphs[rank],
+                in_boundaries=self.partitioning.in_boundaries(rank),
+                out_boundaries=self.partitioning.out_boundaries(rank),
+                allocator=self.allocator,
+                use_equivalence=self.use_equivalence,
+                local_index_name=self.summary_strategy,
+            )
+
+        self.summaries = self.cluster.run_phase("summarise", summarise)
+
+        # Phase 2: broadcast summaries (all-to-all exchange).
+        summary_bytes = 0
+        for source_rank, summary in self.summaries.items():
+            for dest_rank in range(self.num_partitions):
+                if dest_rank == source_rank:
+                    continue
+                message = self.cluster.network.send(
+                    source_rank, dest_rank, summary, tag="summary"
+                )
+                summary_bytes += message.size_bytes
+        self.cluster.complete_round()
+        # Drain the inboxes (every slave now has every summary).
+        for rank in range(self.num_partitions):
+            self.cluster.deliver(rank)
+
+        # Phase 3: every slave assembles and condenses its compound graph.
+        cut_edges = self.partitioning.cut_edges()
+
+        def assemble(rank: int) -> CompoundGraph:
+            return build_compound_graph(
+                partition_id=rank,
+                local_graph=self.local_graphs[rank],
+                summaries=self.summaries,
+                cut_edges=cut_edges,
+                local_strategy=self.local_strategy,
+                strategy_kwargs=self.strategy_kwargs,
+            )
+
+        self.compound_graphs = self.cluster.run_phase("assemble", assemble)
+        self._built = True
+
+        self.build_report = IndexBuildReport(
+            build_seconds=self.cluster.stats.total_seconds,
+            parallel_build_seconds=self.cluster.stats.parallel_seconds,
+            summary_bytes=summary_bytes,
+            per_partition_original_edges={
+                pid: cg.original_num_edges() for pid, cg in self.compound_graphs.items()
+            },
+            per_partition_dag_edges={
+                pid: cg.dag_num_edges() for pid, cg in self.compound_graphs.items()
+            },
+            per_partition_bytes={
+                pid: cg.estimated_bytes() for pid, cg in self.compound_graphs.items()
+            },
+        )
+        return self.build_report
+
+    def rebuild_summary(self, partition_id: int) -> PartitionSummary:
+        """Recompute one partition's summary from its current local subgraph."""
+        if not self._built:
+            raise RuntimeError("index must be built before incremental updates")
+        return build_partition_summary(
+            partition_id=partition_id,
+            local_graph=self.local_graphs[partition_id],
+            in_boundaries=self.partitioning.in_boundaries(partition_id),
+            out_boundaries=self.partitioning.out_boundaries(partition_id),
+            allocator=self.allocator,
+            use_equivalence=self.use_equivalence,
+            local_index_name=self.summary_strategy,
+        )
+
+    def broadcast_summaries(self, partition_ids) -> None:
+        """Re-broadcast refreshed summaries to every other slave (one round)."""
+        for partition_id in partition_ids:
+            for dest_rank in range(self.num_partitions):
+                if dest_rank != partition_id:
+                    self.cluster.network.send(
+                        partition_id,
+                        dest_rank,
+                        self.summaries[partition_id],
+                        tag="summary-update",
+                    )
+        self.cluster.complete_round()
+        for rank in range(self.num_partitions):
+            self.cluster.deliver(rank)
+
+    def rebuild_partition(self, partition_id: int) -> None:
+        """Recompute one partition's summary and refresh every compound graph.
+
+        This is the eager form of incremental maintenance
+        (:mod:`repro.core.updates` batches it): only the affected partition
+        recomputes its boundary reachability; the other partitions merely
+        re-merge the new summary into their compound graphs.
+        """
+        self.local_graphs[partition_id] = self.partitioning.local_subgraph(partition_id)
+        self.summaries[partition_id] = self.rebuild_summary(partition_id)
+        self.broadcast_summaries([partition_id])
+        self.refresh_compound_graphs()
+
+    def refresh_compound_graphs(self) -> None:
+        """Re-assemble every compound graph from the current summaries."""
+        cut_edges = self.partitioning.cut_edges()
+
+        def assemble(rank: int) -> CompoundGraph:
+            return build_compound_graph(
+                partition_id=rank,
+                local_graph=self.local_graphs[rank],
+                summaries=self.summaries,
+                cut_edges=cut_edges,
+                local_strategy=self.local_strategy,
+                strategy_kwargs=self.strategy_kwargs,
+            )
+
+        self.compound_graphs = self.cluster.run_phase("reassemble", assemble)
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def boundary_stats(self, partition_id: int) -> BoundaryGraphStats:
+        """Boundary-graph size statistics for one partition (Table 4)."""
+        return boundary_graph_stats(
+            partition_id, self.summaries, self.partitioning.cut_edges()
+        )
+
+    def total_boundary_entries(self) -> Tuple[int, int]:
+        """Total forward/backward entry handles across all partitions."""
+        forward = sum(len(s.forward_handles()) for s in self.summaries.values())
+        backward = sum(len(s.backward_handles()) for s in self.summaries.values())
+        return forward, backward
+
+    def index_sizes(self) -> Dict[str, object]:
+        """Table-2-style index size summary."""
+        if self.build_report is None:
+            raise RuntimeError("index not built")
+        return {
+            "max_original_edges": self.build_report.max_original_edges,
+            "max_dag_edges": self.build_report.max_dag_edges,
+            "total_bytes": self.build_report.total_bytes,
+            "summary_bytes": self.build_report.summary_bytes,
+        }

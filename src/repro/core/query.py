@@ -1,0 +1,250 @@
+"""One-round distributed evaluation of DSR queries (Algorithms 1 and 2).
+
+The executor follows the paper's three-step protocol:
+
+* **Step 1 (local, all slaves in parallel).**  Each slave ``i`` evaluates, over
+  its compound graph:
+
+  - ``S_i ⇝ T_i`` — source/target pairs that are both local (Theorem 1);
+  - ``S_i ⇝ (T ∩ boundary vertices of remote partitions)`` — remote *boundary*
+    targets are real vertices of every compound graph, so these pairs are
+    resolved without any communication as well;
+  - ``S_i ⇝ F_i`` — reachability to the forward handles (in-virtual vertices
+    plus overlap boundaries) of every remote partition that still has
+    unresolved targets.
+
+* **Step 2 (single communication round).**  For each remote partition ``j``
+  the reached handles are buffered per source and shipped from slave ``i`` to
+  slave ``j`` in one message (Theorem 2: one round suffices regardless of the
+  graph's diameter).
+
+* **Step 3 (local, all slaves in parallel).**  Slave ``j`` expands every
+  received handle (class → representative member, overlap handle → itself) and
+  evaluates reachability from the expanded members to its remaining local
+  targets, emitting ``(s, t)`` pairs.
+
+Single-pair queries (Algorithm 1) are the special case ``|S| = |T| = 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.core.index import DSRIndex
+
+
+@dataclass
+class QueryResult:
+    """Result of a DSR query: the reachable pairs plus execution statistics."""
+
+    pairs: Set[Tuple[int, int]]
+    parallel_seconds: float = 0.0
+    total_seconds: float = 0.0
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    rounds: int = 0
+    per_phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.pairs)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "num_pairs": self.num_pairs,
+            "parallel_seconds": self.parallel_seconds,
+            "total_seconds": self.total_seconds,
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "rounds": self.rounds,
+        }
+
+
+class DistributedQueryExecutor:
+    """Evaluates DSR queries over a built :class:`~repro.core.index.DSRIndex`."""
+
+    def __init__(self, index: DSRIndex, cluster: Optional[SimulatedCluster] = None) -> None:
+        if not index.is_built:
+            raise RuntimeError("the DSR index must be built before querying")
+        self.index = index
+        self.cluster = cluster or index.cluster
+
+    # ------------------------------------------------------------------ #
+    # public entry points
+    # ------------------------------------------------------------------ #
+    def query(self, sources: Iterable[int], targets: Iterable[int]) -> QueryResult:
+        """Evaluate ``S ⇝ T`` and return every reachable ``(s, t)`` pair."""
+        source_set = set(sources)
+        target_set = set(targets)
+        self._validate(source_set | target_set)
+        self.cluster.reset_stats()
+
+        partitioning = self.index.partitioning
+        per_partition = partitioning.split_query(source_set, target_set)
+        sources_of = {pid: subquery[0] for pid, subquery in per_partition.items()}
+        targets_of = {pid: subquery[1] for pid, subquery in per_partition.items()}
+
+        # With the equivalence optimisation, targets that are boundary vertices
+        # of their home partition are real vertices of every compound graph and
+        # are resolved directly at the source's slave; only interior targets
+        # need the handle exchange.  Without the optimisation the messages
+        # carry real boundary members, so every remote target is resolved at
+        # its home slave (the paper's original Algorithm 2).
+        boundary_targets_of: Dict[int, Set[int]] = {}
+        interior_targets_of: Dict[int, Set[int]] = {}
+        for pid, partition_targets in targets_of.items():
+            if self.index.use_equivalence:
+                boundary = partitioning.in_boundaries(pid) | partitioning.out_boundaries(pid)
+                boundary_targets_of[pid] = partition_targets & boundary
+                interior_targets_of[pid] = partition_targets - boundary
+            else:
+                boundary_targets_of[pid] = set()
+                interior_targets_of[pid] = set(partition_targets)
+
+        pairs: Set[Tuple[int, int]] = set()
+
+        # ----- Step 1: local evaluation at every slave --------------------- #
+        def step1(rank: int):
+            return self._local_step(
+                rank,
+                sources_of.get(rank, set()),
+                targets_of.get(rank, set()),
+                boundary_targets_of,
+                interior_targets_of,
+            )
+
+        step1_results = self.cluster.run_phase("local", step1)
+        for rank, (local_pairs, outgoing) in step1_results.items():
+            pairs |= local_pairs
+            for destination, payload in outgoing.items():
+                self.cluster.send(rank, destination, payload, tag="handles")
+
+        # ----- Step 2: the single round of message exchange ---------------- #
+        self.cluster.complete_round()
+
+        # ----- Step 3: resolve received handles at the target slaves ------- #
+        def step3(rank: int):
+            return self._remote_step(rank, interior_targets_of.get(rank, set()))
+
+        step3_results = self.cluster.run_phase("remote", step3)
+        for remote_pairs in step3_results.values():
+            pairs |= remote_pairs
+
+        snapshot = self.cluster.snapshot()
+        return QueryResult(
+            pairs=pairs,
+            parallel_seconds=snapshot["parallel_seconds"],
+            total_seconds=snapshot["total_seconds"],
+            messages_sent=snapshot["messages_sent"],
+            bytes_sent=snapshot["bytes_sent"],
+            rounds=snapshot["rounds"],
+            per_phase_seconds=snapshot["phases"],
+        )
+
+    def reachable(self, source: int, target: int) -> bool:
+        """Single-pair reachability (Algorithm 1)."""
+        result = self.query([source], [target])
+        return (source, target) in result.pairs
+
+    # ------------------------------------------------------------------ #
+    # per-slave steps
+    # ------------------------------------------------------------------ #
+    def _local_step(
+        self,
+        rank: int,
+        local_sources: Set[int],
+        local_targets: Set[int],
+        boundary_targets_of: Dict[int, Set[int]],
+        interior_targets_of: Dict[int, Set[int]],
+    ) -> Tuple[Set[Tuple[int, int]], Dict[int, Dict[int, List[int]]]]:
+        """Step 1 at slave ``rank``.
+
+        Returns ``(pairs, outgoing)`` where ``outgoing[j]`` is the message
+        payload ``{source: [handles of partition j reached]}`` for slave ``j``.
+        """
+        pairs: Set[Tuple[int, int]] = set()
+        outgoing: Dict[int, Dict[int, List[int]]] = {}
+        if not local_sources:
+            return pairs, outgoing
+        compound = self.index.compound_graphs[rank]
+
+        # Remote boundary targets are resolvable locally; remote interior
+        # targets need handles shipped to their home slave.
+        remote_boundary_targets: Set[int] = set()
+        handle_targets: Dict[int, Set[int]] = {}
+        for pid, boundary_targets in boundary_targets_of.items():
+            if pid != rank:
+                remote_boundary_targets |= boundary_targets
+        for pid, interior_targets in interior_targets_of.items():
+            if pid != rank and interior_targets:
+                handle_targets[pid] = compound.forward_handles_of(pid)
+
+        all_targets = set(local_targets) | remote_boundary_targets
+        all_handles: Set[int] = set()
+        for handles in handle_targets.values():
+            all_handles |= handles
+
+        reach = compound.local_set_reachability(local_sources, all_targets | all_handles)
+
+        for source in local_sources:
+            reached = reach.get(source, set())
+            for target in reached & all_targets:
+                pairs.add((source, target))
+            if not all_handles:
+                continue
+            reached_handles = reached & all_handles
+            if not reached_handles:
+                continue
+            for pid, handles in handle_targets.items():
+                hit = sorted(reached_handles & handles)
+                if hit:
+                    outgoing.setdefault(pid, {})[source] = hit
+        return pairs, outgoing
+
+    def _remote_step(
+        self, rank: int, interior_targets: Set[int]
+    ) -> Set[Tuple[int, int]]:
+        """Step 3 at slave ``rank``: expand received handles, finish locally."""
+        messages = self.cluster.deliver(rank)
+        pairs: Set[Tuple[int, int]] = set()
+        if not interior_targets or not messages:
+            return pairs
+        compound = self.index.compound_graphs[rank]
+        summary = self.index.summaries[rank]
+
+        # Invert the received payloads into handle -> set of remote sources
+        # (the inverted index I_i(Υ, L) of Algorithm 2, Step 2).
+        sources_by_handle: Dict[int, Set[int]] = {}
+        for message in messages:
+            for source, handles in message.payload.items():
+                for handle in handles:
+                    sources_by_handle.setdefault(handle, set()).add(source)
+        if not sources_by_handle:
+            return pairs
+
+        # Expand handles to concrete member vertices and evaluate once.
+        members_by_handle: Dict[int, Tuple[int, ...]] = {
+            handle: summary.expand_handle(handle) for handle in sources_by_handle
+        }
+        all_members = {member for members in members_by_handle.values() for member in members}
+        reach = compound.local_set_reachability(all_members, interior_targets)
+
+        for handle, sources in sources_by_handle.items():
+            reached: Set[int] = set()
+            for member in members_by_handle[handle]:
+                reached |= reach.get(member, set())
+            for source in sources:
+                for target in reached:
+                    pairs.add((source, target))
+        return pairs
+
+    # ------------------------------------------------------------------ #
+    def _validate(self, vertices: Set[int]) -> None:
+        graph = self.index.partitioning.graph
+        missing = [vertex for vertex in vertices if not graph.has_vertex(vertex)]
+        if missing:
+            raise ValueError(
+                f"query mentions {len(missing)} unknown vertices (e.g. {missing[:5]})"
+            )

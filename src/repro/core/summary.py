@@ -1,0 +1,220 @@
+"""Per-partition reachability summaries.
+
+A :class:`PartitionSummary` is everything slave ``j`` precomputes about its
+own partition and ships to every other slave during the index build: its
+boundary sets, its equivalence classes (Definition 5), and the transitive
+reachability among its boundary vertices — compressed to class level wherever
+the equivalence sets allow it and kept at member level otherwise.
+
+Merging all remote summaries with the static cut yields the boundary graph of
+Definition 4 (see :mod:`repro.core.boundary_graph`); merging them with the
+local subgraph yields the compound graph of Definition 6 (see
+:mod:`repro.core.compound_graph`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.core.equivalence import (
+    BACKWARD,
+    FORWARD,
+    ClassIdAllocator,
+    EquivalenceClass,
+    compute_backward_classes,
+    compute_forward_classes,
+)
+from repro.graph.digraph import DiGraph
+from repro.reachability.base import ReachabilityIndex
+from repro.reachability.factory import make_reachability_index
+
+
+@dataclass
+class PartitionSummary:
+    """Reachability summary of one partition, shared with all other slaves."""
+
+    partition_id: int
+    in_boundaries: FrozenSet[int]
+    out_boundaries: FrozenSet[int]
+    use_equivalence: bool
+    forward_classes: List[EquivalenceClass] = field(default_factory=list)
+    backward_classes: List[EquivalenceClass] = field(default_factory=list)
+    # Class-level transitive edges (forward-class id -> backward-class id).
+    class_edges: Set[Tuple[int, int]] = field(default_factory=set)
+    # Member-level transitive edges between real boundary vertices.
+    member_edges: Set[Tuple[int, int]] = field(default_factory=set)
+
+    # ------------------------------------------------------------------ #
+    # derived accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def overlap(self) -> Set[int]:
+        """Vertices that are both in- and out-boundaries (kept member level)."""
+        return set(self.in_boundaries) & set(self.out_boundaries)
+
+    @property
+    def boundary_vertices(self) -> Set[int]:
+        return set(self.in_boundaries) | set(self.out_boundaries)
+
+    def member_to_forward_class(self) -> Dict[int, int]:
+        """Map each classified in-boundary member to its class id."""
+        mapping: Dict[int, int] = {}
+        for cls in self.forward_classes:
+            for member in cls.members:
+                mapping[member] = cls.class_id
+        return mapping
+
+    def member_to_backward_class(self) -> Dict[int, int]:
+        mapping: Dict[int, int] = {}
+        for cls in self.backward_classes:
+            for member in cls.members:
+                mapping[member] = cls.class_id
+        return mapping
+
+    def forward_handles(self) -> Set[int]:
+        """Entry handles other slaves use to address this partition.
+
+        With the equivalence optimisation these are the forward-class ids plus
+        the overlap vertices; without it they are the raw in-boundaries.
+        """
+        if not self.use_equivalence:
+            return set(self.in_boundaries)
+        handles = {cls.class_id for cls in self.forward_classes}
+        handles |= self.overlap
+        return handles
+
+    def backward_handles(self) -> Set[int]:
+        """Exit handles (used by the optional backward query processing)."""
+        if not self.use_equivalence:
+            return set(self.out_boundaries)
+        handles = {cls.class_id for cls in self.backward_classes}
+        handles |= self.overlap
+        return handles
+
+    def expand_handle(self, handle: int) -> Tuple[int, ...]:
+        """Expand a received handle into concrete member vertices.
+
+        A class handle expands to its representative (the equivalence
+        guarantee makes any member interchangeable for non-boundary targets);
+        a member handle expands to itself.
+        """
+        for cls in self.forward_classes:
+            if cls.class_id == handle:
+                return (cls.representative,)
+        for cls in self.backward_classes:
+            if cls.class_id == handle:
+                return (cls.representative,)
+        return (handle,)
+
+    def classes_by_id(self) -> Dict[int, EquivalenceClass]:
+        return {
+            cls.class_id: cls
+            for cls in list(self.forward_classes) + list(self.backward_classes)
+        }
+
+    # ------------------------------------------------------------------ #
+    # size accounting (Table 2 / Table 4)
+    # ------------------------------------------------------------------ #
+    def num_transitive_edges(self) -> int:
+        """Edges this summary contributes to every remote boundary graph."""
+        connectors = 0
+        if self.use_equivalence:
+            connectors = sum(len(cls.members) for cls in self.forward_classes)
+            connectors += sum(len(cls.members) for cls in self.backward_classes)
+        return len(self.class_edges) + len(self.member_edges) + connectors
+
+    def message_size(self) -> int:
+        """Estimated size (bytes) of shipping this summary to another slave."""
+        size = 4 * (len(self.in_boundaries) + len(self.out_boundaries) + 4)
+        size += sum(cls.message_size() for cls in self.forward_classes)
+        size += sum(cls.message_size() for cls in self.backward_classes)
+        size += 8 * (len(self.class_edges) + len(self.member_edges))
+        return size
+
+
+def build_partition_summary(
+    partition_id: int,
+    local_graph: DiGraph,
+    in_boundaries: Set[int],
+    out_boundaries: Set[int],
+    allocator: ClassIdAllocator,
+    use_equivalence: bool = True,
+    local_index: ReachabilityIndex = None,
+    local_index_name: str = "msbfs",
+) -> PartitionSummary:
+    """Compute the summary of one partition (runs at its home slave).
+
+    ``local_index`` may be provided to reuse an existing index over
+    ``local_graph``; otherwise one is created with ``local_index_name``.
+
+    The transitive reachability is materialised as follows:
+
+    * without equivalence: the full member-level ``I_j ⇝ O_j`` pairs
+      (Definition 4 verbatim);
+    * with equivalence: class-level edges between forward and backward
+      classes, plus member-level edges for every pair that the equivalence
+      guarantee does not cover — pairs involving overlap vertices and
+      in-boundary → in-boundary pairs (the latter make remote boundary
+      *targets* resolvable without an extra communication round).
+    """
+    in_boundaries = set(in_boundaries)
+    out_boundaries = set(out_boundaries)
+    summary = PartitionSummary(
+        partition_id=partition_id,
+        in_boundaries=frozenset(in_boundaries),
+        out_boundaries=frozenset(out_boundaries),
+        use_equivalence=use_equivalence,
+    )
+    if not in_boundaries and not out_boundaries:
+        return summary
+    if local_index is None:
+        local_index = make_reachability_index(local_index_name, local_graph)
+
+    if not use_equivalence:
+        rset = local_index.set_reachability(in_boundaries, out_boundaries)
+        for source, reached in rset.items():
+            for target in reached:
+                if source != target:
+                    summary.member_edges.add((source, target))
+        return summary
+
+    summary.forward_classes = compute_forward_classes(
+        local_graph,
+        in_boundaries,
+        out_boundaries,
+        partition_id,
+        allocator,
+        local_index=local_index,
+    )
+    summary.backward_classes = compute_backward_classes(
+        local_graph,
+        in_boundaries,
+        out_boundaries,
+        partition_id,
+        allocator,
+    )
+
+    overlap = in_boundaries & out_boundaries
+    # Reachability from every in-boundary to every boundary vertex; this is
+    # the same O(|I_j| * |O_j|)-style computation the paper performs, the
+    # compression happens in what gets *stored*.
+    rset = local_index.set_reachability(in_boundaries, in_boundaries | out_boundaries)
+
+    pure_in = in_boundaries - out_boundaries
+    pure_out = out_boundaries - in_boundaries
+    member_to_forward = summary.member_to_forward_class()
+    member_to_backward = summary.member_to_backward_class()
+
+    for source in in_boundaries:
+        for target in rset.get(source, set()):
+            if source == target:
+                continue
+            if source in pure_in and target in pure_out:
+                # Covered by a class-level edge.
+                summary.class_edges.add(
+                    (member_to_forward[source], member_to_backward[target])
+                )
+            else:
+                summary.member_edges.add((source, target))
+    return summary

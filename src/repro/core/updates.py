@@ -1,0 +1,240 @@
+"""Incremental maintenance of the DSR index (Section 3.3.3).
+
+Insertions
+----------
+* A local edge ``(u, v)`` whose endpoints already lie in the same SCC of the
+  local compound graph cannot change any reachability, so it is applied to the
+  stored graphs and otherwise ignored (the paper makes the same observation).
+* Any other local edge marks its partition *dirty*: the partition's summary
+  (SCCs, equivalence classes, boundary reachability) must be recomputed and
+  re-broadcast so that the other slaves can re-merge it into their compound
+  graphs.
+* A cut edge never changes intra-partition reachability but may create new
+  boundary vertices, so it marks *both* incident partitions dirty.
+
+Deletions
+---------
+Deletions always mark the incident partition(s) dirty; the affected summary is
+recomputed from the stored (uncondensed) local subgraph — the same strategy as
+the paper, whose deletion cost is therefore close to rebuilding that
+partition's boundary information.
+
+Batching
+--------
+Recomputing summaries and re-merging compound graphs per *individual* edge
+would be wasteful, so maintenance is deferred: updates mutate the graph and
+record dirty partitions; :meth:`IncrementalMaintainer.flush` performs the
+recomputation once for the whole batch.  The engine flushes automatically
+before the next query, so query answers are always consistent with every
+applied update.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.core.index import DSRIndex
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of a single incremental update."""
+
+    kind: str
+    affected_partitions: Set[int]
+    structural_change: bool
+    seconds: float
+    flushed: bool = False
+
+
+@dataclass
+class FlushResult:
+    """Outcome of one maintenance flush."""
+
+    refreshed_partitions: Set[int] = field(default_factory=set)
+    seconds: float = 0.0
+
+
+class IncrementalMaintainer:
+    """Applies edge/vertex updates to a graph and its DSR index."""
+
+    def __init__(self, index: DSRIndex, auto_flush: bool = False) -> None:
+        self.index = index
+        self.partitioning = index.partitioning
+        self.graph = index.partitioning.graph
+        self.auto_flush = auto_flush
+        self._dirty: Set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # state
+    # ------------------------------------------------------------------ #
+    @property
+    def has_pending_changes(self) -> bool:
+        return bool(self._dirty)
+
+    def flush(self) -> FlushResult:
+        """Recompute dirty summaries and re-merge all compound graphs once."""
+        start = time.perf_counter()
+        result = FlushResult(refreshed_partitions=set(self._dirty))
+        if not self._dirty:
+            result.seconds = time.perf_counter() - start
+            return result
+        self._refresh_cut()
+        for partition_id in sorted(self._dirty):
+            self.index.local_graphs[partition_id] = self.partitioning.local_subgraph(
+                partition_id
+            )
+            self.index.summaries[partition_id] = self.index.rebuild_summary(partition_id)
+        self.index.broadcast_summaries(sorted(self._dirty))
+        self.index.refresh_compound_graphs()
+        self._dirty.clear()
+        result.seconds = time.perf_counter() - start
+        return result
+
+    def _mark_dirty(self, partition_ids) -> None:
+        self._dirty.update(partition_ids)
+        if self.auto_flush:
+            self.flush()
+
+    # ------------------------------------------------------------------ #
+    # edge updates
+    # ------------------------------------------------------------------ #
+    def insert_edge(self, u: int, v: int) -> UpdateResult:
+        """Insert edge ``(u, v)``; endpoints must already exist."""
+        start = time.perf_counter()
+        for vertex in (u, v):
+            if not self.graph.has_vertex(vertex):
+                raise ValueError(f"vertex {vertex} does not exist; add it first")
+        pid_u = self.partitioning.partition_of(u)
+        pid_v = self.partitioning.partition_of(v)
+
+        if not self.graph.add_edge(u, v):
+            return UpdateResult("insert-edge", set(), False, time.perf_counter() - start)
+
+        if pid_u == pid_v:
+            # Keep the per-partition graphs in sync immediately (cheap).
+            self.index.local_graphs[pid_u].add_edge(u, v)
+            compound = self.index.compound_graphs.get(pid_u)
+            if compound is not None:
+                compound.graph.add_edge(u, v)
+            same_scc = False
+            if (
+                pid_u not in self._dirty
+                and compound is not None
+                and compound.reachability is not None
+            ):
+                components = compound.reachability.vertex_to_component
+                same_scc = (
+                    components.get(u) is not None
+                    and components.get(u) == components.get(v)
+                )
+            if same_scc:
+                # Both endpoints are already mutually reachable: no summary or
+                # condensation change is possible (Section 3.3.3).
+                return UpdateResult(
+                    "insert-edge", {pid_u}, False, time.perf_counter() - start
+                )
+            self._mark_dirty({pid_u})
+            return UpdateResult(
+                "insert-edge",
+                {pid_u},
+                True,
+                time.perf_counter() - start,
+                flushed=self.auto_flush,
+            )
+
+        # Cut edge: boundary sets of both incident partitions may change.
+        self._mark_dirty({pid_u, pid_v})
+        return UpdateResult(
+            "insert-edge",
+            {pid_u, pid_v},
+            True,
+            time.perf_counter() - start,
+            flushed=self.auto_flush,
+        )
+
+    def delete_edge(self, u: int, v: int) -> UpdateResult:
+        """Delete edge ``(u, v)`` if present."""
+        start = time.perf_counter()
+        if not self.graph.has_edge(u, v):
+            return UpdateResult("delete-edge", set(), False, time.perf_counter() - start)
+        pid_u = self.partitioning.partition_of(u)
+        pid_v = self.partitioning.partition_of(v)
+        self.graph.remove_edge(u, v)
+        if pid_u == pid_v:
+            self.index.local_graphs[pid_u].remove_edge(u, v)
+            compound = self.index.compound_graphs.get(pid_u)
+            if compound is not None:
+                compound.graph.remove_edge(u, v)
+            affected = {pid_u}
+        else:
+            affected = {pid_u, pid_v}
+        self._mark_dirty(affected)
+        return UpdateResult(
+            "delete-edge",
+            affected,
+            True,
+            time.perf_counter() - start,
+            flushed=self.auto_flush,
+        )
+
+    # ------------------------------------------------------------------ #
+    # vertex updates
+    # ------------------------------------------------------------------ #
+    def insert_vertex(
+        self, vertex: Optional[int] = None, partition_id: Optional[int] = None
+    ) -> int:
+        """Insert an isolated vertex and assign it to a partition."""
+        new_vertex = self.graph.add_vertex(vertex)
+        if partition_id is None:
+            sizes = [
+                (len(self.partitioning.vertices_of(pid)), pid)
+                for pid in range(self.partitioning.num_partitions)
+            ]
+            partition_id = min(sizes)[1]
+        self.partitioning.assignment[new_vertex] = partition_id
+        self.partitioning.vertices_of(partition_id).add(new_vertex)
+        if self.index.is_built:
+            self.index.local_graphs[partition_id].add_vertex(new_vertex)
+            compound = self.index.compound_graphs[partition_id]
+            compound.graph.add_vertex(new_vertex)
+            compound.local_vertices.add(new_vertex)
+            if compound.reachability is not None:
+                compound.reachability.rebuild()
+        return new_vertex
+
+    def delete_vertex(self, vertex: int) -> UpdateResult:
+        """Delete a vertex together with all incident edges."""
+        start = time.perf_counter()
+        pid = self.partitioning.partition_of(vertex)
+        touched = {pid}
+        for neighbour in set(self.graph.successors(vertex)) | set(
+            self.graph.predecessors(vertex)
+        ):
+            touched.add(self.partitioning.partition_of(neighbour))
+        self.graph.remove_vertex(vertex)
+        self.partitioning.vertices_of(pid).discard(vertex)
+        del self.partitioning.assignment[vertex]
+        # Removing a vertex can change the local structure of every touched
+        # partition, so recompute them from the partitioning at flush time.
+        self._mark_dirty(touched)
+        return UpdateResult(
+            "delete-vertex",
+            touched,
+            True,
+            time.perf_counter() - start,
+            flushed=self.auto_flush,
+        )
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _refresh_cut(self) -> None:
+        """Recompute the cached cut after the underlying graph changed."""
+        self.partitioning._cut_edges = [
+            (a, b)
+            for a, b in self.graph.edges()
+            if self.partitioning.assignment[a] != self.partitioning.assignment[b]
+        ]

@@ -1,0 +1,30 @@
+"""Pregel/Giraph-style baselines.
+
+The paper compares its DSR index against three implementations on top of
+vertex-centric / graph-centric BSP engines (Appendix 8.4):
+
+* **Giraph** — purely vertex-centric: every vertex propagates the set of query
+  sources that reach it to its neighbours, one superstep per hop.
+* **Giraph++** — graph-centric ("think like a graph"): each partition first
+  propagates new sources internally with a local computation, then sends
+  messages only across partition boundaries.
+* **Giraph++wEq** — Giraph++ extended with the equivalence-set optimisation:
+  boundary-crossing messages are addressed to in-virtual vertices (class
+  representatives) instead of every individual neighbour.
+
+The BSP engine counts supersteps, messages and bytes, which is what
+Figures 5 and 8 of the paper report.
+"""
+
+from repro.giraph.giraph_dsr import GiraphDSR
+from repro.giraph.giraphpp_dsr import GiraphPlusPlusDSR
+from repro.giraph.giraphpp_eq_dsr import GiraphPlusPlusEqDSR
+from repro.giraph.pregel import PregelEngine, PregelStats
+
+__all__ = [
+    "PregelEngine",
+    "PregelStats",
+    "GiraphDSR",
+    "GiraphPlusPlusDSR",
+    "GiraphPlusPlusEqDSR",
+]

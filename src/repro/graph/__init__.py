@@ -1,0 +1,32 @@
+"""Directed-graph kernel used by every other subsystem.
+
+The kernel provides:
+
+* :class:`~repro.graph.digraph.DiGraph` — a mutable directed graph with
+  integer vertex identifiers and an optional bijective label mapping
+  (Definition 1 of the paper).
+* SCC computation and condensation (:mod:`repro.graph.scc`).
+* BFS/DFS/multi-source-BFS traversals (:mod:`repro.graph.traversal`).
+* Edge-list readers and writers (:mod:`repro.graph.io`).
+* Synthetic dataset generators that stand in for the paper's graph
+  collections (:mod:`repro.graph.generators`).
+"""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.scc import condense, strongly_connected_components
+from repro.graph.traversal import (
+    bfs_reachable_set,
+    dfs_reachable_set,
+    is_reachable,
+    multi_source_reachability,
+)
+
+__all__ = [
+    "DiGraph",
+    "strongly_connected_components",
+    "condense",
+    "bfs_reachable_set",
+    "dfs_reachable_set",
+    "is_reachable",
+    "multi_source_reachability",
+]

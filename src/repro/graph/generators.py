@@ -1,0 +1,403 @@
+"""Synthetic graph generators.
+
+The paper evaluates on SNAP web/social graphs (Amazon, BerkStan, Google,
+NotreDame, Stanford, LiveJournal), two billion-edge real-world graphs
+(Twitter, Freebase) and the synthetic LUBM RDF benchmark.  Those raw datasets
+are not available offline and are far beyond pure-Python scale, so this module
+provides deterministic generators that reproduce the *structural properties*
+the paper's analysis relies on:
+
+* ``social_graph`` — power-law in/out degrees with dense reciprocal cores
+  (large SCCs), standing in for Twitter / LiveJournal.
+* ``web_graph`` — bow-tie structure with hub pages and deep link chains,
+  standing in for BerkStan / Google / NotreDame / Stanford.
+* ``copurchase_graph`` — locally clustered, moderately reciprocal graph,
+  standing in for Amazon.
+* ``hierarchy_graph`` — sparse, almost acyclic containment hierarchy, standing
+  in for LUBM / Freebase ``subOrganizationOf`` / ``containedby`` chains.
+* ``random_digraph`` / ``dag`` — uniform random graphs for testing.
+
+All generators take a ``seed`` and are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.graph.digraph import DiGraph
+
+
+def _rng(seed: Optional[int]) -> random.Random:
+    return random.Random(seed if seed is not None else 0)
+
+
+def random_digraph(num_vertices: int, num_edges: int, seed: int = 0) -> DiGraph:
+    """Uniform random directed graph (Erdős–Rényi G(n, m) flavour)."""
+    rng = _rng(seed)
+    graph = DiGraph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex)
+    if num_vertices < 2:
+        return graph
+    added = 0
+    attempts = 0
+    max_attempts = num_edges * 20 + 100
+    while added < num_edges and attempts < max_attempts:
+        attempts += 1
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u == v:
+            continue
+        if graph.add_edge(u, v):
+            added += 1
+    return graph
+
+
+def dag(num_vertices: int, num_edges: int, seed: int = 0) -> DiGraph:
+    """Random DAG: edges only go from lower to higher vertex ids."""
+    rng = _rng(seed)
+    graph = DiGraph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex)
+    if num_vertices < 2:
+        return graph
+    added = 0
+    attempts = 0
+    max_attempts = num_edges * 20 + 100
+    while added < num_edges and attempts < max_attempts:
+        attempts += 1
+        u = rng.randrange(num_vertices - 1)
+        v = rng.randrange(u + 1, num_vertices)
+        if graph.add_edge(u, v):
+            added += 1
+    return graph
+
+
+def _preferential_targets(
+    rng: random.Random, degree_pool: List[int], count: int, exclude: int
+) -> List[int]:
+    """Sample ``count`` distinct targets preferentially from ``degree_pool``."""
+    targets = set()
+    limit = count * 30 + 10
+    tries = 0
+    while len(targets) < count and tries < limit:
+        tries += 1
+        candidate = rng.choice(degree_pool)
+        if candidate != exclude:
+            targets.add(candidate)
+    return list(targets)
+
+
+def social_graph(
+    num_vertices: int,
+    avg_degree: float = 8.0,
+    reciprocity: float = 0.3,
+    seed: int = 0,
+) -> DiGraph:
+    """Power-law "follower"-style graph (Twitter / LiveJournal analogue).
+
+    Built by directed preferential attachment; a fraction ``reciprocity`` of
+    edges gets a reverse edge, which produces the large strongly connected
+    cores that make SCC condensation so effective on Twitter (Section 4.2).
+    """
+    rng = _rng(seed)
+    graph = DiGraph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex)
+    if num_vertices < 3:
+        return graph
+
+    edges_per_vertex = max(1, int(round(avg_degree / 2)))
+    # Seed clique so preferential attachment has something to attach to.
+    core = min(edges_per_vertex + 2, num_vertices)
+    degree_pool: List[int] = []
+    for u in range(core):
+        for v in range(core):
+            if u != v:
+                graph.add_edge(u, v)
+                degree_pool.append(v)
+                degree_pool.append(u)
+
+    for vertex in range(core, num_vertices):
+        targets = _preferential_targets(rng, degree_pool, edges_per_vertex, vertex)
+        if not targets:
+            targets = [rng.randrange(vertex)]
+        for target in targets:
+            graph.add_edge(vertex, target)
+            degree_pool.append(target)
+            degree_pool.append(vertex)
+            if rng.random() < reciprocity:
+                graph.add_edge(target, vertex)
+                degree_pool.append(vertex)
+    return graph
+
+
+def web_graph(
+    num_vertices: int,
+    avg_degree: float = 8.0,
+    seed: int = 0,
+) -> DiGraph:
+    """Web-graph analogue (BerkStan / Google / NotreDame / Stanford).
+
+    Pages are grouped into "sites" (dense local link structure plus a
+    navigational cycle through each site) with sparser cross-site hyperlinks
+    to hub pages.  This yields many medium-sized SCCs and long paths, similar
+    to the SNAP web crawls.
+    """
+    rng = _rng(seed)
+    graph = DiGraph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex)
+    if num_vertices < 3:
+        return graph
+
+    site_size = max(5, int(num_vertices ** 0.5 / 2) + 3)
+    sites: List[List[int]] = []
+    for start in range(0, num_vertices, site_size):
+        sites.append(list(range(start, min(start + site_size, num_vertices))))
+
+    hubs = [site[0] for site in sites]
+    target_edges = int(num_vertices * avg_degree)
+    edges_added = 0
+
+    # Intra-site structure: a navigation cycle plus random internal links.
+    for site in sites:
+        if len(site) >= 2:
+            for i, page in enumerate(site):
+                graph.add_edge(page, site[(i + 1) % len(site)])
+                edges_added += 1
+        for page in site:
+            internal_links = rng.randrange(0, 3)
+            for _ in range(internal_links):
+                other = rng.choice(site)
+                if other != page and graph.add_edge(page, other):
+                    edges_added += 1
+
+    # Cross-site links, mostly pointing at hub pages.
+    while edges_added < target_edges:
+        source_site = rng.choice(sites)
+        page = rng.choice(source_site)
+        if rng.random() < 0.7:
+            target = rng.choice(hubs)
+        else:
+            target = rng.randrange(num_vertices)
+        if target != page and graph.add_edge(page, target):
+            edges_added += 1
+    return graph
+
+
+def copurchase_graph(
+    num_vertices: int,
+    avg_degree: float = 6.0,
+    seed: int = 0,
+) -> DiGraph:
+    """Co-purchase graph analogue (Amazon): local clusters, high reciprocity."""
+    rng = _rng(seed)
+    graph = DiGraph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex)
+    if num_vertices < 3:
+        return graph
+    target_edges = int(num_vertices * avg_degree)
+    edges_added = 0
+    neighbourhood = max(5, num_vertices // 50)
+    while edges_added < target_edges:
+        u = rng.randrange(num_vertices)
+        if rng.random() < 0.85:
+            offset = rng.randint(1, neighbourhood)
+            v = (u + offset) % num_vertices
+        else:
+            v = rng.randrange(num_vertices)
+        if u == v:
+            continue
+        if graph.add_edge(u, v):
+            edges_added += 1
+        if rng.random() < 0.5 and graph.add_edge(v, u):
+            edges_added += 1
+    return graph
+
+
+def hierarchy_graph(
+    num_vertices: int,
+    branching: int = 8,
+    extra_edge_fraction: float = 0.15,
+    seed: int = 0,
+) -> DiGraph:
+    """Sparse, almost-acyclic containment hierarchy (LUBM / Freebase analogue).
+
+    Vertices form a forest of containment trees (``subOrganizationOf`` /
+    ``containedby`` chains) with a small fraction of extra lateral edges.
+    The resulting graph is sparsely connected and almost a DAG, so SCC
+    condensation barely helps — matching the paper's LUBM observations.
+    """
+    rng = _rng(seed)
+    graph = DiGraph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex)
+    if num_vertices < 2:
+        return graph
+    num_roots = max(1, num_vertices // (branching * branching))
+    for vertex in range(num_roots, num_vertices):
+        parent = rng.randrange(max(1, vertex // branching + 1))
+        if parent != vertex:
+            graph.add_edge(vertex, parent)
+    extra = int(num_vertices * extra_edge_fraction)
+    for _ in range(extra):
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+def community_graph(
+    num_communities: int = 6,
+    community_size: int = 60,
+    intra_prob: float = 0.08,
+    inter_prob: float = 0.004,
+    seed: int = 0,
+) -> DiGraph:
+    """Planted-partition graph: dense communities, sparse cross links.
+
+    Used by the community-connectedness application (Table 7): Louvain-style
+    detection recovers the planted communities, and the DSR query then checks
+    which representatives of one community reach representatives of another.
+    """
+    rng = _rng(seed)
+    total = num_communities * community_size
+    graph = DiGraph()
+    for vertex in range(total):
+        graph.add_vertex(vertex)
+    for community in range(num_communities):
+        start = community * community_size
+        members = range(start, start + community_size)
+        for u in members:
+            for v in members:
+                if u != v and rng.random() < intra_prob:
+                    graph.add_edge(u, v)
+    for u in range(total):
+        for _ in range(max(1, int(inter_prob * total))):
+            v = rng.randrange(total)
+            if v // community_size != u // community_size and rng.random() < 0.5:
+                graph.add_edge(u, v)
+    return graph
+
+
+def layered_graph(
+    layers: Sequence[int],
+    inter_layer_prob: float = 0.2,
+    seed: int = 0,
+) -> DiGraph:
+    """Layered DAG-ish graph; handy for controlled partitioning tests."""
+    rng = _rng(seed)
+    graph = DiGraph()
+    layer_vertices: List[List[int]] = []
+    next_vertex = 0
+    for size in layers:
+        members = list(range(next_vertex, next_vertex + size))
+        for vertex in members:
+            graph.add_vertex(vertex)
+        layer_vertices.append(members)
+        next_vertex += size
+    for upper, lower in zip(layer_vertices, layer_vertices[1:]):
+        for u in upper:
+            for v in lower:
+                if rng.random() < inter_layer_prob:
+                    graph.add_edge(u, v)
+    return graph
+
+
+def path_graph(num_vertices: int) -> DiGraph:
+    """Simple directed path ``0 → 1 → ... → n-1``."""
+    graph = DiGraph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex)
+    for vertex in range(num_vertices - 1):
+        graph.add_edge(vertex, vertex + 1)
+    return graph
+
+
+def cycle_graph(num_vertices: int) -> DiGraph:
+    """Simple directed cycle."""
+    graph = path_graph(num_vertices)
+    if num_vertices > 1:
+        graph.add_edge(num_vertices - 1, 0)
+    return graph
+
+
+def paper_example_graph() -> Tuple[DiGraph, dict]:
+    """The running example of Figure 1 in the paper.
+
+    Returns ``(graph, assignment)`` where the assignment maps every vertex to
+    its 0-based partition id (partitions G1, G2, G3 become 0, 1, 2) and vertex
+    labels are the letters used in the figure.
+
+    The exact edge set of Figure 1 is not given in the text, so the edges were
+    reconstructed to satisfy every textual constraint of the paper:
+
+    * boundaries ``I1={f}, O1={b,e}, I2={c,g,h}, O2={i}, I3={m,n}, O3={o}``
+      (Example 1) with cut edges ``b→c, e→g, e→h, i→m, i→n, o→f``;
+    * the local Boolean formulas of Examples 2 and 3
+      (``d=b∨e, f=b∨e, a=b∨e``, ``c=i, g=i∨l, h=i``, ``m=p∨o, n=p∨o``);
+    * the equivalence sets of Example 5 (forward: ``{c,h}, {g}, {m,n}, {f}``;
+      backward: ``{b,e}, {i}, {o}``) and the successor sets of Example 6;
+    * the query answers of Examples 2, 3, 7, 8 and 9 (e.g. ``b ⇝ f`` holds
+      globally but not inside ``G1`` alone).
+    """
+    labels = [
+        "a", "b", "d", "e", "f", "r",          # partition 1
+        "c", "g", "h", "i", "k", "l", "u",     # partition 2
+        "m", "n", "o", "p", "q", "v",          # partition 3
+    ]
+    graph = DiGraph()
+    ids = {}
+    for label in labels:
+        ids[label] = graph.add_vertex(label=label)
+
+    def edge(a: str, b: str) -> None:
+        graph.add_edge(ids[a], ids[b])
+
+    # Partition G1 local edges.
+    edge("d", "e")
+    edge("e", "b")
+    edge("a", "e")
+    edge("f", "r")
+    edge("r", "a")
+
+    # Partition G2 local edges.
+    edge("c", "i")
+    edge("c", "h")
+    edge("h", "i")
+    edge("h", "u")
+    edge("u", "k")
+    edge("g", "i")
+    edge("g", "l")
+    edge("l", "k")
+    edge("l", "i")
+
+    # Partition G3 local edges.
+    edge("m", "p")
+    edge("m", "v")
+    edge("n", "p")
+    edge("n", "v")
+    edge("p", "q")
+    edge("p", "o")
+    edge("q", "o")
+
+    # Cut edges (Figure 1b).
+    edge("b", "c")
+    edge("e", "g")
+    edge("e", "h")
+    edge("i", "n")
+    edge("i", "m")
+    edge("o", "f")
+
+    assignment = {}
+    for label in ["a", "b", "d", "e", "f", "r"]:
+        assignment[ids[label]] = 0
+    for label in ["c", "g", "h", "i", "k", "l", "u"]:
+        assignment[ids[label]] = 1
+    for label in ["m", "n", "o", "p", "q", "v"]:
+        assignment[ids[label]] = 2
+    return graph, assignment

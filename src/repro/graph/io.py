@@ -1,0 +1,84 @@
+"""Edge-list readers and writers.
+
+The paper's datasets (SNAP graphs, Freebase, Twitter, LUBM) are distributed as
+edge lists; this module provides the equivalent plumbing so that users can
+load their own graphs into the library.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Union
+
+from repro.graph.digraph import DiGraph
+
+
+def _open_maybe_gzip(path: Path, mode: str):
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def read_edge_list(
+    path: Union[str, Path],
+    comment: str = "#",
+    delimiter: str = None,
+) -> DiGraph:
+    """Read a directed graph from a whitespace/``delimiter``-separated edge list.
+
+    Lines starting with ``comment`` are skipped.  Vertex ids must be
+    non-negative integers (the SNAP convention).
+    """
+    path = Path(path)
+    graph = DiGraph()
+    with _open_maybe_gzip(path, "r") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split(delimiter)
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            u, v = int(parts[0]), int(parts[1])
+            graph.add_edge(u, v)
+    return graph
+
+
+def write_edge_list(
+    graph: DiGraph,
+    path: Union[str, Path],
+    header: bool = True,
+) -> None:
+    """Write ``graph`` as a tab-separated edge list."""
+    path = Path(path)
+    with _open_maybe_gzip(path, "w") as handle:
+        if header:
+            handle.write(f"# vertices: {graph.num_vertices}\n")
+            handle.write(f"# edges: {graph.num_edges}\n")
+        for u, v in sorted(graph.edges()):
+            handle.write(f"{u}\t{v}\n")
+
+
+def read_triples(path: Union[str, Path], delimiter: str = "\t"):
+    """Read ``(subject, predicate, object)`` triples from a TSV file."""
+    path = Path(path)
+    triples = []
+    with _open_maybe_gzip(path, "r") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(delimiter)
+            if len(parts) < 3:
+                raise ValueError(f"malformed triple line: {line!r}")
+            triples.append((parts[0], parts[1], parts[2]))
+    return triples
+
+
+def write_triples(triples, path: Union[str, Path], delimiter: str = "\t") -> None:
+    """Write ``(subject, predicate, object)`` triples to a TSV file."""
+    path = Path(path)
+    with _open_maybe_gzip(path, "w") as handle:
+        for subject, predicate, obj in triples:
+            handle.write(f"{subject}{delimiter}{predicate}{delimiter}{obj}\n")

@@ -1,0 +1,18 @@
+"""Graph partitioning: partition abstraction, hash and min-cut partitioners.
+
+A partitioning splits the data graph into ``k`` vertex-disjoint, vertex-induced
+subgraphs (Section 2 of the paper).  The cut ``C`` collects every edge whose
+endpoints live in different partitions; in- and out-boundaries are the
+vertices touching the cut (Definition 3).
+"""
+
+from repro.partition.hash_partitioner import hash_partition
+from repro.partition.metis_like import metis_like_partition
+from repro.partition.partition import GraphPartitioning, make_partitioning
+
+__all__ = [
+    "GraphPartitioning",
+    "hash_partition",
+    "metis_like_partition",
+    "make_partitioning",
+]

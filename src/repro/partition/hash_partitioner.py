@@ -1,0 +1,33 @@
+"""Random hash partitioning ("random sharding" in Table 5).
+
+Every vertex is assigned to a partition by hashing its id.  This is the
+cheapest possible partitioner and the baseline the paper contrasts with METIS:
+it produces a drastically larger cut and therefore larger boundary graphs and
+slower DSR queries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.graph.digraph import DiGraph
+from repro.partition.partition import GraphPartitioning
+
+
+def _stable_hash(value: int, seed: int) -> int:
+    """Deterministic hash independent of PYTHONHASHSEED."""
+    data = f"{seed}:{value}".encode()
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+def hash_partition(
+    graph: DiGraph,
+    num_partitions: int,
+    seed: int = 0,
+) -> GraphPartitioning:
+    """Assign each vertex to ``hash(v) mod k``."""
+    assignment = {
+        vertex: _stable_hash(vertex, seed) % num_partitions
+        for vertex in graph.vertices()
+    }
+    return GraphPartitioning(graph, assignment, num_partitions=num_partitions)

@@ -1,0 +1,35 @@
+"""Centralized reachability indexes.
+
+These are the pluggable ``localSetReachability(.)`` strategies of Section 3.3:
+any of them can be used by the DSR engine for its per-partition computations.
+
+* :class:`~repro.reachability.dfs.DFSReachability` — plain DFS, no index
+  ("DSR-DFS" in the paper).
+* :class:`~repro.reachability.msbfs.MultiSourceBFS` — shared-frontier
+  multi-source BFS of Then et al. [30] ("DSR-MSBFS").
+* :class:`~repro.reachability.ferrari.FerrariIndex` — FERRARI-style interval
+  index [28] ("DSR-FERRARI").
+* :class:`~repro.reachability.grail.GrailIndex` — GRAIL-style random interval
+  labels [36] (extra local strategy, used for ablations).
+* :class:`~repro.reachability.transitive_closure.TransitiveClosureIndex` —
+  fully materialised closure; the ground truth used by the test suite.
+"""
+
+from repro.reachability.base import ReachabilityIndex
+from repro.reachability.dfs import DFSReachability
+from repro.reachability.factory import available_strategies, make_reachability_index
+from repro.reachability.ferrari import FerrariIndex
+from repro.reachability.grail import GrailIndex
+from repro.reachability.msbfs import MultiSourceBFS
+from repro.reachability.transitive_closure import TransitiveClosureIndex
+
+__all__ = [
+    "ReachabilityIndex",
+    "DFSReachability",
+    "MultiSourceBFS",
+    "FerrariIndex",
+    "GrailIndex",
+    "TransitiveClosureIndex",
+    "make_reachability_index",
+    "available_strategies",
+]

@@ -1,0 +1,64 @@
+"""Plain DFS reachability (the "DSR-DFS" local strategy).
+
+No index is built; every query performs an early-terminating depth-first
+search.  For set queries, one DFS per source is used, pruned by the set of
+still-unresolved targets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from repro.graph.digraph import DiGraph
+from repro.reachability.base import ReachabilityIndex
+
+
+class DFSReachability(ReachabilityIndex):
+    """Index-free DFS reachability."""
+
+    def __init__(self, graph: DiGraph) -> None:
+        super().__init__(graph)
+
+    def reachable(self, source: int, target: int) -> bool:
+        if not self.graph.has_vertex(source) or not self.graph.has_vertex(target):
+            return False
+        if source == target:
+            return True
+        visited = {source}
+        stack = [source]
+        while stack:
+            vertex = stack.pop()
+            for succ in self.graph.successors(vertex):
+                if succ == target:
+                    return True
+                if succ not in visited:
+                    visited.add(succ)
+                    stack.append(succ)
+        return False
+
+    def set_reachability(
+        self, sources: Iterable[int], targets: Iterable[int]
+    ) -> Dict[int, Set[int]]:
+        target_set = set(targets)
+        result: Dict[int, Set[int]] = {}
+        for source in sources:
+            if not self.graph.has_vertex(source):
+                result[source] = set()
+                continue
+            reached: Set[int] = set()
+            if source in target_set:
+                reached.add(source)
+            remaining = target_set - reached
+            visited = {source}
+            stack = [source]
+            while stack and remaining:
+                vertex = stack.pop()
+                for succ in self.graph.successors(vertex):
+                    if succ not in visited:
+                        visited.add(succ)
+                        if succ in remaining:
+                            reached.add(succ)
+                            remaining.discard(succ)
+                        stack.append(succ)
+            result[source] = reached
+        return result

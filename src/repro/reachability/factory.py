@@ -1,0 +1,42 @@
+"""Factory for centralized reachability strategies.
+
+Keeps the string names used across the engine, the benchmarks and the
+command-line examples in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.graph.digraph import DiGraph
+from repro.reachability.base import ReachabilityIndex
+from repro.reachability.dfs import DFSReachability
+from repro.reachability.ferrari import FerrariIndex
+from repro.reachability.grail import GrailIndex
+from repro.reachability.msbfs import MultiSourceBFS
+from repro.reachability.transitive_closure import TransitiveClosureIndex
+
+_STRATEGIES: Dict[str, Callable[[DiGraph], ReachabilityIndex]] = {
+    "dfs": DFSReachability,
+    "msbfs": MultiSourceBFS,
+    "ferrari": FerrariIndex,
+    "grail": GrailIndex,
+    "closure": TransitiveClosureIndex,
+}
+
+
+def available_strategies() -> list:
+    """Names accepted by :func:`make_reachability_index`."""
+    return sorted(_STRATEGIES)
+
+
+def make_reachability_index(name: str, graph: DiGraph, **kwargs) -> ReachabilityIndex:
+    """Instantiate the named local reachability strategy over ``graph``."""
+    try:
+        factory = _STRATEGIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown reachability strategy {name!r}; "
+            f"available: {', '.join(available_strategies())}"
+        ) from None
+    return factory(graph, **kwargs)

@@ -1,0 +1,32 @@
+"""SPARQL 1.1 property paths over DSR (Section 4.5-A).
+
+The paper augments a distributed RDF store with the DSR index so that property
+paths (``ub:subOrganizationOf*`` and friends) are answered as set-reachability
+queries over the predicate's subgraph.  This package provides the complete
+substrate in miniature:
+
+* :mod:`repro.sparql.rdf` — an in-memory triple store with dictionary encoding
+  and SPO/POS/OSP indexes.
+* :mod:`repro.sparql.lubm` / :mod:`repro.sparql.freebase_like` — deterministic
+  generators for LUBM-like and Freebase-like RDF data.
+* :mod:`repro.sparql.parser` — a small parser for the SPARQL subset used by the
+  paper's queries (basic graph patterns plus ``predicate*`` paths).
+* :mod:`repro.sparql.engine` — the query processor that evaluates property
+  paths through a :class:`~repro.core.engine.DSREngine`.
+* :mod:`repro.sparql.baseline` — a Virtuoso-like baseline that evaluates paths
+  with per-binding transitive traversals (cold) or memoised traversals (warm).
+"""
+
+from repro.sparql.baseline import VirtuosoLikeEngine
+from repro.sparql.engine import PropertyPathEngine
+from repro.sparql.parser import ParsedQuery, TriplePattern, parse_query
+from repro.sparql.rdf import TripleStore
+
+__all__ = [
+    "TripleStore",
+    "TriplePattern",
+    "ParsedQuery",
+    "parse_query",
+    "PropertyPathEngine",
+    "VirtuosoLikeEngine",
+]

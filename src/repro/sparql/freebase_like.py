@@ -1,0 +1,114 @@
+"""Freebase-like RDF data generator.
+
+The paper's F1–F3 queries touch the Freebase location-containment hierarchy
+(``fb:location.location.containedby*``), birth places of people, awards and
+sibling relations.  This generator produces a miniature entity graph with the
+same shape: countries containing states containing cities, people born in
+cities, a subset of award winners, presidents and sibling chains.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+Triple = Tuple[str, str, str]
+
+RDF_TYPE = "rdf:type"
+PLACE_OF_BIRTH = "fb:people.person.place_of_birth"
+CONTAINED_BY = "fb:location.location.containedby"
+CONTAINS = "fb:location.location.contains"
+AWARDS_WON = "fb:award.award_winner.awards_won"
+AWARD_CEREMONY = "fb:award.award_honor.ceremony"
+SIBLING = "fb:people.person.sibling_s"
+US_PRESIDENT = "fb:government.us_president"
+PERSON = "fb:people.person"
+CITY = "fb:location.citytown"
+STATE = "fb:location.administrative_division"
+COUNTRY = "fb:location.country"
+AWARD = "fb:award.award"
+
+
+def generate_freebase_triples(
+    num_countries: int = 3,
+    states_per_country: int = 5,
+    cities_per_state: int = 6,
+    people_per_city: int = 4,
+    num_awards: int = 10,
+    seed: int = 0,
+) -> List[Triple]:
+    """Generate a deterministic Freebase-like triple list."""
+    rng = random.Random(seed)
+    triples: List[Triple] = []
+    awards = [f"award{a}" for a in range(num_awards)]
+    ceremonies = [f"ceremony{a}" for a in range(num_awards)]
+    for award, ceremony in zip(awards, ceremonies):
+        triples.append((award, RDF_TYPE, AWARD))
+        triples.append((award, AWARD_CEREMONY, ceremony))
+
+    people: List[str] = []
+    for c in range(num_countries):
+        country = f"country{c}"
+        triples.append((country, RDF_TYPE, COUNTRY))
+        for s in range(states_per_country):
+            state = f"country{c}.state{s}"
+            triples.append((state, RDF_TYPE, STATE))
+            triples.append((state, CONTAINED_BY, country))
+            triples.append((country, CONTAINS, state))
+            for t in range(cities_per_state):
+                city = f"country{c}.state{s}.city{t}"
+                triples.append((city, RDF_TYPE, CITY))
+                triples.append((city, CONTAINED_BY, state))
+                triples.append((state, CONTAINS, city))
+                # Some cities contain districts, extending the chain.
+                if rng.random() < 0.3:
+                    district = f"{city}.district"
+                    triples.append((district, RDF_TYPE, CITY))
+                    triples.append((district, CONTAINED_BY, city))
+                    triples.append((city, CONTAINS, district))
+                for p in range(people_per_city):
+                    person = f"country{c}.state{s}.city{t}.person{p}"
+                    people.append(person)
+                    triples.append((person, RDF_TYPE, PERSON))
+                    triples.append((person, PLACE_OF_BIRTH, city))
+                    if rng.random() < 0.4:
+                        triples.append((person, AWARDS_WON, rng.choice(awards)))
+                    if rng.random() < 0.05:
+                        triples.append((person, RDF_TYPE, US_PRESIDENT))
+
+    # Sibling chains among randomly chosen people.
+    for _ in range(max(1, len(people) // 5)):
+        left = rng.choice(people)
+        right = rng.choice(people)
+        if left != right:
+            triples.append((left, SIBLING, right))
+            triples.append((right, SIBLING, left))
+    return triples
+
+
+def freebase_queries() -> dict:
+    """The paper's F1–F3 property-path queries (Appendix 8.3.B)."""
+    return {
+        "F1": (
+            "SELECT * WHERE { "
+            "?p fb:people.person.place_of_birth ?city . "
+            "?city fb:location.location.containedby* ?state . "
+            "?country fb:location.location.contains ?state . }"
+        ),
+        "F2": (
+            "SELECT * WHERE { "
+            "?p fb:people.person.place_of_birth ?city . "
+            "?city fb:location.location.containedby* ?state . "
+            "?country fb:location.location.contains ?state . "
+            "?p fb:award.award_winner.awards_won ?prize . "
+            "?p rdf:type fb:government.us_president . }"
+        ),
+        "F3": (
+            "SELECT * WHERE { "
+            "?p fb:award.award_winner.awards_won ?prize . "
+            "?prize rdf:type* ?z . "
+            "?z fb:award.award_honor.ceremony ?c . "
+            "?p fb:people.person.sibling_s* ?p1 . "
+            "?p1 fb:award.award_winner.awards_won ?prize . }"
+        ),
+    }

@@ -1,0 +1,96 @@
+"""LUBM-like RDF data generator.
+
+The Lehigh University Benchmark (UBA generator) produces universities composed
+of departments, which contain research groups; professors head departments and
+work for them, students are members of departments.  The paper's L1–L3 queries
+only exercise the organisational hierarchy (``ub:subOrganizationOf*``), the
+``ub:headOf`` relation and ``rdf:type`` constraints, so the generator below
+produces exactly that shape — sparse, almost acyclic, with long containment
+chains — at a configurable scale.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Tuple
+
+Triple = Tuple[str, str, str]
+
+RDF_TYPE = "rdf:type"
+SUB_ORGANIZATION_OF = "ub:subOrganizationOf"
+HEAD_OF = "ub:headOf"
+WORKS_FOR = "ub:worksFor"
+MEMBER_OF = "ub:memberOf"
+UNIVERSITY = "ub:University"
+DEPARTMENT = "ub:Department"
+RESEARCH_GROUP = "ub:ResearchGroup"
+FULL_PROFESSOR = "ub:FullProfessor"
+GRADUATE_STUDENT = "ub:GraduateStudent"
+
+
+def generate_lubm_triples(
+    num_universities: int = 5,
+    departments_per_university: int = 6,
+    groups_per_department: int = 4,
+    students_per_department: int = 8,
+    seed: int = 0,
+) -> List[Triple]:
+    """Generate a deterministic LUBM-like triple list."""
+    rng = random.Random(seed)
+    triples: List[Triple] = []
+
+    for u in range(num_universities):
+        university = f"univ{u}"
+        triples.append((university, RDF_TYPE, UNIVERSITY))
+        for d in range(departments_per_university):
+            department = f"univ{u}.dept{d}"
+            triples.append((department, RDF_TYPE, DEPARTMENT))
+            triples.append((department, SUB_ORGANIZATION_OF, university))
+
+            professor = f"univ{u}.dept{d}.prof0"
+            triples.append((professor, RDF_TYPE, FULL_PROFESSOR))
+            triples.append((professor, HEAD_OF, department))
+            triples.append((professor, WORKS_FOR, department))
+
+            for g in range(groups_per_department):
+                group = f"univ{u}.dept{d}.group{g}"
+                triples.append((group, RDF_TYPE, RESEARCH_GROUP))
+                triples.append((group, SUB_ORGANIZATION_OF, department))
+                # A fraction of research groups are nested one level deeper,
+                # giving the hierarchy chains of length three and more.
+                if g > 0 and rng.random() < 0.3:
+                    parent_group = f"univ{u}.dept{d}.group{g - 1}"
+                    triples.append((group, SUB_ORGANIZATION_OF, parent_group))
+
+            for s in range(students_per_department):
+                student = f"univ{u}.dept{d}.student{s}"
+                triples.append((student, RDF_TYPE, GRADUATE_STUDENT))
+                triples.append((student, MEMBER_OF, department))
+    return triples
+
+
+def lubm_queries() -> dict:
+    """The paper's L1–L3 property-path queries (Appendix 8.3.A)."""
+    return {
+        "L1": (
+            "SELECT * WHERE { "
+            "?x rdf:type ub:ResearchGroup . "
+            "?x ub:subOrganizationOf* ?y . "
+            "?y rdf:type ub:University . }"
+        ),
+        "L2": (
+            "SELECT * WHERE { "
+            "?x rdf:type ub:FullProfessor . "
+            "?x ub:headOf ?d . "
+            "?d ub:subOrganizationOf* ?y . "
+            "?y rdf:type ub:University . }"
+        ),
+        "L3": (
+            "SELECT * WHERE { "
+            "?r1 rdf:type ub:ResearchGroup . "
+            "?r1 ub:subOrganizationOf* ?y . "
+            "?y rdf:type ub:University . "
+            "?r2 rdf:type ub:ResearchGroup . "
+            "?r2 ub:subOrganizationOf* ?y . }"
+        ),
+    }

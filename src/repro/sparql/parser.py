@@ -1,0 +1,116 @@
+"""Parser for the SPARQL subset used by the paper's benchmark queries.
+
+Supported grammar (whitespace-insensitive)::
+
+    [@prefix declarations are ignored]
+    SELECT * WHERE { pattern . pattern . ... }
+    pattern := term term term
+    term    := ?variable | prefixed-name-or-IRI
+
+A predicate ending in ``*`` denotes a SPARQL 1.1 property path with the
+zero-or-more modifier — exactly the construct the paper maps onto DSR queries.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+class SparqlSyntaxError(Exception):
+    """Raised when a query does not conform to the supported subset."""
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """One triple pattern; ``transitive`` marks a ``predicate*`` path."""
+
+    subject: str
+    predicate: str
+    obj: str
+    transitive: bool = False
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(
+            term for term in (self.subject, self.predicate, self.obj) if is_variable(term)
+        )
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """A parsed ``SELECT * WHERE {...}`` query."""
+
+    patterns: Tuple[TriplePattern, ...]
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        seen = []
+        for pattern in self.patterns:
+            for variable in pattern.variables:
+                if variable not in seen:
+                    seen.append(variable)
+        return tuple(seen)
+
+    @property
+    def path_patterns(self) -> Tuple[TriplePattern, ...]:
+        return tuple(p for p in self.patterns if p.transitive)
+
+    @property
+    def flat_patterns(self) -> Tuple[TriplePattern, ...]:
+        return tuple(p for p in self.patterns if not p.transitive)
+
+
+def is_variable(term: str) -> bool:
+    return term.startswith("?")
+
+
+_WHERE_RE = re.compile(r"select\s+\*\s+where\s*\{(.*)\}\s*$", re.IGNORECASE | re.DOTALL)
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse a query string into a :class:`ParsedQuery`."""
+    # Strip @prefix declarations (they are informational in our term model).
+    lines = [
+        line
+        for line in text.strip().splitlines()
+        if not line.strip().lower().startswith("@prefix")
+    ]
+    body = " ".join(lines)
+    match = _WHERE_RE.search(body)
+    if not match:
+        raise SparqlSyntaxError("expected 'SELECT * WHERE { ... }'")
+    inner = match.group(1).strip()
+    if not inner:
+        raise SparqlSyntaxError("empty graph pattern")
+
+    # Patterns are separated by stand-alone "." tokens.  IRIs such as
+    # ``fb:location.location.containedby`` contain dots themselves, so the
+    # separator must be a whitespace-delimited dot, never a substring split.
+    groups: List[List[str]] = [[]]
+    for token in inner.split():
+        if token == ".":
+            if groups[-1]:
+                groups.append([])
+            continue
+        groups[-1].append(token)
+    if groups and not groups[-1]:
+        groups.pop()
+
+    patterns: List[TriplePattern] = []
+    for tokens in groups:
+        if len(tokens) != 3:
+            raise SparqlSyntaxError(f"malformed triple pattern: {' '.join(tokens)!r}")
+        subject, predicate, obj = tokens
+        transitive = predicate.endswith("*")
+        if transitive:
+            predicate = predicate[:-1]
+        if not predicate:
+            raise SparqlSyntaxError(f"empty predicate in pattern: {raw!r}")
+        if is_variable(predicate):
+            raise SparqlSyntaxError("variable predicates are not supported")
+        patterns.append(TriplePattern(subject, predicate, obj, transitive))
+    if not patterns:
+        raise SparqlSyntaxError("no triple patterns found")
+    return ParsedQuery(patterns=tuple(patterns))

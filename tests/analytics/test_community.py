@@ -1,0 +1,67 @@
+"""Tests for Louvain-style community detection."""
+
+import pytest
+
+from repro.analytics.community import detect_communities
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+
+
+class TestDetectCommunities:
+    def test_planted_partitions_recovered(self):
+        graph = generators.community_graph(
+            num_communities=5, community_size=40, intra_prob=0.15, inter_prob=0.001, seed=2
+        )
+        detection = detect_communities(graph, seed=1)
+        # Louvain is a heuristic: allow a block to be split once, but the
+        # planted structure must clearly dominate.
+        assert 5 <= detection.num_communities <= 7
+        assert detection.modularity > 0.5
+        for block in range(5):
+            members = list(range(block * 40, (block + 1) * 40))
+            labels = [detection.assignment[v] for v in members]
+            most_common = max(set(labels), key=labels.count)
+            assert labels.count(most_common) >= 0.8 * len(members)
+
+    def test_two_disconnected_cliques(self):
+        edges = []
+        for block in (0, 1):
+            base = block * 5
+            for u in range(base, base + 5):
+                for v in range(base, base + 5):
+                    if u != v:
+                        edges.append((u, v))
+        graph = DiGraph.from_edges(edges)
+        detection = detect_communities(graph, seed=0)
+        assert detection.num_communities == 2
+        assert detection.assignment[0] != detection.assignment[5]
+
+    def test_assignment_covers_all_vertices(self):
+        graph = generators.social_graph(150, avg_degree=5, seed=3)
+        detection = detect_communities(graph, seed=2)
+        assert set(detection.assignment) == set(graph.vertices())
+
+    def test_community_ids_are_dense(self):
+        graph = generators.community_graph(4, 25, seed=4)
+        detection = detect_communities(graph, seed=1)
+        ids = set(detection.assignment.values())
+        assert ids == set(range(len(ids)))
+
+    def test_members_and_sizes_consistent(self):
+        graph = generators.community_graph(3, 30, seed=5)
+        detection = detect_communities(graph, seed=1)
+        total = sum(size for _, size in detection.communities_by_size())
+        assert total == graph.num_vertices
+        largest_id, largest_size = detection.communities_by_size()[0]
+        assert len(detection.members(largest_id)) == largest_size
+
+    def test_empty_graph(self):
+        detection = detect_communities(DiGraph(), seed=0)
+        assert detection.num_communities == 0
+        assert detection.modularity == 0.0
+
+    def test_deterministic_for_seed(self):
+        graph = generators.community_graph(4, 30, seed=6)
+        first = detect_communities(graph, seed=9)
+        second = detect_communities(graph, seed=9)
+        assert first.assignment == second.assignment

@@ -1,0 +1,135 @@
+"""Tests for the benchmark harness (datasets, workloads, runner, reporting)."""
+
+import pytest
+
+from repro.bench.datasets import DATASETS, LARGE_DATASETS, SMALL_DATASETS, load_dataset
+from repro.bench.reporting import format_series, format_table
+from repro.bench.runner import ALL_APPROACHES, ExperimentRunner
+from repro.bench.workloads import query_size_sweep, random_query, random_vertex_sample
+from repro.graph import generators
+
+
+class TestDatasets:
+    def test_registry_covers_paper_table1(self):
+        assert set(SMALL_DATASETS) | set(LARGE_DATASETS) == set(DATASETS)
+        assert "twitter" in LARGE_DATASETS
+        assert "amazon" in SMALL_DATASETS
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_every_dataset_builds(self, name):
+        graph = load_dataset(name, scale=0.12, seed=1)
+        assert graph.num_vertices > 0
+        assert graph.num_edges > 0
+
+    def test_scale_parameter(self):
+        small = load_dataset("amazon", scale=0.2, seed=1)
+        large = load_dataset("amazon", scale=0.5, seed=1)
+        assert large.num_vertices > small.num_vertices
+
+    def test_deterministic(self):
+        a = load_dataset("google", scale=0.2, seed=3)
+        b = load_dataset("google", scale=0.2, seed=3)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            load_dataset("imaginary")
+
+
+class TestWorkloads:
+    def test_random_vertex_sample_deterministic(self):
+        graph = generators.random_digraph(80, 200, seed=1)
+        assert random_vertex_sample(graph, 10, seed=5) == random_vertex_sample(
+            graph, 10, seed=5
+        )
+
+    def test_sample_capped_at_graph_size(self):
+        graph = generators.random_digraph(20, 40, seed=1)
+        assert len(random_vertex_sample(graph, 100)) == 20
+
+    def test_random_query_sizes(self):
+        graph = generators.random_digraph(100, 250, seed=2)
+        sources, targets = random_query(graph, 7, 9, seed=3)
+        assert len(sources) == 7
+        assert len(targets) == 9
+
+    def test_query_size_sweep(self):
+        graph = generators.random_digraph(100, 250, seed=2)
+        sweep = query_size_sweep(graph, [5, 10, 20], seed=1)
+        assert [size for size, _, _ in sweep] == [5, 10, 20]
+        for size, sources, targets in sweep:
+            assert len(sources) == size
+            assert len(targets) == size
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def runner(self):
+        graph = load_dataset("stanford", scale=0.15, seed=4)
+        return ExperimentRunner(graph, num_partitions=3, local_index="msbfs", seed=4)
+
+    def test_run_approach_individually(self, runner):
+        graph = runner.graph
+        sources, targets = random_query(graph, 5, 5, seed=2)
+        result = runner.run_approach("dsr", sources, targets)
+        assert result.approach == "dsr"
+        assert result.index_seconds > 0
+        assert result.query_seconds >= 0
+
+    def test_consistency_check_across_approaches(self, runner):
+        graph = runner.graph
+        sources, targets = random_query(graph, 5, 5, seed=3)
+        results = runner.run(
+            ["dsr", "dsr-noeq", "giraph++", "giraph++weq", "dsr-fan"],
+            sources,
+            targets,
+        )
+        assert len(results) == 5
+        pair_counts = {r.num_pairs for r in results}
+        assert len(pair_counts) == 1
+
+    def test_unknown_approach(self, runner):
+        with pytest.raises(ValueError):
+            runner.run_approach("magic", [0], [1])
+
+    def test_engines_are_cached(self, runner):
+        first = runner._build("dsr")
+        second = runner._build("dsr")
+        assert first is second
+
+    def test_as_row_shape(self, runner):
+        graph = runner.graph
+        sources, targets = random_query(graph, 4, 4, seed=5)
+        row = runner.run_approach("dsr", sources, targets).as_row()
+        assert {"approach", "index_s", "query_s", "pairs", "messages"} <= set(row)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [
+            {"name": "dsr", "time": 0.123456, "pairs": 1000},
+            {"name": "giraph", "time": 12.5, "pairs": 1000},
+        ]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "dsr" in text and "giraph" in text
+        assert "1,000" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_format_series(self):
+        text = format_series(
+            {"dsr": [1.0, 2.0], "giraph": [10.0, 20.0]},
+            x_values=[2, 4],
+            x_label="slaves",
+            title="scaling",
+        )
+        assert "slaves" in text
+        assert "scaling" in text.splitlines()[0]

@@ -1,0 +1,15 @@
+"""Shared fixtures for the whole test suite."""
+
+import pytest
+
+from repro.graph import generators
+from repro.partition.partition import GraphPartitioning
+
+
+@pytest.fixture
+def paper_example():
+    """The Figure-1 running example: graph, partitioning and label lookup."""
+    graph, assignment = generators.paper_example_graph()
+    partitioning = GraphPartitioning(graph, assignment, 3)
+    labels = {graph.label_of(vertex): vertex for vertex in graph.vertices()}
+    return graph, partitioning, labels

@@ -1,0 +1,144 @@
+"""Tests for per-partition summaries and boundary graphs (Definitions 4/5)."""
+
+import pytest
+
+from repro.core.boundary_graph import boundary_graph_stats, build_boundary_graph
+from repro.core.equivalence import ClassIdAllocator
+from repro.core.summary import build_partition_summary
+from repro.graph import generators
+from repro.graph.traversal import is_reachable
+from repro.partition.partition import make_partitioning
+
+
+def make_summary(partitioning, pid, use_equivalence, allocator=None):
+    return build_partition_summary(
+        partition_id=pid,
+        local_graph=partitioning.local_subgraph(pid),
+        in_boundaries=partitioning.in_boundaries(pid),
+        out_boundaries=partitioning.out_boundaries(pid),
+        allocator=allocator or ClassIdAllocator(100_000),
+        use_equivalence=use_equivalence,
+    )
+
+
+class TestSummaryWithoutEquivalence:
+    def test_member_edges_are_exact_reachability(self):
+        graph = generators.random_digraph(60, 180, seed=1)
+        partitioning = make_partitioning(graph, 3, strategy="hash", seed=1)
+        for pid in range(3):
+            local = partitioning.local_subgraph(pid)
+            summary = make_summary(partitioning, pid, use_equivalence=False)
+            in_b = partitioning.in_boundaries(pid)
+            out_b = partitioning.out_boundaries(pid)
+            expected = {
+                (b, o)
+                for b in in_b
+                for o in out_b
+                if b != o and is_reachable(local, b, o)
+            }
+            assert summary.member_edges == expected
+            assert summary.class_edges == set()
+            assert summary.forward_classes == []
+
+    def test_handles_are_raw_boundaries(self):
+        graph = generators.random_digraph(50, 150, seed=2)
+        partitioning = make_partitioning(graph, 3, strategy="hash", seed=2)
+        summary = make_summary(partitioning, 0, use_equivalence=False)
+        assert summary.forward_handles() == set(partitioning.in_boundaries(0))
+        assert summary.backward_handles() == set(partitioning.out_boundaries(0))
+
+
+class TestSummaryWithEquivalence:
+    def test_paper_example_partition2(self, paper_example):
+        graph, partitioning, labels = paper_example
+        summary = make_summary(partitioning, 1, use_equivalence=True)
+        # Forward classes {c, h} and {g}; backward class {i}.
+        forward_members = {
+            frozenset(graph.label_of(m) for m in cls.members)
+            for cls in summary.forward_classes
+        }
+        backward_members = {
+            frozenset(graph.label_of(m) for m in cls.members)
+            for cls in summary.backward_classes
+        }
+        assert forward_members == {frozenset({"c", "h"}), frozenset({"g"})}
+        assert backward_members == {frozenset({"i"})}
+        # All of c, g, h reach i, so both forward classes connect to the
+        # backward class of i.
+        assert len(summary.class_edges) == 2
+
+    def test_expand_handle(self, paper_example):
+        graph, partitioning, labels = paper_example
+        summary = make_summary(partitioning, 1, use_equivalence=True)
+        for cls in summary.forward_classes:
+            assert summary.expand_handle(cls.class_id) == (cls.representative,)
+        # Unknown handles expand to themselves (overlap/member handles).
+        assert summary.expand_handle(labels["i"]) == (labels["i"],)
+
+    def test_class_compression_reduces_transitive_edges(self):
+        graph = generators.web_graph(250, avg_degree=7, seed=3)
+        partitioning = make_partitioning(graph, 4, strategy="hash", seed=3)
+        allocator = ClassIdAllocator(1_000_000)
+        for pid in range(4):
+            plain = make_summary(partitioning, pid, use_equivalence=False)
+            optimised = make_summary(partitioning, pid, True, allocator)
+            # Class + member + connector edges never exceed the fully
+            # materialised member-level pairs by more than the in/in additions.
+            in_b = partitioning.in_boundaries(pid)
+            assert len(optimised.class_edges) <= len(plain.member_edges) + 1
+            assert optimised.forward_handles() != set() or not in_b
+
+    def test_handles_include_overlap(self):
+        graph = generators.random_digraph(40, 220, seed=5)
+        partitioning = make_partitioning(graph, 3, strategy="hash", seed=5)
+        for pid in range(3):
+            summary = make_summary(partitioning, pid, use_equivalence=True)
+            overlap = summary.overlap
+            assert overlap <= summary.forward_handles()
+            assert overlap <= summary.backward_handles()
+
+    def test_empty_partition_summary(self):
+        graph = generators.path_graph(4)
+        partitioning = make_partitioning(graph, 1, strategy="hash")
+        summary = make_summary(partitioning, 0, use_equivalence=True)
+        assert summary.forward_handles() == set()
+        assert summary.num_transitive_edges() == 0
+
+    def test_message_size_positive(self, paper_example):
+        _, partitioning, _ = paper_example
+        summary = make_summary(partitioning, 2, use_equivalence=True)
+        assert summary.message_size() > 0
+
+
+class TestBoundaryGraph:
+    def test_definition4_membership(self, paper_example):
+        graph, partitioning, labels = paper_example
+        summaries = {
+            pid: make_summary(partitioning, pid, use_equivalence=False)
+            for pid in range(3)
+        }
+        boundary = build_boundary_graph(0, summaries, partitioning.cut_edges())
+        # Every cut edge is present.
+        for u, v in partitioning.cut_edges():
+            assert boundary.has_edge(u, v)
+        # Transitive edges of *other* partitions are present (c ⇝ i in G2).
+        assert boundary.has_edge(labels["c"], labels["i"])
+        assert boundary.has_edge(labels["m"], labels["o"])
+        # Partition 0's own transitive information is excluded.
+        assert not boundary.has_edge(labels["d"], labels["b"])
+
+    def test_equivalence_shrinks_entries(self):
+        graph = generators.web_graph(300, avg_degree=7, seed=6)
+        partitioning = make_partitioning(graph, 4, strategy="hash", seed=6)
+        allocator = ClassIdAllocator(1_000_000)
+        plain = {
+            pid: make_summary(partitioning, pid, use_equivalence=False)
+            for pid in range(4)
+        }
+        optimised = {
+            pid: make_summary(partitioning, pid, True, allocator) for pid in range(4)
+        }
+        plain_stats = boundary_graph_stats(0, plain, partitioning.cut_edges())
+        opt_stats = boundary_graph_stats(0, optimised, partitioning.cut_edges())
+        assert opt_stats.num_forward_entries <= plain_stats.num_forward_entries
+        assert opt_stats.num_backward_entries <= plain_stats.num_backward_entries

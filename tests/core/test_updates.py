@@ -1,0 +1,192 @@
+"""Tests for incremental index maintenance (Section 3.3.3)."""
+
+import random
+
+import pytest
+
+from repro.core.engine import DSREngine
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import reachable_pairs
+from repro.partition.partition import GraphPartitioning
+
+
+def fresh_engine(graph, num_partitions=3, seed=1, **kwargs):
+    engine = DSREngine(
+        graph, num_partitions=num_partitions, partitioner="hash", seed=seed, **kwargs
+    )
+    engine.build_index()
+    return engine
+
+
+class TestEdgeInsertion:
+    def test_cross_partition_insertion_changes_answers(self, paper_example):
+        graph, partitioning, labels = paper_example
+        engine = DSREngine(graph, partitioning=partitioning, local_index="dfs")
+        engine.build_index()
+        # k is a sink: it cannot reach a.  Adding k -> d (cut edge) changes that.
+        assert not engine.reachable(labels["k"], labels["a"])
+        result = engine.insert_edge(labels["k"], labels["d"])
+        assert result.structural_change
+        assert engine.reachable(labels["k"], labels["a"])
+
+    def test_local_insertion_changes_answers(self, paper_example):
+        graph, partitioning, labels = paper_example
+        engine = DSREngine(graph, partitioning=partitioning, local_index="dfs")
+        engine.build_index()
+        assert not engine.reachable(labels["v"], labels["q"])
+        engine.insert_edge(labels["v"], labels["p"])  # local edge inside G3
+        assert engine.reachable(labels["v"], labels["q"])
+
+    def test_same_scc_insertion_is_cheap(self):
+        graph = generators.cycle_graph(12)
+        engine = fresh_engine(graph, num_partitions=2)
+        # All vertices are in one SCC per partition after the compound build?
+        # Pick two vertices of the same partition that already reach each other.
+        partitioning = engine.partitioning
+        partition_zero = sorted(partitioning.vertices_of(0))
+        u, v = partition_zero[0], partition_zero[-1]
+        result = engine.insert_edge(u, v)
+        assert not engine.has_pending_updates or result.structural_change
+
+    def test_duplicate_insertion_is_noop(self):
+        graph = generators.random_digraph(40, 120, seed=2)
+        engine = fresh_engine(graph)
+        u, v = next(iter(graph.edges()))
+        result = engine.insert_edge(u, v)
+        assert not result.structural_change
+        assert result.affected_partitions == set()
+
+    def test_insert_with_unknown_vertex_raises(self):
+        graph = generators.random_digraph(30, 80, seed=3)
+        engine = fresh_engine(graph)
+        with pytest.raises(ValueError):
+            engine.insert_edge(0, 10_000)
+
+    @pytest.mark.parametrize("use_equivalence", [True, False])
+    def test_batch_insertions_match_full_rebuild(self, use_equivalence):
+        full = generators.web_graph(150, avg_degree=5, seed=11)
+        edges = sorted(full.edges())
+        rng = random.Random(4)
+        rng.shuffle(edges)
+        held_out = edges[:30]
+        base = DiGraph.from_edges(edges[30:], vertices=full.vertices())
+
+        engine = DSREngine(
+            base,
+            num_partitions=3,
+            partitioner="hash",
+            seed=2,
+            local_index="msbfs",
+            use_equivalence=use_equivalence,
+        )
+        engine.build_index()
+        for u, v in held_out:
+            engine.insert_edge(u, v)
+
+        vertices = sorted(full.vertices())
+        sources = rng.sample(vertices, 10)
+        targets = rng.sample(vertices, 10)
+        assert engine.query(sources, targets) == reachable_pairs(full, sources, targets)
+
+
+class TestEdgeDeletion:
+    def test_deleting_bridge_disconnects(self):
+        graph = generators.path_graph(10)
+        engine = fresh_engine(graph, num_partitions=2)
+        assert engine.reachable(0, 9)
+        engine.delete_edge(4, 5)
+        assert not engine.reachable(0, 9)
+        assert engine.reachable(0, 4)
+
+    def test_delete_missing_edge_is_noop(self):
+        graph = generators.random_digraph(30, 60, seed=5)
+        engine = fresh_engine(graph)
+        result = engine.delete_edge(0, 0)
+        assert not result.structural_change
+
+    def test_batch_deletions_match_full_rebuild(self):
+        full = generators.web_graph(140, avg_degree=5, seed=13)
+        engine = fresh_engine(full.copy(), num_partitions=3, local_index="msbfs")
+        edges = sorted(full.edges())
+        rng = random.Random(6)
+        rng.shuffle(edges)
+        removed = edges[:25]
+        for u, v in removed:
+            engine.delete_edge(u, v)
+
+        remaining = DiGraph.from_edges(
+            [e for e in full.edges() if e not in set(removed)], vertices=full.vertices()
+        )
+        vertices = sorted(full.vertices())
+        sources = rng.sample(vertices, 10)
+        targets = rng.sample(vertices, 10)
+        assert engine.query(sources, targets) == reachable_pairs(
+            remaining, sources, targets
+        )
+
+    def test_cut_edge_deletion(self, paper_example):
+        graph, partitioning, labels = paper_example
+        engine = DSREngine(graph, partitioning=partitioning, local_index="dfs")
+        engine.build_index()
+        # o -> f is the only way back into G1; deleting it cuts p off from a.
+        assert engine.reachable(labels["p"], labels["a"])
+        engine.delete_edge(labels["o"], labels["f"])
+        assert not engine.reachable(labels["p"], labels["a"])
+
+
+class TestVertexUpdates:
+    def test_insert_vertex_then_connect(self):
+        graph = generators.random_digraph(30, 80, seed=7)
+        engine = fresh_engine(graph)
+        new_vertex = engine.insert_vertex()
+        assert graph.has_vertex(new_vertex)
+        engine.insert_edge(new_vertex, sorted(graph.vertices())[0])
+        assert engine.reachable(new_vertex, sorted(graph.vertices())[0])
+
+    def test_insert_vertex_explicit_partition(self):
+        graph = generators.random_digraph(30, 80, seed=8)
+        engine = fresh_engine(graph)
+        new_vertex = engine.insert_vertex(partition_id=1)
+        assert engine.partitioning.partition_of(new_vertex) == 1
+
+    def test_delete_vertex_removes_paths_through_it(self):
+        graph = generators.path_graph(8)
+        engine = fresh_engine(graph, num_partitions=2)
+        assert engine.reachable(0, 7)
+        engine.delete_vertex(4)
+        assert not engine.reachable(0, 7)
+        assert not graph.has_vertex(4)
+
+
+class TestDeferredMaintenance:
+    def test_updates_are_batched_until_flush(self):
+        graph = generators.random_digraph(50, 140, seed=9)
+        engine = fresh_engine(graph)
+        vertices = sorted(graph.vertices())
+        engine.insert_edge(vertices[0], vertices[-1])
+        assert engine.has_pending_updates
+        flush = engine.flush_updates()
+        assert not engine.has_pending_updates
+        assert flush.refreshed_partitions
+
+    def test_query_auto_flushes(self):
+        graph = generators.random_digraph(50, 140, seed=10)
+        engine = fresh_engine(graph)
+        vertices = sorted(graph.vertices())
+        engine.insert_edge(vertices[0], vertices[-1])
+        assert engine.has_pending_updates
+        engine.query([vertices[0]], [vertices[-1]])
+        assert not engine.has_pending_updates
+
+    def test_flush_without_changes_is_noop(self):
+        graph = generators.random_digraph(30, 60, seed=11)
+        engine = fresh_engine(graph)
+        flush = engine.flush_updates()
+        assert flush.refreshed_partitions == set()
+
+    def test_updates_require_built_index(self):
+        graph = generators.random_digraph(20, 40, seed=12)
+        engine = DSREngine(graph, num_partitions=2)
+        with pytest.raises(RuntimeError):
+            engine.insert_edge(0, 1)

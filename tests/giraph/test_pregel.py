@@ -1,0 +1,106 @@
+"""Tests for the vertex-centric and partition-centric BSP engines."""
+
+import pytest
+
+from repro.giraph.pregel import PartitionCentricEngine, PregelEngine
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+from repro.partition.partition import make_partitioning
+
+
+class TestPregelEngine:
+    def test_single_source_bfs_levels(self):
+        """A classic Pregel program: propagate minimum distance from vertex 0."""
+        graph = generators.path_graph(6)
+        engine = PregelEngine(graph)
+
+        def program(ctx, messages):
+            if ctx.superstep == 0:
+                new_value = 0 if ctx.vertex == 0 else None
+            else:
+                candidates = [m for m in messages if m is not None]
+                if not candidates:
+                    return
+                best = min(candidates)
+                if ctx.value is not None and ctx.value <= best:
+                    return
+                new_value = best
+            if new_value is None:
+                return
+            ctx.value = new_value
+            for neighbour in ctx.out_neighbors():
+                ctx.send_message(neighbour, new_value + 1)
+
+        engine.run(program, {v: None for v in graph.vertices()})
+        assert engine.values == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4, 5: 5}
+
+    def test_supersteps_counted(self):
+        graph = generators.path_graph(5)
+        engine = PregelEngine(graph)
+
+        def flood(ctx, messages):
+            if ctx.superstep == 0 and ctx.vertex == 0:
+                ctx.value = True
+            elif messages:
+                if ctx.value:
+                    return
+                ctx.value = True
+            else:
+                return
+            for neighbour in ctx.out_neighbors():
+                ctx.send_message(neighbour, 1)
+
+        stats = engine.run(flood, {v: False for v in graph.vertices()})
+        # 0 reaches 4 in 4 hops; plus the seeding superstep.
+        assert stats.supersteps == 5
+
+    def test_network_vs_local_messages(self):
+        graph = DiGraph.from_edges([(0, 1), (1, 2)])
+        partitioning = make_partitioning(graph, 2, strategy="hash", seed=0)
+
+        engine = PregelEngine(graph, partitioning)
+
+        def program(ctx, messages):
+            if ctx.superstep == 0:
+                for neighbour in ctx.out_neighbors():
+                    ctx.send_message(neighbour, "x")
+
+        stats = engine.run(program, {v: None for v in graph.vertices()})
+        assert stats.network_messages + stats.local_messages == 2
+
+    def test_max_supersteps_cap(self):
+        graph = generators.cycle_graph(4)
+        engine = PregelEngine(graph, max_supersteps=3)
+
+        def forever(ctx, messages):
+            for neighbour in ctx.out_neighbors():
+                ctx.send_message(neighbour, 1)
+
+        stats = engine.run(forever, {v: None for v in graph.vertices()})
+        assert stats.supersteps == 3
+
+
+class TestPartitionCentricEngine:
+    def test_partition_program_sees_only_local_inbox(self):
+        graph = DiGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        partitioning = make_partitioning(graph, 2, strategy="hash", seed=1)
+        engine = PartitionCentricEngine(graph, partitioning)
+        seen = {}
+
+        def program(eng, pid, inbox):
+            if eng.superstep == 0 and pid == 0:
+                for vertex in partitioning.vertices_of(1):
+                    eng.send(sorted(partitioning.vertices_of(0))[0], vertex, "hello")
+            for vertex in inbox:
+                seen[vertex] = pid
+
+        engine.run(program)
+        for vertex, pid in seen.items():
+            assert partitioning.partition_of(vertex) == pid
+
+    def test_terminates_without_messages(self):
+        graph = generators.path_graph(4)
+        partitioning = make_partitioning(graph, 2, strategy="hash", seed=0)
+        engine = PartitionCentricEngine(graph, partitioning)
+        stats = engine.run(lambda eng, pid, inbox: None)
+        assert stats.supersteps == 1

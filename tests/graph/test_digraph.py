@@ -1,0 +1,138 @@
+"""Unit tests for the DiGraph kernel."""
+
+import pytest
+
+from repro.graph.digraph import DiGraph, GraphError
+
+
+class TestVertexManagement:
+    def test_add_vertex_auto_id(self):
+        graph = DiGraph()
+        assert graph.add_vertex() == 0
+        assert graph.add_vertex() == 1
+        assert graph.num_vertices == 2
+
+    def test_add_vertex_explicit_id(self):
+        graph = DiGraph()
+        assert graph.add_vertex(10) == 10
+        # Fresh ids continue above the highest explicit id.
+        assert graph.add_vertex() == 11
+
+    def test_add_existing_vertex_is_noop(self):
+        graph = DiGraph()
+        graph.add_vertex(3)
+        graph.add_vertex(3)
+        assert graph.num_vertices == 1
+
+    def test_negative_vertex_rejected(self):
+        graph = DiGraph()
+        with pytest.raises(GraphError):
+            graph.add_vertex(-1)
+
+    def test_labels_bijective(self):
+        graph = DiGraph()
+        a = graph.add_vertex(label="a")
+        assert graph.label_of(a) == "a"
+        assert graph.vertex_by_label("a") == a
+        with pytest.raises(GraphError):
+            graph.add_vertex(label="a")
+
+    def test_label_defaults_to_id(self):
+        graph = DiGraph()
+        v = graph.add_vertex(7)
+        assert graph.label_of(v) == 7
+
+    def test_unknown_label_raises(self):
+        graph = DiGraph()
+        with pytest.raises(GraphError):
+            graph.vertex_by_label("missing")
+
+    def test_remove_vertex_removes_incident_edges(self):
+        graph = DiGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        graph.remove_vertex(1)
+        assert not graph.has_vertex(1)
+        assert graph.num_edges == 1
+        assert graph.has_edge(2, 0)
+
+    def test_contains_and_len(self):
+        graph = DiGraph.from_edges([(0, 1)])
+        assert 0 in graph
+        assert 5 not in graph
+        assert len(graph) == 2
+
+
+class TestEdgeManagement:
+    def test_add_edge_creates_vertices(self):
+        graph = DiGraph()
+        assert graph.add_edge(1, 2) is True
+        assert graph.has_vertex(1) and graph.has_vertex(2)
+        assert graph.num_edges == 1
+
+    def test_duplicate_edge_not_counted(self):
+        graph = DiGraph()
+        graph.add_edge(0, 1)
+        assert graph.add_edge(0, 1) is False
+        assert graph.num_edges == 1
+
+    def test_self_loop_allowed(self):
+        graph = DiGraph()
+        graph.add_edge(4, 4)
+        assert graph.has_edge(4, 4)
+
+    def test_remove_edge(self):
+        graph = DiGraph.from_edges([(0, 1), (1, 2)])
+        assert graph.remove_edge(0, 1) is True
+        assert graph.remove_edge(0, 1) is False
+        assert graph.num_edges == 1
+
+    def test_successors_and_predecessors(self):
+        graph = DiGraph.from_edges([(0, 1), (0, 2), (3, 0)])
+        assert graph.successors(0) == {1, 2}
+        assert graph.predecessors(0) == {3}
+        assert graph.out_degree(0) == 2
+        assert graph.in_degree(0) == 1
+
+    def test_missing_vertex_access_raises(self):
+        graph = DiGraph()
+        with pytest.raises(GraphError):
+            graph.successors(99)
+
+    def test_edges_iteration(self):
+        edges = {(0, 1), (1, 2), (2, 0)}
+        graph = DiGraph.from_edges(edges)
+        assert set(graph.edges()) == edges
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph(self):
+        graph = DiGraph.from_edges([(0, 1), (1, 2), (2, 3), (0, 3)])
+        sub = graph.induced_subgraph({0, 1, 3})
+        assert set(sub.vertices()) == {0, 1, 3}
+        assert set(sub.edges()) == {(0, 1), (0, 3)}
+
+    def test_induced_subgraph_preserves_labels(self):
+        graph = DiGraph()
+        a = graph.add_vertex(label="a")
+        b = graph.add_vertex(label="b")
+        graph.add_edge(a, b)
+        sub = graph.induced_subgraph({a, b})
+        assert sub.label_of(a) == "a"
+        assert sub.vertex_by_label("b") == b
+
+    def test_reverse(self):
+        graph = DiGraph.from_edges([(0, 1), (1, 2)])
+        rev = graph.reverse()
+        assert set(rev.edges()) == {(1, 0), (2, 1)}
+
+    def test_copy_is_independent(self):
+        graph = DiGraph.from_edges([(0, 1)])
+        clone = graph.copy()
+        clone.add_edge(1, 2)
+        assert graph.num_edges == 1
+        assert clone.num_edges == 2
+
+    def test_from_edges_with_isolated_vertices(self):
+        graph = DiGraph.from_edges([(0, 1)], vertices=[5, 6])
+        assert graph.has_vertex(5)
+        assert graph.has_vertex(6)
+        assert graph.num_vertices == 4

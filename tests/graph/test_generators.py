@@ -1,0 +1,112 @@
+"""Tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.traversal import is_reachable
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda seed: generators.random_digraph(100, 300, seed=seed),
+            lambda seed: generators.dag(100, 250, seed=seed),
+            lambda seed: generators.social_graph(150, avg_degree=6, seed=seed),
+            lambda seed: generators.web_graph(150, avg_degree=6, seed=seed),
+            lambda seed: generators.copurchase_graph(120, avg_degree=5, seed=seed),
+            lambda seed: generators.hierarchy_graph(150, seed=seed),
+            lambda seed: generators.community_graph(4, 30, seed=seed),
+        ],
+    )
+    def test_same_seed_same_graph(self, factory):
+        first = factory(7)
+        second = factory(7)
+        assert set(first.edges()) == set(second.edges())
+
+    def test_different_seed_different_graph(self):
+        a = generators.random_digraph(100, 300, seed=1)
+        b = generators.random_digraph(100, 300, seed=2)
+        assert set(a.edges()) != set(b.edges())
+
+
+class TestStructuralProperties:
+    def test_dag_has_no_cycles(self):
+        graph = generators.dag(80, 200, seed=3)
+        for u, v in graph.edges():
+            assert u < v
+
+    def test_social_graph_density(self):
+        graph = generators.social_graph(300, avg_degree=8, seed=1)
+        assert graph.num_vertices == 300
+        assert graph.num_edges >= 300  # at least edges_per_vertex each
+
+    def test_hierarchy_graph_is_sparse(self):
+        graph = generators.hierarchy_graph(500, seed=1)
+        assert graph.num_edges < 3 * graph.num_vertices
+
+    def test_community_graph_dimensions(self):
+        graph = generators.community_graph(5, 20, seed=1)
+        assert graph.num_vertices == 100
+
+    def test_path_and_cycle(self):
+        path = generators.path_graph(5)
+        cycle = generators.cycle_graph(5)
+        assert path.num_edges == 4
+        assert cycle.num_edges == 5
+        assert is_reachable(cycle, 4, 0)
+        assert not is_reachable(path, 4, 0)
+
+    def test_layered_graph_edges_go_downward(self):
+        graph = generators.layered_graph([5, 5, 5], inter_layer_prob=0.5, seed=2)
+        for u, v in graph.edges():
+            assert v > u
+
+
+class TestPaperExample:
+    """The Figure-1 running example must satisfy the paper's statements."""
+
+    @pytest.fixture
+    def example(self):
+        graph, assignment = generators.paper_example_graph()
+        labels = {graph.label_of(v): v for v in graph.vertices()}
+        return graph, assignment, labels
+
+    def test_vertex_and_partition_counts(self, example):
+        graph, assignment, _ = example
+        assert graph.num_vertices == 19
+        assert set(assignment.values()) == {0, 1, 2}
+
+    def test_example2_boolean_formulas_partition1(self, example):
+        graph, assignment, labels = example
+        g1 = graph.induced_subgraph(
+            [v for v, pid in assignment.items() if pid == 0]
+        )
+        # d = b ∨ e and f = b ∨ e (local reachability inside G1).
+        for source in ("d", "f", "a"):
+            assert is_reachable(g1, labels[source], labels["b"])
+            assert is_reachable(g1, labels[source], labels["e"])
+
+    def test_example2_boolean_formulas_partition2(self, example):
+        graph, assignment, labels = example
+        g2 = graph.induced_subgraph(
+            [v for v, pid in assignment.items() if pid == 1]
+        )
+        assert is_reachable(g2, labels["c"], labels["i"])
+        assert is_reachable(g2, labels["g"], labels["i"])
+        assert is_reachable(g2, labels["g"], labels["l"])
+        assert is_reachable(g2, labels["h"], labels["i"])
+        assert not is_reachable(g2, labels["c"], labels["l"])
+        assert not is_reachable(g2, labels["h"], labels["l"])
+
+    def test_example7_b_to_f_only_globally(self, example):
+        graph, assignment, labels = example
+        g1 = graph.induced_subgraph(
+            [v for v, pid in assignment.items() if pid == 0]
+        )
+        assert not is_reachable(g1, labels["b"], labels["f"])
+        assert is_reachable(graph, labels["b"], labels["f"])
+
+    def test_example8_a_reaches_q(self, example):
+        graph, _, labels = example
+        assert is_reachable(graph, labels["a"], labels["q"])

@@ -1,0 +1,50 @@
+"""Tests for edge-list / triple IO."""
+
+import gzip
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.io import read_edge_list, read_triples, write_edge_list, write_triples
+
+
+class TestEdgeListIO:
+    def test_roundtrip(self, tmp_path):
+        graph = generators.random_digraph(50, 120, seed=5)
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert set(loaded.edges()) == set(graph.edges())
+
+    def test_gzip_roundtrip(self, tmp_path):
+        graph = generators.random_digraph(30, 60, seed=6)
+        path = tmp_path / "graph.txt.gz"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert set(loaded.edges()) == set(graph.edges())
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# comment\n\n0\t1\n1\t2\n")
+        graph = read_edge_list(path)
+        assert set(graph.edges()) == {(0, 1), (1, 2)}
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+
+class TestTripleIO:
+    def test_roundtrip(self, tmp_path):
+        triples = [("s1", "p", "o1"), ("s2", "p", "o2")]
+        path = tmp_path / "triples.tsv"
+        write_triples(triples, path)
+        assert read_triples(path) == triples
+
+    def test_malformed_triple_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("only\ttwo\n")
+        with pytest.raises(ValueError):
+            read_triples(path)

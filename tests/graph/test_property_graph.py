@@ -1,0 +1,82 @@
+"""Property-based tests (hypothesis) for the graph kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.scc import condense, strongly_connected_components
+from repro.graph.traversal import bfs_reachable_set, is_reachable, topological_order
+
+# Strategy: a small random edge list over vertex ids 0..14.
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 14), st.integers(0, 14)),
+    min_size=0,
+    max_size=60,
+)
+
+
+@given(edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_edge_and_vertex_counts_consistent(edges):
+    graph = DiGraph.from_edges(edges)
+    assert graph.num_edges == len(set(edges))
+    assert graph.num_edges == sum(1 for _ in graph.edges())
+    assert graph.num_vertices == len(set(graph.vertices()))
+
+
+@given(edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_in_degrees_equal_out_degrees_totals(edges):
+    graph = DiGraph.from_edges(edges)
+    total_out = sum(graph.out_degree(v) for v in graph.vertices())
+    total_in = sum(graph.in_degree(v) for v in graph.vertices())
+    assert total_out == total_in == graph.num_edges
+
+
+@given(edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_reverse_is_involution(edges):
+    graph = DiGraph.from_edges(edges)
+    double_reverse = graph.reverse().reverse()
+    assert set(double_reverse.edges()) == set(graph.edges())
+    assert set(double_reverse.vertices()) == set(graph.vertices())
+
+
+@given(edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_reachability_symmetric_under_reversal(edges):
+    graph = DiGraph.from_edges(edges, vertices=range(15))
+    reverse = graph.reverse()
+    for u in (0, 7, 14):
+        for v in (3, 9):
+            assert is_reachable(graph, u, v) == is_reachable(reverse, v, u)
+
+
+@given(edge_lists)
+@settings(max_examples=50, deadline=None)
+def test_scc_partition_the_vertex_set(edges):
+    graph = DiGraph.from_edges(edges, vertices=range(15))
+    components = strongly_connected_components(graph)
+    flattened = [vertex for component in components for vertex in component]
+    assert sorted(flattened) == sorted(graph.vertices())
+
+
+@given(edge_lists)
+@settings(max_examples=50, deadline=None)
+def test_condensation_is_acyclic_and_preserves_reachability(edges):
+    graph = DiGraph.from_edges(edges, vertices=range(15))
+    dag, mapping = condense(graph)
+    topological_order(dag)  # raises on a cycle
+    for u in (0, 5, 14):
+        for v in (2, 11):
+            assert is_reachable(graph, u, v) == is_reachable(dag, mapping[u], mapping[v])
+
+
+@given(edge_lists)
+@settings(max_examples=50, deadline=None)
+def test_reachable_set_is_transitively_closed(edges):
+    graph = DiGraph.from_edges(edges, vertices=range(15))
+    reached = bfs_reachable_set(graph, 0)
+    for vertex in reached:
+        for succ in graph.successors(vertex):
+            assert succ in reached

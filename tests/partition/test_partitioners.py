@@ -1,0 +1,73 @@
+"""Tests for the hash and METIS-like partitioners."""
+
+import pytest
+
+from repro.graph import generators
+from repro.partition.hash_partitioner import hash_partition
+from repro.partition.metis_like import metis_like_partition
+
+
+class TestHashPartitioner:
+    def test_every_vertex_assigned(self):
+        graph = generators.random_digraph(100, 250, seed=1)
+        part = hash_partition(graph, 4)
+        assert sum(len(part.vertices_of(i)) for i in range(4)) == 100
+
+    def test_deterministic_per_seed(self):
+        graph = generators.random_digraph(100, 250, seed=1)
+        a = hash_partition(graph, 4, seed=3)
+        b = hash_partition(graph, 4, seed=3)
+        assert a.assignment == b.assignment
+
+    def test_seed_changes_assignment(self):
+        graph = generators.random_digraph(200, 500, seed=1)
+        a = hash_partition(graph, 4, seed=1)
+        b = hash_partition(graph, 4, seed=2)
+        assert a.assignment != b.assignment
+
+    def test_roughly_balanced(self):
+        graph = generators.random_digraph(400, 800, seed=1)
+        part = hash_partition(graph, 4)
+        sizes = [len(part.vertices_of(i)) for i in range(4)]
+        assert max(sizes) < 2 * min(sizes)
+
+
+class TestMetisLikePartitioner:
+    def test_every_vertex_assigned(self):
+        graph = generators.web_graph(300, avg_degree=6, seed=2)
+        part = metis_like_partition(graph, 4)
+        assert sum(len(part.vertices_of(i)) for i in range(4)) == 300
+
+    def test_balance_constraint(self):
+        graph = generators.web_graph(400, avg_degree=6, seed=2)
+        part = metis_like_partition(graph, 4, imbalance=1.3)
+        sizes = [len(part.vertices_of(i)) for i in range(4)]
+        assert max(sizes) <= 1.3 * (400 / 4) + 2
+
+    def test_cut_smaller_than_hash(self):
+        """The Table-5 contrast: min-cut partitioning beats random sharding."""
+        graph = generators.community_graph(6, 50, intra_prob=0.1, inter_prob=0.002, seed=3)
+        hash_cut = hash_partition(graph, 4, seed=1).cut_size()
+        metis_cut = metis_like_partition(graph, 4, seed=1).cut_size()
+        assert metis_cut < hash_cut
+
+    def test_single_partition(self):
+        graph = generators.random_digraph(50, 100, seed=1)
+        part = metis_like_partition(graph, 1)
+        assert part.cut_size() == 0
+
+    def test_more_partitions_than_vertices(self):
+        graph = generators.random_digraph(3, 3, seed=1)
+        part = metis_like_partition(graph, 8)
+        assert sum(len(part.vertices_of(i)) for i in range(8)) == 3
+
+    def test_deterministic(self):
+        graph = generators.web_graph(200, avg_degree=5, seed=4)
+        a = metis_like_partition(graph, 3, seed=5)
+        b = metis_like_partition(graph, 3, seed=5)
+        assert a.assignment == b.assignment
+
+    def test_handles_disconnected_graph(self):
+        graph = generators.random_digraph(50, 30, seed=6)  # sparse → disconnected
+        part = metis_like_partition(graph, 4)
+        assert sum(len(part.vertices_of(i)) for i in range(4)) == 50

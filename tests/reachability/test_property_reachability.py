@@ -1,0 +1,53 @@
+"""Property-based tests: every strategy agrees with the transitive closure."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.reachability.factory import make_reachability_index
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 11), st.integers(0, 11)),
+    min_size=0,
+    max_size=45,
+)
+
+query_sets = st.tuples(
+    st.sets(st.integers(0, 11), min_size=1, max_size=5),
+    st.sets(st.integers(0, 11), min_size=1, max_size=5),
+)
+
+
+@given(edges=edge_lists, query=query_sets)
+@settings(max_examples=40, deadline=None)
+def test_all_strategies_agree(edges, query):
+    graph = DiGraph.from_edges(edges, vertices=range(12))
+    sources, targets = query
+    reference = make_reachability_index("closure", graph).reachable_pairs(sources, targets)
+    for name in ("dfs", "msbfs", "ferrari", "grail"):
+        index = make_reachability_index(name, graph)
+        assert index.reachable_pairs(sources, targets) == reference, name
+
+
+@given(edges=edge_lists)
+@settings(max_examples=40, deadline=None)
+def test_reachability_is_transitive(edges):
+    graph = DiGraph.from_edges(edges, vertices=range(12))
+    index = make_reachability_index("closure", graph)
+    vertices = list(range(12))
+    for a in vertices[:6]:
+        for b in vertices[:6]:
+            if not index.reachable(a, b):
+                continue
+            for c in vertices[6:]:
+                if index.reachable(b, c):
+                    assert index.reachable(a, c)
+
+
+@given(edges=edge_lists)
+@settings(max_examples=40, deadline=None)
+def test_edge_implies_reachability(edges):
+    graph = DiGraph.from_edges(edges, vertices=range(12))
+    index = make_reachability_index("ferrari", graph)
+    for u, v in graph.edges():
+        assert index.reachable(u, v)

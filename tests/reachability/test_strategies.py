@@ -1,0 +1,160 @@
+"""Unit tests for every centralized reachability strategy.
+
+Each strategy is exercised on hand-built graphs with known answers and on
+random graphs against the ground-truth traversal.
+"""
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import reachable_pairs
+from repro.reachability import (
+    DFSReachability,
+    FerrariIndex,
+    GrailIndex,
+    MultiSourceBFS,
+    TransitiveClosureIndex,
+)
+from repro.reachability.factory import available_strategies, make_reachability_index
+
+ALL_STRATEGIES = ["dfs", "msbfs", "ferrari", "grail", "closure"]
+
+
+@pytest.fixture
+def diamond():
+    return DiGraph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (5, 5)])
+
+
+@pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+class TestAllStrategies:
+    def test_basic_reachability(self, strategy, diamond):
+        index = make_reachability_index(strategy, diamond)
+        assert index.reachable(0, 4)
+        assert index.reachable(1, 3)
+        assert not index.reachable(4, 0)
+        assert not index.reachable(3, 2)
+
+    def test_self_reachability(self, strategy, diamond):
+        index = make_reachability_index(strategy, diamond)
+        assert index.reachable(2, 2)
+        assert index.reachable(5, 5)
+
+    def test_missing_vertices(self, strategy, diamond):
+        index = make_reachability_index(strategy, diamond)
+        assert not index.reachable(0, 99)
+        assert not index.reachable(99, 0)
+
+    def test_set_reachability_matches_ground_truth(self, strategy):
+        graph = generators.random_digraph(70, 220, seed=11)
+        index = make_reachability_index(strategy, graph)
+        sources = list(range(0, 30, 3))
+        targets = list(range(1, 60, 5))
+        assert index.reachable_pairs(sources, targets) == reachable_pairs(
+            graph, sources, targets
+        )
+
+    def test_set_reachability_on_cyclic_graph(self, strategy):
+        graph = generators.social_graph(120, avg_degree=5, reciprocity=0.5, seed=3)
+        index = make_reachability_index(strategy, graph)
+        sources = list(range(0, 40, 4))
+        targets = list(range(2, 80, 7))
+        assert index.reachable_pairs(sources, targets) == reachable_pairs(
+            graph, sources, targets
+        )
+
+    def test_sources_overlapping_targets(self, strategy, diamond):
+        index = make_reachability_index(strategy, diamond)
+        result = index.set_reachability([0, 3], [0, 3, 4])
+        assert result[0] == {0, 3, 4}
+        assert result[3] == {3, 4}
+
+
+class TestFactory:
+    def test_available_strategies(self):
+        assert set(ALL_STRATEGIES) <= set(available_strategies())
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError):
+            make_reachability_index("magic", DiGraph())
+
+    def test_case_insensitive(self, diamond):
+        index = make_reachability_index("MSBFS", diamond)
+        assert isinstance(index, MultiSourceBFS)
+
+
+class TestMultiSourceBFS:
+    def test_batching_produces_same_answer(self):
+        graph = generators.random_digraph(80, 260, seed=4)
+        small_batches = MultiSourceBFS(graph, batch_size=3)
+        one_batch = MultiSourceBFS(graph, batch_size=1000)
+        sources = list(range(0, 40))
+        targets = list(range(40, 80))
+        assert small_batches.set_reachability(sources, targets) == one_batch.set_reachability(
+            sources, targets
+        )
+
+
+class TestFerrari:
+    def test_interval_budget_respected(self):
+        graph = generators.dag(150, 420, seed=5)
+        index = FerrariIndex(graph, max_intervals=2, num_seeds=5)
+        for intervals in index._intervals.values():
+            assert len(intervals) <= 2
+
+    def test_tighter_budget_still_correct(self):
+        graph = generators.random_digraph(80, 240, seed=6)
+        loose = FerrariIndex(graph, max_intervals=16, num_seeds=0)
+        tight = FerrariIndex(graph, max_intervals=1, num_seeds=4)
+        pairs = [(s, t) for s in range(0, 40, 5) for t in range(1, 80, 9)]
+        for s, t in pairs:
+            assert loose.reachable(s, t) == tight.reachable(s, t)
+
+    def test_index_size_reported(self):
+        graph = generators.dag(60, 150, seed=7)
+        assert FerrariIndex(graph).index_size() > 0
+
+    def test_rebuild_after_mutation(self):
+        graph = generators.path_graph(6)
+        index = FerrariIndex(graph)
+        assert not index.reachable(5, 0)
+        graph.add_edge(5, 0)
+        index.rebuild()
+        assert index.reachable(5, 0)
+
+
+class TestGrail:
+    def test_negative_pruning_is_safe(self):
+        graph = generators.random_digraph(90, 250, seed=8)
+        index = GrailIndex(graph, num_labels=2, seed=1)
+        truth = TransitiveClosureIndex(graph)
+        for s in range(0, 90, 7):
+            for t in range(3, 90, 11):
+                assert index.reachable(s, t) == truth.reachable(s, t)
+
+    def test_index_size_scales_with_labels(self):
+        graph = generators.dag(50, 120, seed=9)
+        one = GrailIndex(graph, num_labels=1)
+        three = GrailIndex(graph, num_labels=3)
+        assert three.index_size() == 3 * one.index_size()
+
+
+class TestTransitiveClosure:
+    def test_closure_size(self):
+        graph = generators.path_graph(4)  # closure: 4+3+2+1 component entries
+        index = TransitiveClosureIndex(graph)
+        assert index.index_size() == 10
+
+    def test_cycle_collapses(self):
+        graph = generators.cycle_graph(10)
+        index = TransitiveClosureIndex(graph)
+        assert index.index_size() == 1
+        assert index.reachable(3, 9)
+
+
+class TestDFS:
+    def test_no_index_overhead(self):
+        graph = generators.path_graph(10)
+        index = DFSReachability(graph)
+        assert index.index_size() == 0
+        assert index.reachable(0, 9)

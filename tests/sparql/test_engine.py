@@ -1,0 +1,144 @@
+"""Tests for the DSR-backed property-path engine and the Virtuoso-like baseline."""
+
+import pytest
+
+from repro.sparql.baseline import VirtuosoLikeEngine
+from repro.sparql.engine import PropertyPathEngine
+from repro.sparql.freebase_like import freebase_queries, generate_freebase_triples
+from repro.sparql.lubm import generate_lubm_triples, lubm_queries
+from repro.sparql.rdf import TripleStore
+
+
+@pytest.fixture(scope="module")
+def lubm_store():
+    store = TripleStore()
+    store.add_all(
+        generate_lubm_triples(
+            num_universities=3,
+            departments_per_university=4,
+            groups_per_department=3,
+            students_per_department=4,
+            seed=0,
+        )
+    )
+    return store
+
+
+@pytest.fixture(scope="module")
+def freebase_store():
+    store = TripleStore()
+    store.add_all(
+        generate_freebase_triples(
+            num_countries=2,
+            states_per_country=3,
+            cities_per_state=3,
+            people_per_city=3,
+            seed=0,
+        )
+    )
+    return store
+
+
+def binding_set(result):
+    return {tuple(sorted(binding.items())) for binding in result.bindings}
+
+
+class TestSimpleQueries:
+    def test_flat_pattern_only(self, lubm_store):
+        engine = PropertyPathEngine(lubm_store, num_slaves=2)
+        result = engine.execute(
+            "SELECT * WHERE { ?x rdf:type ub:University }"
+        )
+        assert result.num_results == 3
+        decoded = result.decoded(lubm_store)
+        assert {row["?x"] for row in decoded} == {"univ0", "univ1", "univ2"}
+
+    def test_constant_subject(self, lubm_store):
+        engine = PropertyPathEngine(lubm_store, num_slaves=2)
+        result = engine.execute(
+            "SELECT * WHERE { univ0.dept0 ub:subOrganizationOf* ?y . ?y rdf:type ub:University }"
+        )
+        decoded = result.decoded(lubm_store)
+        assert {row["?y"] for row in decoded} == {"univ0"}
+
+    def test_zero_length_path(self, lubm_store):
+        """``p*`` matches zero steps, so a vertex always reaches itself."""
+        engine = PropertyPathEngine(lubm_store, num_slaves=2)
+        result = engine.execute(
+            "SELECT * WHERE { ?x rdf:type ub:University . ?x ub:subOrganizationOf* ?y . "
+            "?y rdf:type ub:University }"
+        )
+        decoded = result.decoded(lubm_store)
+        assert {(row["?x"], row["?y"]) for row in decoded} == {
+            ("univ0", "univ0"),
+            ("univ1", "univ1"),
+            ("univ2", "univ2"),
+        }
+
+    def test_no_results_for_unsatisfiable_query(self, lubm_store):
+        engine = PropertyPathEngine(lubm_store, num_slaves=2)
+        result = engine.execute("SELECT * WHERE { ?x rdf:type ub:Nothing }")
+        assert result.num_results == 0
+
+    def test_unknown_path_predicate(self, lubm_store):
+        engine = PropertyPathEngine(lubm_store, num_slaves=2)
+        result = engine.execute(
+            "SELECT * WHERE { ?x rdf:type ub:University . ?x ub:missing* ?y . "
+            "?y rdf:type ub:University }"
+        )
+        # Only the zero-length matches survive.
+        decoded = result.decoded(lubm_store)
+        assert all(row["?x"] == row["?y"] for row in decoded)
+
+
+class TestAgainstBaseline:
+    @pytest.mark.parametrize("name", ["L1", "L2", "L3"])
+    def test_lubm_queries_match_baseline(self, lubm_store, name):
+        query = lubm_queries()[name]
+        dsr = PropertyPathEngine(lubm_store, num_slaves=3).execute(query)
+        cold = VirtuosoLikeEngine(lubm_store, warm=False).execute(query)
+        assert binding_set(dsr) == binding_set(cold)
+        assert dsr.num_results > 0
+
+    @pytest.mark.parametrize("name", ["F1", "F2", "F3"])
+    def test_freebase_queries_match_baseline(self, freebase_store, name):
+        query = freebase_queries()[name]
+        dsr = PropertyPathEngine(freebase_store, num_slaves=3).execute(query)
+        cold = VirtuosoLikeEngine(freebase_store, warm=False).execute(query)
+        assert binding_set(dsr) == binding_set(cold)
+
+    def test_warm_baseline_matches_cold(self, lubm_store):
+        query = lubm_queries()["L1"]
+        cold = VirtuosoLikeEngine(lubm_store, warm=False).execute(query)
+        warm_engine = VirtuosoLikeEngine(lubm_store, warm=True)
+        warm_engine.execute(query)  # fill memo
+        warm = warm_engine.execute(query)
+        assert binding_set(cold) == binding_set(warm)
+
+    def test_num_slaves_does_not_change_results(self, lubm_store):
+        query = lubm_queries()["L2"]
+        one = PropertyPathEngine(lubm_store, num_slaves=1).execute(query)
+        five = PropertyPathEngine(lubm_store, num_slaves=5).execute(query)
+        assert binding_set(one) == binding_set(five)
+
+
+class TestEngineInternals:
+    def test_engines_cached_per_predicate(self, lubm_store):
+        engine = PropertyPathEngine(lubm_store, num_slaves=2)
+        engine.warm_up(lubm_queries()["L1"])
+        first = engine._engine_for("ub:subOrganizationOf")
+        second = engine._engine_for("ub:subOrganizationOf")
+        assert first is second
+
+    def test_clear_caches_on_baseline(self, lubm_store):
+        engine = VirtuosoLikeEngine(lubm_store, warm=True)
+        engine.execute(lubm_queries()["L1"])
+        assert engine._memo
+        engine.clear_caches()
+        assert not engine._memo
+
+    def test_result_decoding(self, lubm_store):
+        engine = PropertyPathEngine(lubm_store, num_slaves=2)
+        result = engine.execute("SELECT * WHERE { ?x rdf:type ub:FullProfessor }")
+        decoded = result.decoded(lubm_store)
+        assert all(row["?x"].endswith("prof0") for row in decoded)

@@ -1,0 +1,60 @@
+"""Tests for the LUBM-like and Freebase-like RDF generators."""
+
+import pytest
+
+from repro.sparql.freebase_like import generate_freebase_triples
+from repro.sparql.lubm import generate_lubm_triples
+from repro.sparql.rdf import TripleStore
+
+
+class TestLubmGenerator:
+    def test_deterministic(self):
+        assert generate_lubm_triples(seed=3) == generate_lubm_triples(seed=3)
+
+    def test_scales_with_parameters(self):
+        small = generate_lubm_triples(2, 2, 2, 2, seed=0)
+        large = generate_lubm_triples(4, 4, 4, 4, seed=0)
+        assert len(large) > len(small)
+
+    def test_expected_types_present(self):
+        store = TripleStore()
+        store.add_all(generate_lubm_triples(2, 3, 2, 2, seed=1))
+        assert len(store.entities_of_type("ub:University")) == 2
+        assert len(store.entities_of_type("ub:Department")) == 6
+        assert len(store.entities_of_type("ub:ResearchGroup")) == 12
+        assert len(store.entities_of_type("ub:FullProfessor")) == 6
+
+    def test_hierarchy_reaches_universities(self):
+        store = TripleStore()
+        store.add_all(generate_lubm_triples(2, 2, 2, 2, seed=2))
+        graph = store.predicate_graph("ub:subOrganizationOf")
+        from repro.graph.traversal import bfs_reachable_set
+
+        universities = store.entities_of_type("ub:University")
+        for group in store.entities_of_type("ub:ResearchGroup"):
+            assert bfs_reachable_set(graph, group) & universities
+
+
+class TestFreebaseGenerator:
+    def test_deterministic(self):
+        assert generate_freebase_triples(seed=5) == generate_freebase_triples(seed=5)
+
+    def test_containment_chain(self):
+        store = TripleStore()
+        store.add_all(generate_freebase_triples(2, 2, 2, 2, seed=1))
+        graph = store.predicate_graph("fb:location.location.containedby")
+        from repro.graph.traversal import bfs_reachable_set
+
+        countries = store.entities_of_type("fb:location.country")
+        cities = store.entities_of_type("fb:location.citytown")
+        assert cities
+        for city in cities:
+            assert bfs_reachable_set(graph, city) & countries
+
+    def test_people_have_birthplaces(self):
+        store = TripleStore()
+        store.add_all(generate_freebase_triples(2, 2, 2, 3, seed=2))
+        birth = store.lookup("fb:people.person.place_of_birth")
+        people = store.entities_of_type("fb:people.person")
+        for person in people:
+            assert store.objects(person, birth)

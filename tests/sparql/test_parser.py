@@ -1,0 +1,81 @@
+"""Tests for the SPARQL subset parser."""
+
+import pytest
+
+from repro.sparql.freebase_like import freebase_queries
+from repro.sparql.lubm import lubm_queries
+from repro.sparql.parser import SparqlSyntaxError, parse_query
+
+
+class TestBasicParsing:
+    def test_simple_bgp(self):
+        query = parse_query("SELECT * WHERE { ?x rdf:type ub:University . ?x ub:name ?n }")
+        assert len(query.patterns) == 2
+        assert query.variables == ("?x", "?n")
+        assert not query.patterns[0].transitive
+
+    def test_property_path_flag(self):
+        query = parse_query("SELECT * WHERE { ?x ub:subOrganizationOf* ?y }")
+        pattern = query.patterns[0]
+        assert pattern.transitive
+        assert pattern.predicate == "ub:subOrganizationOf"
+
+    def test_dotted_iris_not_split(self):
+        query = parse_query(
+            "SELECT * WHERE { ?p fb:people.person.place_of_birth ?city . "
+            "?city fb:location.location.containedby* ?state . }"
+        )
+        assert len(query.patterns) == 2
+        assert query.patterns[0].predicate == "fb:people.person.place_of_birth"
+        assert query.patterns[1].transitive
+
+    def test_prefix_lines_ignored(self):
+        text = (
+            "@prefix ub: <http://example.org/ub#>\n"
+            "SELECT * WHERE { ?x rdf:type ub:University }"
+        )
+        assert len(parse_query(text).patterns) == 1
+
+    def test_case_insensitive_keywords(self):
+        assert len(parse_query("select * where { ?a ?p? ?b }".replace("?p?", "p")).patterns) == 1
+
+    def test_trailing_dot_tolerated(self):
+        query = parse_query("SELECT * WHERE { ?x p ?y . }")
+        assert len(query.patterns) == 1
+
+    def test_path_and_flat_pattern_split(self):
+        query = parse_query(
+            "SELECT * WHERE { ?x rdf:type T . ?x p* ?y . ?y rdf:type U }"
+        )
+        assert len(query.flat_patterns) == 2
+        assert len(query.path_patterns) == 1
+
+
+class TestErrors:
+    def test_missing_where(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT ?x { ?x p ?y }")
+
+    def test_empty_pattern(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT * WHERE {   }")
+
+    def test_wrong_arity(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT * WHERE { ?x p }")
+
+    def test_variable_predicate_rejected(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT * WHERE { ?x ?p ?y }")
+
+
+class TestPaperQueries:
+    @pytest.mark.parametrize("name,text", sorted(lubm_queries().items()))
+    def test_lubm_queries_parse(self, name, text):
+        query = parse_query(text)
+        assert query.path_patterns, name
+
+    @pytest.mark.parametrize("name,text", sorted(freebase_queries().items()))
+    def test_freebase_queries_parse(self, name, text):
+        query = parse_query(text)
+        assert query.patterns, name

@@ -1,0 +1,92 @@
+"""Tests for the in-memory triple store."""
+
+import pytest
+
+from repro.sparql.rdf import TripleStore
+
+
+@pytest.fixture
+def store():
+    ts = TripleStore()
+    ts.add_all(
+        [
+            ("alice", "knows", "bob"),
+            ("bob", "knows", "carol"),
+            ("alice", "rdf:type", "Person"),
+            ("bob", "rdf:type", "Person"),
+            ("acme", "rdf:type", "Company"),
+            ("alice", "worksFor", "acme"),
+        ]
+    )
+    return ts
+
+
+class TestEncoding:
+    def test_encode_is_stable(self, store):
+        assert store.encode("alice") == store.encode("alice")
+
+    def test_lookup_missing_term(self, store):
+        assert store.lookup("nobody") is None
+
+    def test_decode_roundtrip(self, store):
+        term_id = store.lookup("bob")
+        assert store.decode(term_id) == "bob"
+
+    def test_counts(self, store):
+        assert store.num_triples == 6
+        assert store.num_terms > 6  # subjects + predicates + objects
+
+
+class TestIndexes:
+    def test_duplicate_triples_ignored(self, store):
+        before = store.num_triples
+        assert store.add("alice", "knows", "bob") is False
+        assert store.num_triples == before
+
+    def test_objects_access_path(self, store):
+        alice = store.lookup("alice")
+        knows = store.lookup("knows")
+        assert store.objects(alice, knows) == {store.lookup("bob")}
+
+    def test_subjects_access_path(self, store):
+        person = store.lookup("Person")
+        rdf_type = store.lookup("rdf:type")
+        assert store.subjects(rdf_type, person) == {
+            store.lookup("alice"),
+            store.lookup("bob"),
+        }
+
+    def test_subject_object_pairs(self, store):
+        knows = store.lookup("knows")
+        pairs = set(store.subject_object_pairs(knows))
+        assert pairs == {
+            (store.lookup("alice"), store.lookup("bob")),
+            (store.lookup("bob"), store.lookup("carol")),
+        }
+
+    def test_entities_of_type(self, store):
+        people = store.entities_of_type("Person")
+        assert people == {store.lookup("alice"), store.lookup("bob")}
+
+    def test_triples_iteration(self, store):
+        assert ("alice", "knows", "bob") in set(store.triples())
+
+
+class TestGraphProjection:
+    def test_predicate_graph(self, store):
+        graph = store.predicate_graph("knows")
+        alice, bob, carol = (store.lookup(t) for t in ("alice", "bob", "carol"))
+        assert graph.has_edge(alice, bob)
+        assert graph.has_edge(bob, carol)
+        assert graph.num_edges == 2
+
+    def test_unknown_predicate_gives_empty_graph(self, store):
+        assert store.predicate_graph("likes").num_vertices == 0
+
+    def test_entity_graph_all_predicates(self, store):
+        graph = store.entity_graph()
+        assert graph.num_edges == 6
+
+    def test_entity_graph_selected_predicates(self, store):
+        graph = store.entity_graph(["knows", "worksFor"])
+        assert graph.num_edges == 3

@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliCommands:
+    def test_info(self, capsys):
+        assert main(["info", "amazon", "--scale", "0.2"]) == 0
+        output = capsys.readouterr().out
+        assert "Amazon analogue" in output
+        assert "metis" in output and "hash" in output
+
+    def test_query(self, capsys):
+        code = main(
+            [
+                "query",
+                "stanford",
+                "--scale",
+                "0.15",
+                "--partitions",
+                "3",
+                "--sources",
+                "5",
+                "--targets",
+                "5",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "query |S|=5 |T|=5" in output
+        assert "rounds" in output
+
+    def test_query_without_equivalence(self, capsys):
+        code = main(
+            ["query", "notredame", "--scale", "0.15", "--no-equivalence", "--sources", "3",
+             "--targets", "3"]
+        )
+        assert code == 0
+
+    def test_compare(self, capsys):
+        code = main(
+            [
+                "compare",
+                "notredame",
+                "--scale",
+                "0.15",
+                "--partitions",
+                "3",
+                "--sources",
+                "4",
+                "--targets",
+                "4",
+                "--approaches",
+                "dsr,giraph++",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "dsr" in output and "giraph++" in output
+
+    def test_compare_unknown_approach(self, capsys):
+        assert main(["compare", "amazon", "--approaches", "magic"]) == 2
+
+    def test_sparql_lubm(self, capsys):
+        assert main(["sparql", "lubm", "--scale", "0.3", "--slaves", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "L1" in output and "L3" in output
+
+    def test_sparql_freebase(self, capsys):
+        assert main(["sparql", "freebase", "--scale", "0.4", "--slaves", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "F1" in output
+
+    def test_communities(self, capsys):
+        code = main(["communities", "--scale", "0.4", "--representatives", "5"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "community connectedness" in output
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["info", "not-a-dataset"])
