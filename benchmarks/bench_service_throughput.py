@@ -1,0 +1,151 @@
+"""Service-layer throughput — queries per second with and without the cache.
+
+This benchmark goes beyond the paper's batch experiments: it measures the
+online serving layer (:mod:`repro.service`) under a production-shaped
+workload in which a small set of popular queries is asked over and over —
+the regime a result cache exists for.
+
+* **hot workload** — ``NUM_REQUESTS`` query requests drawn round-robin from a
+  pool of ``POOL_SIZE`` distinct 10×10 queries, submitted through the
+  service's admission queue; run once with the cache enabled and once
+  without.  Expected shape (asserted): the cached service answers the same
+  workload measurably faster, because all but the first occurrence of each
+  pooled query is a dictionary lookup instead of a full one-round distributed
+  evaluation.
+* **mixed workload** — the same pool interleaved with structural edge
+  updates.  Every update invalidates the cache, so hits only accrue between
+  updates; the assertion here is *exactness*, not speed: after the workload
+  drains, every pooled query answered through the (cached) service equals a
+  direct traversal of the updated graph.
+"""
+
+import threading
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.bench.datasets import load_dataset
+from repro.bench.reporting import format_table
+from repro.bench.workloads import random_query
+from repro.core.engine import DSREngine
+from repro.graph.traversal import reachable_pairs
+from repro.service import DSRService, QueryRequest, UpdateRequest
+
+DATASET = "amazon"
+SCALE = 0.3
+NUM_SLAVES = 4
+POOL_SIZE = 8
+NUM_REQUESTS = 160
+NUM_WORKERS = 4
+
+
+def _build_service(enable_cache):
+    graph = load_dataset(DATASET, scale=SCALE, seed=BENCH_SEED)
+    engine = DSREngine(
+        graph, num_partitions=NUM_SLAVES, local_index="msbfs", seed=BENCH_SEED
+    )
+    engine.build_index()
+    service = DSRService(
+        engine, num_workers=NUM_WORKERS, max_queue_depth=NUM_REQUESTS + 8,
+        enable_cache=enable_cache,
+    )
+    return graph, service
+
+
+def _query_pool(graph):
+    return [random_query(graph, 10, 10, seed=BENCH_SEED + i) for i in range(POOL_SIZE)]
+
+
+def _drive(service, pool, num_requests):
+    """Submit ``num_requests`` pooled queries and wait for every answer."""
+    futures = []
+    for i in range(num_requests):
+        sources, targets = pool[i % len(pool)]
+        futures.append(service.submit(QueryRequest(tuple(sources), tuple(targets))))
+    return [future.result() for future in futures]
+
+
+def test_hot_query_throughput(benchmark):
+    """Cache on vs. off over the identical hot query workload."""
+    rows = []
+    qps = {}
+
+    def run():
+        import time
+
+        for label, enable_cache in (("cached", True), ("uncached", False)):
+            graph, service = _build_service(enable_cache)
+            pool = _query_pool(graph)
+            start = time.perf_counter()
+            responses = _drive(service, pool, NUM_REQUESTS)
+            seconds = time.perf_counter() - start
+            stats = service.stats()
+            service.close()
+            # Every response is exact regardless of where it came from.
+            for i, response in enumerate(responses[:POOL_SIZE]):
+                sources, targets = pool[i % POOL_SIZE]
+                assert response.pair_set == reachable_pairs(graph, sources, targets)
+            qps[label] = NUM_REQUESTS / seconds
+            rows.append(
+                {
+                    "service": label,
+                    "requests": NUM_REQUESTS,
+                    "seconds": round(seconds, 4),
+                    "qps": round(qps[label], 1),
+                    "hit_rate": stats["cache_hit_rate"],
+                    "p50_ms": stats.get("query_p50_ms", 0.0),
+                    "p95_ms": stats.get("query_p95_ms", 0.0),
+                }
+            )
+        return rows
+
+    run_once(benchmark, run)
+    print()
+    print(format_table(rows, title=f"service throughput — {DATASET} (scale {SCALE})"))
+    # The cache turns all but POOL_SIZE requests into lookups; the gap must be
+    # clearly measurable even on a noisy machine.
+    assert qps["cached"] > 1.5 * qps["uncached"], qps
+
+
+def test_mixed_query_update_workload(benchmark):
+    """Concurrent queries interleaved with structural updates stay exact."""
+
+    def run():
+        graph, service = _build_service(True)
+        pool = _query_pool(graph)
+        vertices = sorted(graph.vertices())
+        edges = sorted(graph.edges())
+
+        errors = []
+
+        def update_driver():
+            for step in range(6):
+                u, v = vertices[step], vertices[-1 - step]
+                response = service.submit(UpdateRequest("insert-edge", u, v)).result()
+                if response.op != "insert-edge":
+                    errors.append(response)
+                remove = edges[step]
+                service.submit(UpdateRequest("delete-edge", *remove)).result()
+
+        updater = threading.Thread(target=update_driver)
+        updater.start()
+        _drive(service, pool, NUM_REQUESTS // 2)
+        updater.join()
+        assert not errors
+
+        # After the dust settles every answer must match the updated graph.
+        for sources, targets in pool:
+            response = service.submit(
+                QueryRequest(tuple(sources), tuple(targets))
+            ).result()
+            assert response.pair_set == reachable_pairs(graph, sources, targets)
+        stats = service.stats()
+        service.close()
+        return stats
+
+    stats = run_once(benchmark, run)
+    print()
+    print(
+        f"mixed workload: {stats['queries']} queries, {stats['updates']} updates, "
+        f"hit rate {stats['cache_hit_rate']}, p95 {stats.get('query_p95_ms', 0)}ms"
+    )

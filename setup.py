@@ -1,12 +1,44 @@
-"""Setup shim.
+"""Packaging for the DSR (SIGMOD 2016) reproduction.
 
-The project is configured through ``pyproject.toml``; this file exists so that
-fully offline environments without the ``wheel`` package can still do an
-editable install via the legacy path::
+The project is pure-Python with no runtime dependencies, so the classic
+``setup.py`` path works even in fully offline environments without the
+``wheel`` package::
 
-    pip install -e . --no-build-isolation --no-use-pep517
+    pip install -e . --no-build-isolation
+
+Installing provides the ``repro-dsr`` console command (``repro.cli:main``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-dsr",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Distributed Set Reachability' (SIGMOD 2016): "
+        "DSR index, one-round query protocol, incremental maintenance and "
+        "an online query service (planner, result cache, concurrent server)"
+    ),
+    long_description=open("README.md", encoding="utf-8").read(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={
+        "console_scripts": [
+            "repro-dsr = repro.cli:main",
+        ]
+    },
+    extras_require={
+        "test": ["pytest", "pytest-benchmark"],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Information Analysis",
+    ],
+)

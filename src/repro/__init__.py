@@ -24,7 +24,7 @@ from repro.core.query import QueryResult
 from repro.graph.digraph import DiGraph
 from repro.partition.partition import GraphPartitioning, make_partitioning
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DSREngine",

@@ -12,6 +12,9 @@ The CLI exposes the most common workflows without writing any Python:
 * ``repro-dsr sparql <suite>`` — run the paper's property-path queries (L1–L3
   or F1–F3) through the DSR-backed engine and the Virtuoso-like baseline.
 * ``repro-dsr communities`` — run the community-connectedness application.
+* ``repro-dsr serve <dataset>`` — build an index and run the online query
+  service (planner + result cache + concurrent workers), either listening on
+  a local socket or driving a built-in mixed workload (``--self-test``).
 
 Every command accepts ``--scale`` and ``--seed`` so runs are reproducible.
 """
@@ -29,6 +32,13 @@ from repro.bench.runner import ALL_APPROACHES, ExperimentRunner
 from repro.bench.workloads import random_query
 from repro.core.engine import DSREngine
 from repro.graph import generators
+from repro.service import (
+    DSRService,
+    DSRSocketServer,
+    ErrorResponse,
+    QueryRequest,
+    UpdateRequest,
+)
 from repro.partition.partition import make_partitioning
 from repro.sparql.baseline import VirtuosoLikeEngine
 from repro.sparql.engine import PropertyPathEngine
@@ -90,6 +100,35 @@ def _build_parser() -> argparse.ArgumentParser:
     communities.add_argument("--representatives", type=int, default=10)
     communities.add_argument("--partitions", type=int, default=4)
     _add_common_arguments(communities)
+
+    serve = subparsers.add_parser("serve", help="run the online DSR query service")
+    serve.add_argument("dataset", choices=sorted(DATASETS))
+    serve.add_argument("--partitions", type=int, default=5)
+    serve.add_argument(
+        "--local-index",
+        choices=["dfs", "msbfs", "ferrari", "grail", "closure"],
+        default="msbfs",
+    )
+    serve.add_argument(
+        "--backward", action="store_true",
+        help="also build the mirror index so the planner can go backward",
+    )
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--queue-depth", type=int, default=64)
+    serve.add_argument("--cache-capacity", type=int, default=1024)
+    serve.add_argument("--cache-ttl", type=float, default=None)
+    serve.add_argument("--no-cache", action="store_true")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    serve.add_argument(
+        "--max-requests", type=int, default=None,
+        help="stop after serving this many socket requests",
+    )
+    serve.add_argument(
+        "--self-test", action="store_true",
+        help="drive a built-in mixed query/update workload instead of listening",
+    )
+    _add_common_arguments(serve)
 
     return parser
 
@@ -233,12 +272,114 @@ def _command_communities(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    engine = DSREngine(
+        graph,
+        num_partitions=args.partitions,
+        local_index=args.local_index,
+        seed=args.seed,
+        enable_backward=args.backward,
+    )
+    report = engine.build_index()
+    print(
+        f"{args.dataset}: {graph.num_vertices} vertices, {graph.num_edges} edges — "
+        f"index built in {report.parallel_build_seconds:.3f}s simulated-parallel"
+    )
+    service = DSRService(
+        engine,
+        num_workers=args.workers,
+        max_queue_depth=args.queue_depth,
+        cache_capacity=args.cache_capacity,
+        cache_ttl_seconds=args.cache_ttl,
+        enable_cache=not args.no_cache,
+    )
+    try:
+        if args.self_test:
+            return _serve_self_test(graph, service, seed=args.seed)
+        server = DSRSocketServer(
+            service, host=args.host, port=args.port, max_requests=args.max_requests
+        )
+        server.start()
+        host, port = server.address
+        print(f"serving on {host}:{port} with {args.workers} workers "
+              f"(cache {'off' if args.no_cache else 'on'}) — Ctrl-C to stop")
+        try:
+            server.wait()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        finally:
+            server.stop()
+        print(f"served {server.requests_served} requests")
+        print(format_table([_stats_row(service)], title="serving metrics"))
+        return 0
+    finally:
+        service.close()
+
+
+def _stats_row(service: DSRService) -> dict:
+    stats = service.stats()
+    return {
+        "requests": stats.get("requests", 0),
+        "queries": stats.get("queries", 0),
+        "hit_rate": stats.get("cache_hit_rate", 0.0),
+        "p50_ms": stats.get("query_p50_ms", 0.0),
+        "p95_ms": stats.get("query_p95_ms", 0.0),
+        "rps": stats.get("requests_per_second", 0.0),
+    }
+
+
+def _serve_self_test(graph, service: DSRService, seed: int) -> int:
+    """Drive a mixed query/update workload through the service in-process."""
+    from repro.graph.traversal import reachable_pairs
+
+    query_pool = [
+        random_query(graph, 8, 8, seed=seed + wave) for wave in range(6)
+    ]
+    # Wave 1: queries only (populates the cache, repeats hit it).
+    futures = []
+    for repeat in range(3):
+        for sources, targets in query_pool:
+            futures.append(service.submit(QueryRequest(tuple(sources), tuple(targets))))
+    for future in futures:
+        response = future.result()
+        if isinstance(response, ErrorResponse):
+            print(f"self-test query failed: {response.message}", file=sys.stderr)
+            return 1
+    # Wave 2: structural updates followed by re-queries; answers must match
+    # a direct traversal of the updated graph.
+    vertices = sorted(graph.vertices())
+    for update in (
+        UpdateRequest("insert-edge", vertices[0], vertices[-1]),
+        UpdateRequest("delete-edge", *next(iter(graph.edges()))),
+    ):
+        response = service.submit(update).result()
+        if isinstance(response, ErrorResponse):
+            print(f"self-test update failed: {response.message}", file=sys.stderr)
+            return 1
+    for sources, targets in query_pool:
+        response = service.submit(
+            QueryRequest(tuple(sources), tuple(targets))
+        ).result()
+        if isinstance(response, ErrorResponse):
+            print(f"self-test query failed: {response.message}", file=sys.stderr)
+            return 1
+        expected = reachable_pairs(graph, sources, targets)
+        if response.pair_set != expected:
+            print("self-test FAILED: stale answer after updates", file=sys.stderr)
+            return 1
+    print("self-test passed: answers stayed exact across cache + updates")
+    print(format_table([_stats_row(service)], title="serving metrics"))
+    return 0
+
+
 _COMMANDS = {
     "info": _command_info,
     "query": _command_query,
     "compare": _command_compare,
     "sparql": _command_sparql,
     "communities": _command_communities,
+    "serve": _command_serve,
 }
 
 

@@ -95,14 +95,20 @@ class DSREngine:
             reversed_graph, dict(self.partitioning.assignment),
             self.partitioning.num_partitions,
         )
+        # The mirror index runs on the *same* simulated cluster as the forward
+        # index: the paper's deployment keeps both directions on one set of
+        # slaves, and sharing the cluster means backward queries report their
+        # communication statistics through the same counters as forward ones
+        # (the executor resets those counters at the start of each query).
         self._reverse_index = DSRIndex(
             reverse_partitioning,
             use_equivalence=self._use_equivalence,
             local_strategy=self._local_index,
             strategy_kwargs=self._local_index_options,
+            cluster=self.cluster,
         )
         self._reverse_index.build()
-        self._reverse_executor = DistributedQueryExecutor(self._reverse_index)
+        self._reverse_executor = DistributedQueryExecutor(self._reverse_index, self.cluster)
         self._reverse_maintainer = IncrementalMaintainer(self._reverse_index)
 
     @property
@@ -237,6 +243,16 @@ class DSREngine:
     @property
     def has_pending_updates(self) -> bool:
         return self._maintainer is not None and self._maintainer.has_pending_changes
+
+    @property
+    def maintainer(self) -> Optional[IncrementalMaintainer]:
+        """The forward index's incremental maintainer (``None`` before build).
+
+        Exposed so observers — e.g. the service layer's result cache — can
+        subscribe to the update/flush stream via
+        :meth:`IncrementalMaintainer.add_update_listener`.
+        """
+        return self._maintainer
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Set
+from typing import Callable, List, Optional, Set
 
 from repro.core.index import DSRIndex
 
@@ -66,6 +66,37 @@ class IncrementalMaintainer:
         self.graph = index.partitioning.graph
         self.auto_flush = auto_flush
         self._dirty: Set[int] = set()
+        self._update_listeners: List[Callable[[UpdateResult], None]] = []
+        self._flush_listeners: List[Callable[[FlushResult], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # observers
+    # ------------------------------------------------------------------ #
+    def add_update_listener(self, listener: Callable[[UpdateResult], None]) -> None:
+        """Call ``listener(update_result)`` after every applied update.
+
+        The listener runs *before* the batched flush, i.e. at the moment the
+        index first diverges from its last consistent state — the right point
+        for a result cache to invalidate (waiting for the flush would leave a
+        window where stale answers could still be served).
+        """
+        self._update_listeners.append(listener)
+
+    def add_flush_listener(self, listener: Callable[[FlushResult], None]) -> None:
+        """Call ``listener(flush_result)`` after every maintenance flush."""
+        self._flush_listeners.append(listener)
+
+    def remove_listener(self, listener: Callable) -> None:
+        """Detach a previously registered update or flush listener."""
+        if listener in self._update_listeners:
+            self._update_listeners.remove(listener)
+        if listener in self._flush_listeners:
+            self._flush_listeners.remove(listener)
+
+    def _notify(self, result: UpdateResult) -> UpdateResult:
+        for listener in self._update_listeners:
+            listener(result)
+        return result
 
     # ------------------------------------------------------------------ #
     # state
@@ -91,6 +122,8 @@ class IncrementalMaintainer:
         self.index.refresh_compound_graphs()
         self._dirty.clear()
         result.seconds = time.perf_counter() - start
+        for listener in self._flush_listeners:
+            listener(result)
         return result
 
     def _mark_dirty(self, partition_ids) -> None:
@@ -111,7 +144,9 @@ class IncrementalMaintainer:
         pid_v = self.partitioning.partition_of(v)
 
         if not self.graph.add_edge(u, v):
-            return UpdateResult("insert-edge", set(), False, time.perf_counter() - start)
+            return self._notify(
+                UpdateResult("insert-edge", set(), False, time.perf_counter() - start)
+            )
 
         if pid_u == pid_v:
             # Keep the per-partition graphs in sync immediately (cheap).
@@ -133,33 +168,39 @@ class IncrementalMaintainer:
             if same_scc:
                 # Both endpoints are already mutually reachable: no summary or
                 # condensation change is possible (Section 3.3.3).
-                return UpdateResult(
-                    "insert-edge", {pid_u}, False, time.perf_counter() - start
+                return self._notify(
+                    UpdateResult("insert-edge", {pid_u}, False, time.perf_counter() - start)
                 )
             self._mark_dirty({pid_u})
-            return UpdateResult(
-                "insert-edge",
-                {pid_u},
-                True,
-                time.perf_counter() - start,
-                flushed=self.auto_flush,
+            return self._notify(
+                UpdateResult(
+                    "insert-edge",
+                    {pid_u},
+                    True,
+                    time.perf_counter() - start,
+                    flushed=self.auto_flush,
+                )
             )
 
         # Cut edge: boundary sets of both incident partitions may change.
         self._mark_dirty({pid_u, pid_v})
-        return UpdateResult(
-            "insert-edge",
-            {pid_u, pid_v},
-            True,
-            time.perf_counter() - start,
-            flushed=self.auto_flush,
+        return self._notify(
+            UpdateResult(
+                "insert-edge",
+                {pid_u, pid_v},
+                True,
+                time.perf_counter() - start,
+                flushed=self.auto_flush,
+            )
         )
 
     def delete_edge(self, u: int, v: int) -> UpdateResult:
         """Delete edge ``(u, v)`` if present."""
         start = time.perf_counter()
         if not self.graph.has_edge(u, v):
-            return UpdateResult("delete-edge", set(), False, time.perf_counter() - start)
+            return self._notify(
+                UpdateResult("delete-edge", set(), False, time.perf_counter() - start)
+            )
         pid_u = self.partitioning.partition_of(u)
         pid_v = self.partitioning.partition_of(v)
         self.graph.remove_edge(u, v)
@@ -172,12 +213,14 @@ class IncrementalMaintainer:
         else:
             affected = {pid_u, pid_v}
         self._mark_dirty(affected)
-        return UpdateResult(
-            "delete-edge",
-            affected,
-            True,
-            time.perf_counter() - start,
-            flushed=self.auto_flush,
+        return self._notify(
+            UpdateResult(
+                "delete-edge",
+                affected,
+                True,
+                time.perf_counter() - start,
+                flushed=self.auto_flush,
+            )
         )
 
     # ------------------------------------------------------------------ #
@@ -187,6 +230,11 @@ class IncrementalMaintainer:
         self, vertex: Optional[int] = None, partition_id: Optional[int] = None
     ) -> int:
         """Insert an isolated vertex and assign it to a partition."""
+        if vertex is not None and self.graph.has_vertex(vertex):
+            # Re-inserting must not silently reassign the vertex's partition:
+            # the old partition would keep its edges while the new one claims
+            # the vertex, corrupting every later dirty-marking decision.
+            raise ValueError(f"vertex {vertex} already exists")
         new_vertex = self.graph.add_vertex(vertex)
         if partition_id is None:
             sizes = [
@@ -203,6 +251,9 @@ class IncrementalMaintainer:
             compound.local_vertices.add(new_vertex)
             if compound.reachability is not None:
                 compound.reachability.rebuild()
+        # An isolated vertex cannot change reachability between existing
+        # vertices, so the update is reported as non-structural.
+        self._notify(UpdateResult("insert-vertex", {partition_id}, False, 0.0))
         return new_vertex
 
     def delete_vertex(self, vertex: int) -> UpdateResult:
@@ -220,12 +271,14 @@ class IncrementalMaintainer:
         # Removing a vertex can change the local structure of every touched
         # partition, so recompute them from the partitioning at flush time.
         self._mark_dirty(touched)
-        return UpdateResult(
-            "delete-vertex",
-            touched,
-            True,
-            time.perf_counter() - start,
-            flushed=self.auto_flush,
+        return self._notify(
+            UpdateResult(
+                "delete-vertex",
+                touched,
+                True,
+                time.perf_counter() - start,
+                flushed=self.auto_flush,
+            )
         )
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,59 @@
+"""Online query service over the DSR engine.
+
+The :mod:`repro.service` package is the serving layer of the reproduction: it
+wraps a built :class:`~repro.core.engine.DSREngine` behind a planner, an
+exact-answer result cache and a concurrent request loop, and exposes the
+whole thing in-process or over a local socket.
+
+>>> from repro import DSREngine
+>>> from repro.graph import generators
+>>> from repro.service import DSRService, QueryRequest
+>>> graph = generators.social_graph(300, avg_degree=5, seed=1)
+>>> service = DSRService(DSREngine(graph, num_partitions=3))
+>>> response = service.handle(QueryRequest((0, 1), (100, 200)))
+>>> service.close()
+"""
+
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.planner import QueryPlan, QueryPlanner
+from repro.service.protocol import (
+    ErrorResponse,
+    ProtocolError,
+    QueryRequest,
+    QueryResponse,
+    SnapshotRequest,
+    SnapshotResponse,
+    StatsRequest,
+    StatsResponse,
+    UpdateRequest,
+    UpdateResponse,
+)
+from repro.service.server import (
+    DSRClient,
+    DSRService,
+    DSRSocketServer,
+    ServiceMetrics,
+    ServiceOverloadedError,
+)
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "QueryPlan",
+    "QueryPlanner",
+    "ProtocolError",
+    "QueryRequest",
+    "QueryResponse",
+    "UpdateRequest",
+    "UpdateResponse",
+    "StatsRequest",
+    "StatsResponse",
+    "SnapshotRequest",
+    "SnapshotResponse",
+    "ErrorResponse",
+    "DSRClient",
+    "DSRService",
+    "DSRSocketServer",
+    "ServiceMetrics",
+    "ServiceOverloadedError",
+]

@@ -1,0 +1,197 @@
+"""LRU + TTL result cache for the DSR query service.
+
+Entries map a normalised query key — ``(frozenset(S), frozenset(T))`` — to
+the exact answer ``{(s, t)}``.  The processing direction is deliberately not
+part of the key: forward and backward evaluation compute the same exact pair
+set, so either may serve a hit for the other.
+
+Staleness under updates
+-----------------------
+The cache registers itself on the engine's
+:class:`~repro.core.updates.IncrementalMaintainer` via
+:meth:`ResultCache.attach`:
+
+* every applied update is observed *immediately* (before the batched flush),
+  and any **structural** update — one that marks partitions dirty — clears
+  the cache.  Invalidation cannot wait for the flush: the engine only folds
+  pending updates into the index right before its next query, so a cache that
+  invalidated at flush time would happily serve stale answers in between.
+* **non-structural** updates (inserting an edge inside an existing SCC,
+  re-inserting a present edge, deleting an absent edge, adding an isolated
+  vertex) provably cannot change any reachable pair, so cached entries
+  survive them — this is the precise part of the invalidation.
+* flushes are also observed, which covers maintainers driven directly (not
+  through the engine) and keeps a per-flush counter for introspection.
+
+Whole-cache invalidation (rather than per-partition) is the *correct*
+granularity for reachability: refreshing partition ``p`` can change the
+answer of a pair ``(s, t)`` whose endpoints live in two other partitions
+whenever some path threads through ``p``, so no sound per-entry filter exists
+short of re-evaluating the query.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.core.updates import FlushResult, IncrementalMaintainer, UpdateResult
+
+CacheKey = Tuple[FrozenSet[int], FrozenSet[int]]
+
+
+@dataclass
+class CacheStats:
+    """Cumulative cache effectiveness counters."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+    flushes_observed: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
+            "flushes_observed": self.flushes_observed,
+        }
+
+
+@dataclass
+class _Entry:
+    pairs: FrozenSet[Tuple[int, int]]
+    stored_at: float = 0.0
+
+
+class ResultCache:
+    """Thread-safe LRU cache with optional TTL and update-driven invalidation."""
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        ttl_seconds: Optional[float] = None,
+        clock=time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive (or None to disable)")
+        self.capacity = capacity
+        self.ttl_seconds = ttl_seconds
+        self.stats = CacheStats()
+        self._clock = clock
+        self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._maintainers: list = []
+
+    # ------------------------------------------------------------------ #
+    # key handling
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def make_key(sources: Iterable[int], targets: Iterable[int]) -> CacheKey:
+        """Normalise a query into its cache key (order-insensitive)."""
+        return frozenset(sources), frozenset(targets)
+
+    # ------------------------------------------------------------------ #
+    # lookup / store
+    # ------------------------------------------------------------------ #
+    def get(
+        self, sources: Iterable[int], targets: Iterable[int]
+    ) -> Optional[Set[Tuple[int, int]]]:
+        """Return the cached answer or ``None`` (counts a hit/miss)."""
+        key = self.make_key(sources, targets)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if (
+                self.ttl_seconds is not None
+                and self._clock() - entry.stored_at > self.ttl_seconds
+            ):
+                del self._entries[key]
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return set(entry.pairs)
+
+    def put(
+        self,
+        sources: Iterable[int],
+        targets: Iterable[int],
+        pairs: Iterable[Tuple[int, int]],
+    ) -> None:
+        """Store the exact answer of ``S ⇝ T``."""
+        key = self.make_key(sources, targets)
+        with self._lock:
+            self._entries[key] = _Entry(
+                pairs=frozenset(pairs), stored_at=self._clock()
+            )
+            self._entries.move_to_end(key)
+            self.stats.insertions += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # invalidation
+    # ------------------------------------------------------------------ #
+    def invalidate_all(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            if dropped:
+                self.stats.invalidations += 1
+            return dropped
+
+    def attach(self, maintainer: IncrementalMaintainer) -> None:
+        """Subscribe to a maintainer's update/flush stream."""
+        maintainer.add_update_listener(self._on_update)
+        maintainer.add_flush_listener(self._on_flush)
+        self._maintainers.append(maintainer)
+
+    def detach(self) -> None:
+        """Unsubscribe from every attached maintainer."""
+        for maintainer in self._maintainers:
+            maintainer.remove_listener(self._on_update)
+            maintainer.remove_listener(self._on_flush)
+        self._maintainers.clear()
+
+    def _on_update(self, result: UpdateResult) -> None:
+        if result.structural_change:
+            self.invalidate_all()
+
+    def _on_flush(self, result: FlushResult) -> None:
+        with self._lock:
+            self.stats.flushes_observed += 1
+        # Structural updates already cleared the cache when they were applied;
+        # a flush of previously recorded dirt must still never leave entries
+        # behind (e.g. a maintainer attached after updates were queued).
+        if result.refreshed_partitions:
+            self.invalidate_all()
+
+
+__all__ = ["CacheKey", "CacheStats", "ResultCache"]

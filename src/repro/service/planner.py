@@ -1,0 +1,179 @@
+"""Cost-based planning of DSR service queries.
+
+The planner decides, per request, *how* a set-reachability query should hit
+the engine:
+
+* **Direction** (Section 3.3.2, "Forward vs. Backward Processing").  A
+  forward query starts one local traversal per source and ships handles of
+  partitions that hold unresolved targets; a backward query mirrors this from
+  the target side.  The planner weighs both using the query cardinalities and
+  the index's boundary statistics: partitions with many forward entry handles
+  make forward traversals touch more virtual vertices, and symmetrically for
+  backward entries.  The backward direction is only eligible when the engine
+  was built with ``enable_backward=True``.
+
+* **Batching.**  The one-round protocol evaluates ``S ⇝ T`` as a whole, and
+  its local phases grow with ``|S|`` (traversal frontiers) while the answer
+  can grow with ``|S| · |T|``.  For very large requests the planner splits the
+  bigger side of the query into chunks so that no single engine call exceeds
+  ``max_batch_pairs`` source×target pairs, keeping per-call latency (and the
+  window during which the engine lock is held) bounded.  Splitting only one
+  side keeps the decomposition lossless::
+
+      S ⇝ T  =  ⋃_i (S_i ⇝ T)        (S = ⊎ S_i)
+
+  so :meth:`QueryPlanner.merge` is a plain union of the per-batch pair sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.core.engine import DSREngine
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """An executable plan for one set-reachability request."""
+
+    direction: str  # "forward" or "backward"
+    batches: Tuple[Tuple[Tuple[int, ...], Tuple[int, ...]], ...]
+    estimated_cost: float
+    reason: str
+    split_axis: str = "none"  # "none" | "sources" | "targets"
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.batches)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.batches
+
+
+class QueryPlanner:
+    """Chooses direction and batching for queries against one engine."""
+
+    def __init__(self, engine: DSREngine, max_batch_pairs: int = 4096) -> None:
+        if max_batch_pairs < 1:
+            raise ValueError("max_batch_pairs must be positive")
+        self.engine = engine
+        self.max_batch_pairs = max_batch_pairs
+
+    # ------------------------------------------------------------------ #
+    # cost model
+    # ------------------------------------------------------------------ #
+    def _entry_stats(self) -> Tuple[float, float]:
+        """Average forward/backward entry handles per partition."""
+        index = self.engine.index
+        if not index.is_built:
+            return 1.0, 1.0
+        forward, backward = index.total_boundary_entries()
+        num_partitions = max(1, index.num_partitions)
+        return forward / num_partitions, backward / num_partitions
+
+    def estimate_cost(self, num_sources: int, num_targets: int, direction: str) -> float:
+        """Relative cost of one engine call in the given direction.
+
+        The dominant step-1 work is one multi-source traversal from the query
+        side it starts at, over a compound graph whose virtual-vertex count
+        scales with the entry handles of the *opposite* side's partitions; the
+        step-3 work scales with the other cardinality.
+        """
+        forward_entries, backward_entries = self._entry_stats()
+        if direction == "backward":
+            return num_targets * (1.0 + forward_entries) + num_sources
+        return num_sources * (1.0 + backward_entries) + num_targets
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+    def plan(
+        self,
+        sources: Iterable[int],
+        targets: Iterable[int],
+        direction: str = "auto",
+    ) -> QueryPlan:
+        """Build a :class:`QueryPlan` for ``S ⇝ T``."""
+        if direction not in ("auto", "forward", "backward"):
+            raise ValueError(f"unknown query direction {direction!r}")
+        source_list = sorted(set(sources))
+        target_list = sorted(set(targets))
+        if not source_list or not target_list:
+            return QueryPlan(
+                direction="forward",
+                batches=(),
+                estimated_cost=0.0,
+                reason="empty source or target set",
+            )
+
+        backward_available = self.engine.enable_backward and self.engine.is_built
+        if direction == "auto":
+            forward_cost = self.estimate_cost(
+                len(source_list), len(target_list), "forward"
+            )
+            if backward_available:
+                backward_cost = self.estimate_cost(
+                    len(source_list), len(target_list), "backward"
+                )
+                if backward_cost < forward_cost:
+                    chosen, cost = "backward", backward_cost
+                    reason = (
+                        f"auto: backward {backward_cost:.1f} < forward {forward_cost:.1f}"
+                    )
+                else:
+                    chosen, cost = "forward", forward_cost
+                    reason = (
+                        f"auto: forward {forward_cost:.1f} <= backward {backward_cost:.1f}"
+                    )
+            else:
+                chosen, cost = "forward", forward_cost
+                reason = "auto: backward index not available"
+        else:
+            chosen = direction
+            cost = self.estimate_cost(len(source_list), len(target_list), chosen)
+            reason = f"explicit {chosen} request"
+
+        batches, split_axis = self._split(source_list, target_list)
+        return QueryPlan(
+            direction=chosen,
+            batches=batches,
+            estimated_cost=cost,
+            reason=reason,
+            split_axis=split_axis,
+        )
+
+    def _split(
+        self, sources: List[int], targets: List[int]
+    ) -> Tuple[Tuple[Tuple[Tuple[int, ...], Tuple[int, ...]], ...], str]:
+        """Chunk the larger query side so every batch fits the pair budget."""
+        if len(sources) * len(targets) <= self.max_batch_pairs:
+            return ((tuple(sources), tuple(targets)),), "none"
+        if len(sources) >= len(targets):
+            fixed, split, axis = targets, sources, "sources"
+        else:
+            fixed, split, axis = sources, targets, "targets"
+        chunk = max(1, self.max_batch_pairs // len(fixed))
+        batches = []
+        for start in range(0, len(split), chunk):
+            piece = tuple(split[start : start + chunk])
+            if axis == "sources":
+                batches.append((piece, tuple(fixed)))
+            else:
+                batches.append((tuple(fixed), piece))
+        return tuple(batches), axis
+
+    # ------------------------------------------------------------------ #
+    # result merging
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def merge(results: Sequence[Set[Tuple[int, int]]]) -> Set[Tuple[int, int]]:
+        """Union the per-batch pair sets back into one answer."""
+        merged: Set[Tuple[int, int]] = set()
+        for pairs in results:
+            merged |= pairs
+        return merged
+
+
+__all__ = ["QueryPlan", "QueryPlanner"]

@@ -1,0 +1,246 @@
+"""Wire protocol of the DSR query service.
+
+Requests and responses are plain dataclasses so they can be passed to
+:meth:`~repro.service.server.DSRService.handle` in-process without any
+serialisation.  For remote clients the same messages travel over a local
+socket as newline-delimited JSON: :func:`encode` / :func:`decode` map a
+message to/from a JSON-safe dict tagged with its ``kind``, and
+:func:`send_message` / :func:`recv_message` frame one message per line on a
+file-like stream.
+
+The message set mirrors the four things a client can do with a running
+:class:`~repro.core.engine.DSREngine`:
+
+* ``QueryRequest`` — a set-reachability query ``S ⇝ T``;
+* ``UpdateRequest`` — one incremental graph update (or an explicit flush);
+* ``StatsRequest`` — the service's own serving metrics;
+* ``SnapshotRequest`` — the simulated cluster's execution/communication
+  counters (:meth:`SimulatedCluster.snapshot`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, List, Optional, Tuple
+
+import json
+
+#: Update operations accepted by :class:`UpdateRequest`.
+UPDATE_OPS = ("insert-edge", "delete-edge", "insert-vertex", "delete-vertex", "flush")
+
+
+class ProtocolError(ValueError):
+    """Raised when a message cannot be encoded or decoded."""
+
+
+# ---------------------------------------------------------------------- #
+# requests
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class QueryRequest:
+    """``S ⇝ T`` set-reachability query."""
+
+    sources: Tuple[int, ...]
+    targets: Tuple[int, ...]
+    direction: str = "auto"
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sources", tuple(self.sources))
+        object.__setattr__(self, "targets", tuple(self.targets))
+        if self.direction not in ("auto", "forward", "backward"):
+            raise ProtocolError(f"unknown query direction {self.direction!r}")
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """One incremental update against the served graph.
+
+    ``op`` is one of :data:`UPDATE_OPS`; edge operations use ``u`` and ``v``,
+    ``delete-vertex`` uses ``u``, ``insert-vertex`` optionally uses ``u`` (the
+    requested vertex id) and ``partition_id``, and ``flush`` takes no
+    arguments.
+    """
+
+    op: str
+    u: Optional[int] = None
+    v: Optional[int] = None
+    partition_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in UPDATE_OPS:
+            raise ProtocolError(f"unknown update op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class StatsRequest:
+    """Ask the service for its serving metrics."""
+
+
+@dataclass(frozen=True)
+class SnapshotRequest:
+    """Ask the service for the cluster's last execution snapshot."""
+
+
+# ---------------------------------------------------------------------- #
+# responses
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class QueryResponse:
+    """Answer to a :class:`QueryRequest`."""
+
+    pairs: Tuple[Tuple[int, int], ...]
+    cached: bool = False
+    direction: str = "forward"
+    num_batches: int = 1
+    latency_seconds: float = 0.0
+    messages_sent: int = 0
+    bytes_sent: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "pairs", tuple(sorted(tuple(pair) for pair in self.pairs))
+        )
+
+    @property
+    def pair_set(self) -> set:
+        return set(self.pairs)
+
+
+@dataclass(frozen=True)
+class UpdateResponse:
+    """Answer to an :class:`UpdateRequest`."""
+
+    op: str
+    structural_change: bool = False
+    affected_partitions: Tuple[int, ...] = ()
+    vertex: Optional[int] = None
+    latency_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "affected_partitions", tuple(sorted(self.affected_partitions))
+        )
+
+
+@dataclass(frozen=True)
+class StatsResponse:
+    """Serving metrics (latency percentiles, cache hit rate, throughput)."""
+
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SnapshotResponse:
+    """Cluster execution/communication counters."""
+
+    snapshot: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """Reported instead of a normal response when a request fails."""
+
+    error: str
+    message: str
+
+
+_MESSAGE_TYPES = {
+    "query": QueryRequest,
+    "update": UpdateRequest,
+    "stats": StatsRequest,
+    "snapshot": SnapshotRequest,
+    "query-result": QueryResponse,
+    "update-result": UpdateResponse,
+    "stats-result": StatsResponse,
+    "snapshot-result": SnapshotResponse,
+    "error": ErrorResponse,
+}
+_KIND_OF = {cls: kind for kind, cls in _MESSAGE_TYPES.items()}
+
+REQUEST_TYPES = (QueryRequest, UpdateRequest, StatsRequest, SnapshotRequest)
+
+
+# ---------------------------------------------------------------------- #
+# JSON encoding
+# ---------------------------------------------------------------------- #
+def encode(message: Any) -> Dict[str, Any]:
+    """Encode a protocol message into a JSON-safe tagged dict."""
+    kind = _KIND_OF.get(type(message))
+    if kind is None:
+        raise ProtocolError(f"not a protocol message: {type(message).__name__}")
+    payload = asdict(message)
+    payload["kind"] = kind
+    return payload
+
+
+def decode(payload: Dict[str, Any]) -> Any:
+    """Decode a tagged dict (as produced by :func:`encode`) into a message."""
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise ProtocolError("message payload must be a dict with a 'kind' tag")
+    kind = payload["kind"]
+    cls = _MESSAGE_TYPES.get(kind)
+    if cls is None:
+        raise ProtocolError(f"unknown message kind {kind!r}")
+    known = {f.name for f in fields(cls)}
+    kwargs = {name: value for name, value in payload.items() if name in known}
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed {kind!r} message: {exc}") from exc
+
+
+def dumps(message: Any) -> str:
+    """Serialise one message to a single JSON line (no trailing newline)."""
+    return json.dumps(encode(message), separators=(",", ":"))
+
+
+def loads(line: str) -> Any:
+    """Parse one JSON line back into a protocol message."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON frame: {exc}") from exc
+    return decode(payload)
+
+
+# ---------------------------------------------------------------------- #
+# stream framing (newline-delimited JSON)
+# ---------------------------------------------------------------------- #
+def send_message(stream, message: Any) -> None:
+    """Write one message to a text-mode file-like stream and flush."""
+    stream.write(dumps(message) + "\n")
+    stream.flush()
+
+
+def recv_message(stream) -> Optional[Any]:
+    """Read one message from a text-mode stream; ``None`` at end of stream."""
+    line = stream.readline()
+    if not line:
+        return None
+    line = line.strip()
+    if not line:
+        return None
+    return loads(line)
+
+
+__all__ = [
+    "UPDATE_OPS",
+    "ProtocolError",
+    "QueryRequest",
+    "UpdateRequest",
+    "StatsRequest",
+    "SnapshotRequest",
+    "QueryResponse",
+    "UpdateResponse",
+    "StatsResponse",
+    "SnapshotResponse",
+    "ErrorResponse",
+    "REQUEST_TYPES",
+    "encode",
+    "decode",
+    "dumps",
+    "loads",
+    "send_message",
+    "recv_message",
+]

@@ -1,0 +1,542 @@
+"""The concurrent DSR serving layer.
+
+:class:`DSRService` turns a built :class:`~repro.core.engine.DSREngine` — a
+batch, single-caller object — into a long-lived service:
+
+* requests enter through a bounded **admission queue** and are executed by a
+  **worker thread pool** (:meth:`DSRService.submit` returns a future;
+  :meth:`DSRService.handle` is the synchronous core the workers run);
+* every query goes through the :class:`~repro.service.planner.QueryPlanner`
+  (direction choice + batching) and the
+  :class:`~repro.service.cache.ResultCache` (exact-answer reuse with precise
+  invalidation under updates);
+* per-request **metrics** are recorded: latency percentiles per request kind,
+  cache hit rate, and the simulated cluster's message/byte counters for the
+  queries that actually hit the engine.
+
+The engine and its simulated cluster are single-threaded by construction
+(shared compound graphs, global stats counters), so the service serialises
+engine access behind one lock; concurrency pays off for cache hits, protocol
+handling and admission control, which all run outside that lock.  Cached
+answers are stored *while the engine lock is still held*, so an interleaved
+update can never re-insert a result computed against the pre-update graph.
+
+:class:`DSRSocketServer` exposes the same service over a local TCP socket
+speaking the newline-delimited JSON framing of
+:mod:`repro.service.protocol`; :class:`DSRClient` is the matching client.
+"""
+
+from __future__ import annotations
+
+import math
+import queue
+import socket
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.engine import DSREngine
+from repro.service.cache import ResultCache
+from repro.service.planner import QueryPlanner
+from repro.service.protocol import (
+    ErrorResponse,
+    ProtocolError,
+    QueryRequest,
+    QueryResponse,
+    REQUEST_TYPES,
+    SnapshotRequest,
+    SnapshotResponse,
+    StatsRequest,
+    StatsResponse,
+    UpdateRequest,
+    UpdateResponse,
+    recv_message,
+    send_message,
+)
+
+
+class ServiceOverloadedError(RuntimeError):
+    """Raised by :meth:`DSRService.submit` when the admission queue is full."""
+
+
+# ---------------------------------------------------------------------- #
+# metrics
+# ---------------------------------------------------------------------- #
+class ServiceMetrics:
+    """Thread-safe per-request serving metrics.
+
+    Latency samples are kept in a bounded sliding window per request kind
+    (``max_samples``), so a long-lived server computes percentiles over
+    recent traffic instead of growing without bound.
+    """
+
+    def __init__(self, max_samples: int = 8192) -> None:
+        self._lock = threading.Lock()
+        self._max_samples = max_samples
+        self._latencies: Dict[str, "deque"] = {}
+        self._counters: Dict[str, int] = {
+            "queries": 0,
+            "cache_hits": 0,
+            "updates": 0,
+            "admin": 0,
+            "errors": 0,
+            "rejected": 0,
+            "messages_sent": 0,
+            "bytes_sent": 0,
+        }
+        self._started_at = time.perf_counter()
+
+    def record(self, kind: str, latency_seconds: float) -> None:
+        with self._lock:
+            self._latencies.setdefault(
+                kind, deque(maxlen=self._max_samples)
+            ).append(latency_seconds)
+            self._counters[f"{kind}_count"] = self._counters.get(f"{kind}_count", 0) + 1
+
+    def increment(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[counter] = self._counters.get(counter, 0) + amount
+
+    def count(self, counter: str) -> int:
+        with self._lock:
+            return self._counters.get(counter, 0)
+
+    @staticmethod
+    def _rank(ordered: List[float], percent: float) -> float:
+        rank = max(1, math.ceil(percent / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def percentile(self, kind: str, percent: float) -> float:
+        """Latency percentile (seconds) for one request kind; 0.0 if unseen."""
+        with self._lock:
+            samples = sorted(self._latencies.get(kind, ()))
+        if not samples:
+            return 0.0
+        return self._rank(samples, percent)
+
+    def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            counters = dict(self._counters)
+            kinds = {kind: list(values) for kind, values in self._latencies.items()}
+            elapsed = time.perf_counter() - self._started_at
+        summary: Dict[str, Any] = dict(counters)
+        total_requests = sum(
+            counters.get(f"{kind}_count", len(values)) for kind, values in kinds.items()
+        )
+        summary["requests"] = total_requests
+        summary["uptime_seconds"] = round(elapsed, 6)
+        summary["requests_per_second"] = (
+            round(total_requests / elapsed, 3) if elapsed > 0 else 0.0
+        )
+        queries = counters.get("queries", 0)
+        summary["cache_hit_rate"] = (
+            round(counters.get("cache_hits", 0) / queries, 4) if queries else 0.0
+        )
+        for kind, values in kinds.items():
+            ordered = sorted(values)
+            for percent in (50, 95, 99):
+                summary[f"{kind}_p{percent}_ms"] = round(
+                    self._rank(ordered, percent) * 1000.0, 3
+                )
+        return summary
+
+
+# ---------------------------------------------------------------------- #
+# the service
+# ---------------------------------------------------------------------- #
+class DSRService:
+    """Concurrent query/update service over one :class:`DSREngine`."""
+
+    def __init__(
+        self,
+        engine: DSREngine,
+        num_workers: int = 4,
+        max_queue_depth: int = 64,
+        cache_capacity: int = 1024,
+        cache_ttl_seconds: Optional[float] = None,
+        max_batch_pairs: int = 4096,
+        enable_cache: bool = True,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("the service needs at least one worker")
+        if not engine.is_built:
+            engine.build_index()
+        self.engine = engine
+        self.planner = QueryPlanner(engine, max_batch_pairs=max_batch_pairs)
+        self.metrics = ServiceMetrics()
+        self.cache: Optional[ResultCache] = None
+        if enable_cache:
+            self.cache = ResultCache(
+                capacity=cache_capacity, ttl_seconds=cache_ttl_seconds
+            )
+            # Precise staleness protection: every structural update applied
+            # through the engine clears the cache the moment it is recorded.
+            self.cache.attach(engine.maintainer)
+
+        self._engine_lock = threading.Lock()
+        self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue_depth)
+        self._workers: List[threading.Thread] = []
+        self._closed = False
+        self._lifecycle_lock = threading.Lock()
+        for worker_id in range(num_workers):
+            worker = threading.Thread(
+                target=self._worker_loop, name=f"dsr-worker-{worker_id}", daemon=True
+            )
+            worker.start()
+            self._workers.append(worker)
+
+    # ------------------------------------------------------------------ #
+    # asynchronous entry point
+    # ------------------------------------------------------------------ #
+    def submit(self, request) -> "Future":
+        """Enqueue a request; the future resolves to its response message."""
+        future: Future = Future()
+        # The closed check and the enqueue are one atomic step with respect
+        # to close(): otherwise a request slipping in between the check and
+        # the worker-shutdown sentinels would never resolve.
+        with self._lifecycle_lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            try:
+                self._queue.put_nowait((request, future))
+            except queue.Full:
+                self.metrics.increment("rejected")
+                raise ServiceOverloadedError(
+                    f"admission queue full ({self._queue.maxsize} pending requests)"
+                ) from None
+        return future
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                break
+            request, future = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                future.set_result(self.handle(request))
+            except BaseException as exc:  # pragma: no cover - handle() catches
+                future.set_exception(exc)
+
+    # ------------------------------------------------------------------ #
+    # synchronous core
+    # ------------------------------------------------------------------ #
+    def handle(self, request):
+        """Execute one protocol request and return its response message."""
+        start = time.perf_counter()
+        try:
+            if isinstance(request, QueryRequest):
+                return self._handle_query(request, start)
+            if isinstance(request, UpdateRequest):
+                return self._handle_update(request, start)
+            if isinstance(request, StatsRequest):
+                self.metrics.increment("admin")
+                return StatsResponse(stats=self.stats())
+            if isinstance(request, SnapshotRequest):
+                self.metrics.increment("admin")
+                with self._engine_lock:
+                    snapshot = self.engine.cluster.snapshot()
+                return SnapshotResponse(snapshot=snapshot)
+            raise ProtocolError(f"not a request message: {type(request).__name__}")
+        except Exception as exc:
+            self.metrics.increment("errors")
+            return ErrorResponse(error=type(exc).__name__, message=str(exc))
+
+    def _handle_query(self, request: QueryRequest, start: float) -> QueryResponse:
+        self.metrics.increment("queries")
+        plan = self.planner.plan(request.sources, request.targets, request.direction)
+        if plan.is_empty:
+            latency = time.perf_counter() - start
+            self.metrics.record("query", latency)
+            return QueryResponse(
+                pairs=(), direction=plan.direction, num_batches=0,
+                latency_seconds=latency,
+            )
+
+        use_cache = self.cache is not None and request.use_cache
+        if use_cache:
+            cached = self.cache.get(request.sources, request.targets)
+            if cached is not None:
+                latency = time.perf_counter() - start
+                self.metrics.increment("cache_hits")
+                self.metrics.record("query", latency)
+                return QueryResponse(
+                    pairs=tuple(cached),
+                    cached=True,
+                    direction=plan.direction,
+                    num_batches=0,
+                    latency_seconds=latency,
+                )
+
+        messages = 0
+        byte_count = 0
+        with self._engine_lock:
+            results = []
+            for batch_sources, batch_targets in plan.batches:
+                result = self.engine.query_with_stats(
+                    batch_sources, batch_targets, direction=plan.direction
+                )
+                results.append(result.pairs)
+                messages += result.messages_sent
+                byte_count += result.bytes_sent
+            pairs = self.planner.merge(results)
+            if use_cache:
+                # Store under the lock: an update cannot interleave between
+                # computing the answer and caching it, so entries always
+                # reflect the current graph.
+                self.cache.put(request.sources, request.targets, pairs)
+        self.metrics.increment("messages_sent", messages)
+        self.metrics.increment("bytes_sent", byte_count)
+        latency = time.perf_counter() - start
+        self.metrics.record("query", latency)
+        return QueryResponse(
+            pairs=tuple(pairs),
+            cached=False,
+            direction=plan.direction,
+            num_batches=plan.num_batches,
+            latency_seconds=latency,
+            messages_sent=messages,
+            bytes_sent=byte_count,
+        )
+
+    def _handle_update(self, request: UpdateRequest, start: float) -> UpdateResponse:
+        self.metrics.increment("updates")
+        vertex: Optional[int] = None
+        structural = False
+        affected: Tuple[int, ...] = ()
+        with self._engine_lock:
+            if request.op == "insert-edge":
+                result = self.engine.insert_edge(request.u, request.v)
+                structural, affected = result.structural_change, tuple(result.affected_partitions)
+            elif request.op == "delete-edge":
+                result = self.engine.delete_edge(request.u, request.v)
+                structural, affected = result.structural_change, tuple(result.affected_partitions)
+            elif request.op == "insert-vertex":
+                vertex = self.engine.insert_vertex(request.u, request.partition_id)
+            elif request.op == "delete-vertex":
+                result = self.engine.delete_vertex(request.u)
+                structural, affected = result.structural_change, tuple(result.affected_partitions)
+            else:  # "flush"
+                flushed = self.engine.flush_updates()
+                affected = tuple(flushed.refreshed_partitions)
+        latency = time.perf_counter() - start
+        self.metrics.record("update", latency)
+        return UpdateResponse(
+            op=request.op,
+            structural_change=structural,
+            affected_partitions=affected,
+            vertex=vertex,
+            latency_seconds=latency,
+        )
+
+    # ------------------------------------------------------------------ #
+    # introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        """Serving metrics, cache counters and queue state in one dict."""
+        combined = self.metrics.as_dict()
+        combined["queue_depth"] = self.queue_depth
+        combined["workers"] = len(self._workers)
+        if self.cache is not None:
+            combined["cache"] = self.cache.stats.as_dict()
+            combined["cache_entries"] = len(self.cache)
+        return combined
+
+    def close(self) -> None:
+        """Drain the workers and detach the cache."""
+        with self._lifecycle_lock:
+            if self._closed:
+                return
+            self._closed = True
+            for _ in self._workers:
+                self._queue.put(None)
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        if self.cache is not None:
+            self.cache.detach()
+
+    def __enter__(self) -> "DSRService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------- #
+# socket transport
+# ---------------------------------------------------------------------- #
+class DSRSocketServer:
+    """Serves a :class:`DSRService` over newline-delimited JSON on TCP."""
+
+    def __init__(
+        self,
+        service: DSRService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_requests: Optional[int] = None,
+    ) -> None:
+        self.service = service
+        self.max_requests = max_requests
+        self._socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._socket.bind((host, port))
+        self._socket.listen()
+        self.address: Tuple[str, int] = self._socket.getsockname()
+        self._stopped = threading.Event()
+        self._requests_served = 0
+        self._count_lock = threading.Lock()
+        self._acceptor: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> "DSRSocketServer":
+        """Start accepting connections on a background thread."""
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="dsr-acceptor", daemon=True
+        )
+        self._acceptor.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._stopped.is_set():
+            try:
+                connection, _ = self._socket.accept()
+            except OSError:
+                break  # listening socket closed by stop()
+            threading.Thread(
+                target=self._serve_connection, args=(connection,), daemon=True
+            ).start()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        with connection:
+            stream = connection.makefile("rw", encoding="utf-8", newline="\n")
+            while not self._stopped.is_set():
+                try:
+                    request = recv_message(stream)
+                except ProtocolError as exc:
+                    send_message(stream, ErrorResponse("ProtocolError", str(exc)))
+                    continue
+                except (OSError, ValueError):
+                    break
+                if request is None:
+                    break
+                if not isinstance(request, REQUEST_TYPES):
+                    response = ErrorResponse(
+                        "ProtocolError",
+                        f"{type(request).__name__} is not a request message",
+                    )
+                else:
+                    try:
+                        response = self.service.submit(request).result()
+                    except ServiceOverloadedError as exc:
+                        response = ErrorResponse("ServiceOverloadedError", str(exc))
+                # Count before replying so a client that has its response in
+                # hand never observes a stale requests_served.
+                self._count_request()
+                try:
+                    send_message(stream, response)
+                except (OSError, ValueError):
+                    break
+
+    def _count_request(self) -> None:
+        with self._count_lock:
+            self._requests_served += 1
+            if (
+                self.max_requests is not None
+                and self._requests_served >= self.max_requests
+            ):
+                self.stop()
+
+    @property
+    def requests_served(self) -> int:
+        with self._count_lock:
+            return self._requests_served
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the server stops (returns False on timeout)."""
+        return self._stopped.wait(timeout)
+
+    def stop(self) -> None:
+        """Stop accepting and close the listening socket."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        try:
+            self._socket.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+    def __enter__(self) -> "DSRSocketServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class DSRClient:
+    """Blocking client for :class:`DSRSocketServer` (one request at a time)."""
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = 10.0) -> None:
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._stream = self._socket.makefile("rw", encoding="utf-8", newline="\n")
+        self._lock = threading.Lock()
+
+    def request(self, message):
+        """Send one request message and return the response message."""
+        with self._lock:
+            send_message(self._stream, message)
+            response = recv_message(self._stream)
+        if response is None:
+            raise ConnectionError("server closed the connection")
+        return response
+
+    # Convenience wrappers -------------------------------------------- #
+    def query(self, sources, targets, direction: str = "auto", use_cache: bool = True):
+        return self.request(
+            QueryRequest(tuple(sources), tuple(targets), direction, use_cache)
+        )
+
+    def insert_edge(self, u: int, v: int):
+        return self.request(UpdateRequest("insert-edge", u, v))
+
+    def delete_edge(self, u: int, v: int):
+        return self.request(UpdateRequest("delete-edge", u, v))
+
+    def delete_vertex(self, vertex: int):
+        return self.request(UpdateRequest("delete-vertex", vertex))
+
+    def flush(self):
+        return self.request(UpdateRequest("flush"))
+
+    def stats(self):
+        return self.request(StatsRequest())
+
+    def snapshot(self):
+        return self.request(SnapshotRequest())
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "DSRClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = [
+    "DSRClient",
+    "DSRService",
+    "DSRSocketServer",
+    "ServiceMetrics",
+    "ServiceOverloadedError",
+]

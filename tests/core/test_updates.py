@@ -150,6 +150,16 @@ class TestVertexUpdates:
         new_vertex = engine.insert_vertex(partition_id=1)
         assert engine.partitioning.partition_of(new_vertex) == 1
 
+    def test_insert_existing_vertex_rejected(self):
+        graph = generators.random_digraph(30, 80, seed=8)
+        engine = fresh_engine(graph)
+        existing = sorted(graph.vertices())[0]
+        original_partition = engine.partitioning.partition_of(existing)
+        with pytest.raises(ValueError):
+            engine.insert_vertex(existing, partition_id=original_partition + 1)
+        # The failed insert must not have reassigned the vertex.
+        assert engine.partitioning.partition_of(existing) == original_partition
+
     def test_delete_vertex_removes_paths_through_it(self):
         graph = generators.path_graph(8)
         engine = fresh_engine(graph, num_partitions=2)

@@ -1,0 +1,110 @@
+"""Tests for the service query planner (direction choice + batching)."""
+
+import pytest
+
+from repro.core.engine import DSREngine
+from repro.graph import generators
+from repro.graph.traversal import reachable_pairs
+from repro.service.planner import QueryPlanner
+
+
+@pytest.fixture(scope="module")
+def engine():
+    graph = generators.web_graph(140, avg_degree=5, seed=11)
+    engine = DSREngine(
+        graph, num_partitions=4, local_index="msbfs", seed=2, enable_backward=True
+    )
+    engine.build_index()
+    return engine
+
+
+@pytest.fixture(scope="module")
+def forward_only_engine():
+    graph = generators.random_digraph(60, 160, seed=5)
+    engine = DSREngine(graph, num_partitions=3, seed=1)
+    engine.build_index()
+    return engine
+
+
+class TestDirectionChoice:
+    def test_explicit_direction_is_honoured(self, engine):
+        planner = QueryPlanner(engine)
+        assert planner.plan([0, 1], [2], direction="forward").direction == "forward"
+        assert planner.plan([0, 1], [2], direction="backward").direction == "backward"
+
+    def test_auto_prefers_cheaper_side(self, engine):
+        planner = QueryPlanner(engine)
+        vertices = sorted(engine.graph.vertices())
+        few_targets = planner.plan(vertices[:40], vertices[40:42])
+        assert few_targets.direction == "backward"
+        few_sources = planner.plan(vertices[:2], vertices[2:42])
+        assert few_sources.direction == "forward"
+
+    def test_auto_without_backward_index_stays_forward(self, forward_only_engine):
+        planner = QueryPlanner(forward_only_engine)
+        vertices = sorted(forward_only_engine.graph.vertices())
+        plan = planner.plan(vertices[:30], vertices[30:32])
+        assert plan.direction == "forward"
+        assert "not available" in plan.reason
+
+    def test_invalid_direction_rejected(self, engine):
+        with pytest.raises(ValueError):
+            QueryPlanner(engine).plan([0], [1], direction="sideways")
+
+
+class TestBatching:
+    def test_small_query_is_one_batch(self, engine):
+        plan = QueryPlanner(engine, max_batch_pairs=4096).plan([0, 1], [2, 3])
+        assert plan.num_batches == 1
+        assert plan.split_axis == "none"
+
+    def test_large_query_is_split_within_budget(self, engine):
+        vertices = sorted(engine.graph.vertices())
+        sources, targets = vertices[:60], vertices[60:80]
+        planner = QueryPlanner(engine, max_batch_pairs=200)
+        plan = planner.plan(sources, targets)
+        assert plan.num_batches > 1
+        assert plan.split_axis == "sources"
+        covered = []
+        for batch_sources, batch_targets in plan.batches:
+            assert len(batch_sources) * len(batch_targets) <= 200
+            assert set(batch_targets) == set(targets)
+            covered.extend(batch_sources)
+        assert sorted(covered) == sorted(set(sources))
+
+    def test_split_prefers_larger_side(self, engine):
+        vertices = sorted(engine.graph.vertices())
+        planner = QueryPlanner(engine, max_batch_pairs=100)
+        plan = planner.plan(vertices[:5], vertices[5:80])
+        assert plan.split_axis == "targets"
+        for batch_sources, _ in plan.batches:
+            assert set(batch_sources) == set(vertices[:5])
+
+    def test_empty_query_yields_empty_plan(self, engine):
+        plan = QueryPlanner(engine).plan([], [1, 2])
+        assert plan.is_empty
+        assert plan.estimated_cost == 0.0
+
+    def test_invalid_budget_rejected(self, engine):
+        with pytest.raises(ValueError):
+            QueryPlanner(engine, max_batch_pairs=0)
+
+
+class TestSplitCorrectness:
+    """A split plan unions back to exactly the unsplit answer."""
+
+    @pytest.mark.parametrize("direction", ["forward", "backward"])
+    def test_batched_execution_matches_direct_query(self, engine, direction):
+        vertices = sorted(engine.graph.vertices())
+        sources, targets = vertices[:30], vertices[100:130]
+        planner = QueryPlanner(engine, max_batch_pairs=150)
+        plan = planner.plan(sources, targets, direction=direction)
+        assert plan.num_batches > 1
+        merged = planner.merge(
+            [
+                engine.query(batch_sources, batch_targets, direction=plan.direction)
+                for batch_sources, batch_targets in plan.batches
+            ]
+        )
+        assert merged == reachable_pairs(engine.graph, sources, targets)
+        assert merged == engine.query(sources, targets, direction=direction)

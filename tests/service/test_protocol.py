@@ -1,0 +1,110 @@
+"""Round-trip and validation tests for the service wire protocol."""
+
+import io
+
+import pytest
+
+from repro.service.protocol import (
+    ErrorResponse,
+    ProtocolError,
+    QueryRequest,
+    QueryResponse,
+    SnapshotRequest,
+    SnapshotResponse,
+    StatsRequest,
+    StatsResponse,
+    UpdateRequest,
+    UpdateResponse,
+    decode,
+    dumps,
+    encode,
+    loads,
+    recv_message,
+    send_message,
+)
+
+ALL_MESSAGES = [
+    QueryRequest((1, 2, 3), (9, 8), direction="forward", use_cache=False),
+    UpdateRequest("insert-edge", 4, 7),
+    UpdateRequest("insert-vertex", partition_id=2),
+    UpdateRequest("flush"),
+    StatsRequest(),
+    SnapshotRequest(),
+    QueryResponse(pairs=((1, 9), (2, 8)), cached=True, direction="backward",
+                  num_batches=2, latency_seconds=0.25, messages_sent=3,
+                  bytes_sent=512),
+    UpdateResponse(op="delete-edge", structural_change=True,
+                   affected_partitions=(2, 0), latency_seconds=0.01),
+    StatsResponse(stats={"queries": 5, "cache_hit_rate": 0.6}),
+    SnapshotResponse(snapshot={"messages_sent": 2, "rounds": 1}),
+    ErrorResponse(error="ValueError", message="unknown vertex 42"),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("message", ALL_MESSAGES, ids=lambda m: type(m).__name__)
+    def test_json_line_round_trip(self, message):
+        assert loads(dumps(message)) == message
+
+    @pytest.mark.parametrize("message", ALL_MESSAGES, ids=lambda m: type(m).__name__)
+    def test_dict_round_trip(self, message):
+        assert decode(encode(message)) == message
+
+    def test_stream_framing_preserves_order(self):
+        stream = io.StringIO()
+        for message in ALL_MESSAGES:
+            send_message(stream, message)
+        stream.seek(0)
+        received = []
+        while True:
+            message = recv_message(stream)
+            if message is None:
+                break
+            received.append(message)
+        assert received == ALL_MESSAGES
+
+
+class TestNormalisation:
+    def test_query_request_coerces_to_tuples(self):
+        request = QueryRequest([3, 1], [2])
+        assert request.sources == (3, 1)
+        assert request.targets == (2,)
+
+    def test_query_response_sorts_pairs(self):
+        response = QueryResponse(pairs=[(5, 1), (2, 9), (2, 3)])
+        assert response.pairs == ((2, 3), (2, 9), (5, 1))
+        assert response.pair_set == {(5, 1), (2, 9), (2, 3)}
+
+    def test_update_response_sorts_partitions(self):
+        assert UpdateResponse(op="flush", affected_partitions=(3, 1)).affected_partitions == (1, 3)
+
+
+class TestValidation:
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ProtocolError):
+            QueryRequest((1,), (2,), direction="sideways")
+
+    def test_bad_update_op_rejected(self):
+        with pytest.raises(ProtocolError):
+            UpdateRequest("truncate")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode({"kind": "teleport"})
+
+    def test_untagged_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode({"sources": [1], "targets": [2]})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ProtocolError):
+            loads("{not json")
+
+    def test_encode_rejects_foreign_objects(self):
+        with pytest.raises(ProtocolError):
+            encode(object())
+
+    def test_decode_ignores_unknown_fields(self):
+        payload = encode(StatsRequest())
+        payload["extra"] = "future-field"
+        assert decode(payload) == StatsRequest()

@@ -1,0 +1,270 @@
+"""Tests for the concurrent serving layer and the socket transport."""
+
+import threading
+
+import pytest
+
+from repro.core.engine import DSREngine
+from repro.graph import generators
+from repro.graph.traversal import reachable_pairs
+from repro.service import (
+    DSRClient,
+    DSRService,
+    DSRSocketServer,
+    ErrorResponse,
+    QueryRequest,
+    QueryResponse,
+    ServiceOverloadedError,
+    SnapshotRequest,
+    StatsRequest,
+    UpdateRequest,
+)
+from repro.service.server import ServiceMetrics
+
+
+@pytest.fixture
+def graph():
+    return generators.social_graph(200, avg_degree=5, seed=3)
+
+
+@pytest.fixture
+def service(graph):
+    engine = DSREngine(graph, num_partitions=3, local_index="msbfs", seed=2)
+    service = DSRService(engine, num_workers=3)
+    yield service
+    service.close()
+
+
+class TestQueryServing:
+    def test_answers_match_direct_engine(self, graph, service):
+        vertices = sorted(graph.vertices())
+        response = service.handle(QueryRequest(tuple(vertices[:7]), tuple(vertices[60:66])))
+        assert isinstance(response, QueryResponse)
+        assert response.pair_set == reachable_pairs(graph, vertices[:7], vertices[60:66])
+
+    def test_unbuilt_engine_is_built_by_the_service(self, graph):
+        engine = DSREngine(graph, num_partitions=3, seed=2)
+        assert not engine.is_built
+        service = DSRService(engine, num_workers=1)
+        assert engine.is_built
+        service.close()
+
+    def test_cache_hit_skips_engine_and_counts(self, graph, service):
+        vertices = sorted(graph.vertices())
+        request = QueryRequest(tuple(vertices[:5]), tuple(vertices[50:55]))
+        first = service.handle(request)
+        second = service.handle(request)
+        assert not first.cached and second.cached
+        assert second.pair_set == first.pair_set
+        assert service.metrics.count("cache_hits") == 1
+
+    def test_use_cache_false_bypasses_cache(self, graph, service):
+        vertices = sorted(graph.vertices())
+        request = QueryRequest(
+            tuple(vertices[:5]), tuple(vertices[50:55]), use_cache=False
+        )
+        assert not service.handle(request).cached
+        assert not service.handle(request).cached
+        assert service.metrics.count("cache_hits") == 0
+
+    def test_empty_query_short_circuits(self, service):
+        response = service.handle(QueryRequest((), (1,)))
+        assert response.pairs == () and response.num_batches == 0
+
+    def test_unknown_vertex_becomes_error_response(self, service):
+        response = service.handle(QueryRequest((10**9,), (0,)))
+        assert isinstance(response, ErrorResponse)
+        assert response.error == "ValueError"
+        assert service.metrics.count("errors") == 1
+
+    def test_split_query_matches_direct_engine(self, graph):
+        engine = DSREngine(graph, num_partitions=3, seed=2)
+        service = DSRService(engine, num_workers=2, max_batch_pairs=50)
+        vertices = sorted(graph.vertices())
+        sources, targets = vertices[:20], vertices[100:120]
+        response = service.handle(QueryRequest(tuple(sources), tuple(targets)))
+        assert response.num_batches > 1
+        assert response.pair_set == reachable_pairs(graph, sources, targets)
+        service.close()
+
+
+class TestConcurrentServing:
+    def test_parallel_mixed_workload_is_exact(self, graph, service):
+        vertices = sorted(graph.vertices())
+        queries = [
+            (vertices[i : i + 5], vertices[80 + i : 86 + i]) for i in range(12)
+        ]
+        futures = [
+            service.submit(QueryRequest(tuple(sources), tuple(targets)))
+            for sources, targets in queries
+            for _ in range(3)
+        ]
+        # Interleave structural updates while queries are in flight.
+        service.submit(UpdateRequest("insert-edge", vertices[0], vertices[-1])).result()
+        service.submit(
+            UpdateRequest("delete-edge", *next(iter(graph.edges())))
+        ).result()
+        for future in futures:
+            assert not isinstance(future.result(), ErrorResponse)
+        # Post-quiescence answers are exact against the updated graph.
+        for sources, targets in queries:
+            response = service.submit(
+                QueryRequest(tuple(sources), tuple(targets))
+            ).result()
+            assert response.pair_set == reachable_pairs(graph, sources, targets)
+
+    def test_many_threads_share_the_service(self, graph, service):
+        vertices = sorted(graph.vertices())
+        errors = []
+
+        def client(offset):
+            sources = vertices[offset : offset + 4]
+            targets = vertices[120 + offset : 124 + offset]
+            for _ in range(5):
+                response = service.submit(
+                    QueryRequest(tuple(sources), tuple(targets))
+                ).result()
+                if response.pair_set != reachable_pairs(graph, sources, targets):
+                    errors.append(offset)
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+    def test_admission_queue_rejects_when_full(self, graph):
+        engine = DSREngine(graph, num_partitions=3, seed=2)
+        service = DSRService(engine, num_workers=1, max_queue_depth=1)
+        vertices = sorted(graph.vertices())
+        big = QueryRequest(tuple(vertices[:50]), tuple(vertices[50:150]), use_cache=False)
+        accepted = []
+        with pytest.raises(ServiceOverloadedError):
+            for _ in range(200):  # the single slow worker cannot keep up
+                accepted.append(service.submit(big))
+        assert service.metrics.count("rejected") >= 1
+        for future in accepted:
+            future.result()
+        service.close()
+
+    def test_submit_after_close_rejected(self, graph):
+        engine = DSREngine(graph, num_partitions=3, seed=2)
+        service = DSRService(engine, num_workers=1)
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.submit(StatsRequest())
+
+
+class TestStatsAndMetrics:
+    def test_stats_response_shape(self, graph, service):
+        vertices = sorted(graph.vertices())
+        request = QueryRequest(tuple(vertices[:4]), tuple(vertices[40:44]))
+        service.handle(request)
+        service.handle(request)
+        stats = service.handle(StatsRequest()).stats
+        assert stats["queries"] == 2
+        assert stats["cache_hit_rate"] == 0.5
+        assert stats["query_count"] == 2
+        assert stats["query_p50_ms"] >= 0.0
+        assert stats["cache"]["hits"] == 1
+        assert stats["workers"] == 3
+
+    def test_snapshot_reports_cluster_counters(self, graph, service):
+        vertices = sorted(graph.vertices())
+        service.handle(
+            QueryRequest(tuple(vertices[:4]), tuple(vertices[40:44]), use_cache=False)
+        )
+        snapshot = service.handle(SnapshotRequest()).snapshot
+        assert {"messages_sent", "bytes_sent", "rounds"} <= set(snapshot)
+
+    def test_percentiles_are_order_statistics(self):
+        metrics = ServiceMetrics()
+        for value in [0.01, 0.02, 0.03, 0.04, 0.10]:
+            metrics.record("query", value)
+        assert metrics.percentile("query", 50) == 0.03
+        assert metrics.percentile("query", 99) == 0.10
+        assert metrics.percentile("unseen", 50) == 0.0
+
+    def test_update_metrics_recorded(self, graph, service):
+        vertices = sorted(graph.vertices())
+        service.handle(UpdateRequest("insert-edge", vertices[0], vertices[-1]))
+        service.handle(UpdateRequest("flush"))
+        assert service.metrics.count("updates") == 2
+        assert service.stats()["update_count"] == 2
+
+
+class TestSocketTransport:
+    def test_end_to_end_over_socket(self, graph, service):
+        vertices = sorted(graph.vertices())
+        with DSRSocketServer(service) as server:
+            host, port = server.address
+            with DSRClient(host, port) as client:
+                response = client.query(vertices[:6], vertices[60:66])
+                assert response.pair_set == reachable_pairs(
+                    graph, vertices[:6], vertices[60:66]
+                )
+                assert client.query(vertices[:6], vertices[60:66]).cached
+                update = client.insert_edge(vertices[0], vertices[-1])
+                assert update.op == "insert-edge"
+                after = client.query(vertices[:6], vertices[60:66])
+                assert not after.cached
+                assert after.pair_set == reachable_pairs(
+                    graph, vertices[:6], vertices[60:66]
+                )
+                stats = client.stats().stats
+                assert stats["queries"] == 3
+                assert client.snapshot().snapshot["rounds"] >= 0
+            assert server.requests_served == 6
+
+    def test_multiple_concurrent_clients(self, graph, service):
+        vertices = sorted(graph.vertices())
+        with DSRSocketServer(service) as server:
+            host, port = server.address
+            errors = []
+
+            def run_client(offset):
+                sources = vertices[offset : offset + 3]
+                targets = vertices[90 + offset : 94 + offset]
+                with DSRClient(host, port) as client:
+                    for _ in range(4):
+                        response = client.query(sources, targets)
+                        if response.pair_set != reachable_pairs(graph, sources, targets):
+                            errors.append(offset)
+
+            threads = [threading.Thread(target=run_client, args=(i,)) for i in range(5)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            assert server.requests_served == 20
+
+    def test_max_requests_stops_server(self, graph, service):
+        server = DSRSocketServer(service, max_requests=2).start()
+        host, port = server.address
+        with DSRClient(host, port) as client:
+            client.stats()
+            client.stats()
+        assert server.wait(timeout=5.0)
+        assert server.requests_served == 2
+
+    def test_malformed_frame_gets_error_response(self, graph, service):
+        import json
+        import socket as socket_module
+
+        with DSRSocketServer(service) as server:
+            host, port = server.address
+            raw = socket_module.create_connection((host, port), timeout=5.0)
+            stream = raw.makefile("rw", encoding="utf-8", newline="\n")
+            stream.write(json.dumps({"kind": "teleport"}) + "\n")
+            stream.flush()
+            line = stream.readline()
+            payload = json.loads(line)
+            assert payload["kind"] == "error"
+            # A response message sent as a request is rejected, connection lives.
+            stream.write(json.dumps({"kind": "error", "error": "x", "message": "y"}) + "\n")
+            stream.flush()
+            payload = json.loads(stream.readline())
+            assert payload["kind"] == "error"
+            raw.close()

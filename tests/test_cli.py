@@ -79,6 +79,68 @@ class TestCliCommands:
         output = capsys.readouterr().out
         assert "community connectedness" in output
 
+    def test_serve_self_test(self, capsys):
+        code = main(
+            ["serve", "amazon", "--scale", "0.15", "--partitions", "3",
+             "--workers", "2", "--self-test"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "self-test passed" in output
+        assert "serving metrics" in output
+
+    def test_serve_self_test_without_cache(self, capsys):
+        code = main(
+            ["serve", "amazon", "--scale", "0.15", "--partitions", "3",
+             "--workers", "2", "--no-cache", "--self-test"]
+        )
+        assert code == 0
+
+    def test_serve_socket_with_max_requests(self, capsys):
+        import socket
+        import threading
+        import time
+
+        from repro.service import DSRClient
+
+        # Reserve a free port, then run the server on it in a helper thread;
+        # --max-requests makes it exit once the client uses up the budget.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        result = {}
+
+        def run_server():
+            try:
+                result["code"] = main(
+                    ["serve", "amazon", "--scale", "0.15", "--partitions", "3",
+                     "--port", str(port), "--max-requests", "2"]
+                )
+            except BaseException as exc:  # surfaced by the asserts below
+                result["error"] = exc
+
+        thread = threading.Thread(target=run_server)
+        thread.start()
+        response = None
+        for _ in range(100):
+            if "error" in result:
+                break
+            try:
+                with DSRClient("127.0.0.1", port, timeout=5.0) as client:
+                    client.stats()
+                    response = client.query([0, 1], [40, 41])
+                break
+            except OSError:
+                time.sleep(0.05)
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert result.get("error") is None
+        assert result.get("code") == 0
+        assert response is not None and not response.cached
+        output = capsys.readouterr().out
+        assert "served 2 requests" in output
+
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
