@@ -11,13 +11,12 @@ Not a table/figure of the paper, but the knobs a practitioner would tune:
 
 import time
 
-import pytest
 
 from benchmarks.conftest import BENCH_SEED, run_once
 from repro.bench.datasets import load_dataset
 from repro.bench.reporting import format_series, format_table
 from repro.bench.workloads import random_query
-from repro.core.engine import DSREngine
+from repro.api import DSRConfig, ReachQuery, open_engine
 from repro.core.index import DSRIndex
 from repro.partition.partition import make_partitioning
 
@@ -34,11 +33,12 @@ def test_partition_count_ablation(benchmark):
         rows = []
         answers = set()
         for slaves in counts:
-            engine = DSREngine(
-                graph, num_partitions=slaves, local_index="msbfs", seed=BENCH_SEED
+            engine = open_engine(
+                graph,
+                DSRConfig(num_partitions=slaves, local_index="msbfs", seed=BENCH_SEED),
             )
-            report = engine.build_index()
-            result = engine.query_with_stats(sources, targets)
+            report = engine.last_build_report
+            result = engine.run(ReachQuery(tuple(sources), tuple(targets)))
             answers.add(frozenset(result.pairs))
             forward, backward = engine.index.total_boundary_entries()
             rows.append(
@@ -93,12 +93,12 @@ def test_local_strategy_query_ablation(benchmark):
         series = {}
         answers = set()
         for strategy in strategies:
-            engine = DSREngine(
-                graph, num_partitions=5, local_index=strategy, seed=BENCH_SEED
+            engine = open_engine(
+                graph,
+                DSRConfig(num_partitions=5, local_index=strategy, seed=BENCH_SEED),
             )
-            engine.build_index()
             start = time.perf_counter()
-            pairs = engine.query(sources, targets)
+            pairs = engine.run(ReachQuery(tuple(sources), tuple(targets))).pairs
             series[strategy] = [round(time.perf_counter() - start, 4)]
             answers.add(frozenset(pairs))
         assert len(answers) == 1

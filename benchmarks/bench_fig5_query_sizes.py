@@ -14,7 +14,7 @@ from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once
 from repro.bench.datasets import load_dataset
 from repro.bench.reporting import format_series
 from repro.bench.workloads import query_size_sweep
-from repro.core.engine import DSREngine
+from repro.api import DSRConfig, ReachQuery, open_engine
 from repro.graph.traversal import reachable_pairs
 
 DATASETS = ["livej68", "freebase", "twitter", "lubm"]
@@ -25,16 +25,16 @@ NUM_SLAVES = 5
 @pytest.mark.parametrize("name", DATASETS)
 def test_query_size_robustness(benchmark, name):
     graph = load_dataset(name, scale=BENCH_SCALE, seed=BENCH_SEED)
-    engine = DSREngine(
-        graph, num_partitions=NUM_SLAVES, local_index="msbfs", seed=BENCH_SEED
+    engine = open_engine(
+        graph,
+        DSRConfig(num_partitions=NUM_SLAVES, local_index="msbfs", seed=BENCH_SEED),
     )
-    engine.build_index()
     sweep = query_size_sweep(graph, QUERY_SIZES, seed=BENCH_SEED)
 
     def run_sweep():
         times = []
         for size, sources, targets in sweep:
-            result = engine.query_with_stats(sources, targets)
+            result = engine.run(ReachQuery(tuple(sources), tuple(targets)))
             times.append(round(result.parallel_seconds, 4))
             if size <= 50:
                 assert result.pairs == reachable_pairs(graph, sources, targets)

@@ -14,7 +14,6 @@ from repro.bench.datasets import load_dataset
 from repro.bench.reporting import format_series
 from repro.bench.runner import ExperimentRunner
 from repro.bench.workloads import random_query, random_vertex_sample
-from repro.graph.digraph import DiGraph
 
 DATASETS = ["livej68", "freebase", "twitter", "lubm"]
 # (#slaves, fraction of the data they hold) as in the paper's x-axis labels.

@@ -19,7 +19,7 @@ from benchmarks.conftest import BENCH_SEED, run_once
 from repro.bench.datasets import load_dataset
 from repro.bench.reporting import format_table
 from repro.bench.workloads import random_query
-from repro.core.engine import DSREngine
+from repro.api import DSRConfig, ReachQuery, open_engine
 from repro.graph.digraph import DiGraph
 from repro.graph.traversal import reachable_pairs
 
@@ -39,11 +39,11 @@ def test_bulk_deletions(benchmark, name):
 
     def run():
         graph = full.copy()
-        engine = DSREngine(
-            graph, num_partitions=NUM_SLAVES, partitioner="hash",
-            local_index="msbfs", seed=BENCH_SEED,
+        engine = open_engine(
+            graph,
+            DSRConfig(num_partitions=NUM_SLAVES, partitioner="hash",
+                      local_index="msbfs", seed=BENCH_SEED),
         )
-        engine.build_index()
         rows = []
         removed = 0
         for step_index in range(4):  # 100% -> 80%
@@ -55,7 +55,7 @@ def test_bulk_deletions(benchmark, name):
             update_seconds = time.perf_counter() - update_start
             removed += len(batch)
             query_start = time.perf_counter()
-            pairs = engine.query(sources, targets)
+            pairs = engine.run(ReachQuery(tuple(sources), tuple(targets))).pairs
             query_seconds = time.perf_counter() - query_start
             rows.append(
                 {
@@ -87,18 +87,18 @@ def test_progressive_deletions(benchmark, name):
         for percent in (5, 10, 15):
             to_remove = edges[: int(len(edges) * percent / 100)]
             graph = full.copy()
-            engine = DSREngine(
-                graph, num_partitions=NUM_SLAVES, partitioner="hash",
-                local_index="msbfs", seed=BENCH_SEED,
+            engine = open_engine(
+                graph,
+                DSRConfig(num_partitions=NUM_SLAVES, partitioner="hash",
+                          local_index="msbfs", seed=BENCH_SEED),
             )
-            engine.build_index()
             update_start = time.perf_counter()
             for u, v in to_remove:
                 engine.delete_edge(u, v)
             engine.flush_updates()
             update_seconds = time.perf_counter() - update_start
             query_start = time.perf_counter()
-            pairs = engine.query(sources, targets)
+            pairs = engine.run(ReachQuery(tuple(sources), tuple(targets))).pairs
             query_seconds = time.perf_counter() - query_start
             remaining = DiGraph.from_edges(
                 [e for e in edges if e not in set(to_remove)], vertices=full.vertices()

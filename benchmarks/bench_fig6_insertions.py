@@ -22,7 +22,7 @@ from benchmarks.conftest import BENCH_SEED, run_once
 from repro.bench.datasets import load_dataset
 from repro.bench.reporting import format_table
 from repro.bench.workloads import random_query
-from repro.core.engine import DSREngine
+from repro.api import DSRConfig, ReachQuery, open_engine
 from repro.graph.digraph import DiGraph
 from repro.graph.traversal import reachable_pairs
 
@@ -40,12 +40,11 @@ def _shuffled_edges(graph, seed):
 
 def _engine_over(edges, vertices):
     graph = DiGraph.from_edges(edges, vertices=vertices)
-    engine = DSREngine(
-        graph, num_partitions=NUM_SLAVES, partitioner="hash",
+    config = DSRConfig(
+        num_partitions=NUM_SLAVES, partitioner="hash",
         local_index="msbfs", seed=BENCH_SEED,
     )
-    engine.build_index()
-    return graph, engine
+    return graph, open_engine(graph, config)
 
 
 @pytest.mark.parametrize("name", DATASETS)
@@ -71,7 +70,7 @@ def test_bulk_insertions(benchmark, name):
             update_seconds = time.perf_counter() - update_start
             position += len(batch)
             query_start = time.perf_counter()
-            pairs = engine.query(sources, targets)
+            pairs = engine.run(ReachQuery(tuple(sources), tuple(targets))).pairs
             query_seconds = time.perf_counter() - query_start
             rows.append(
                 {
@@ -110,7 +109,7 @@ def test_progressive_insertions(benchmark, name):
             engine.flush_updates()
             update_seconds = time.perf_counter() - update_start
             query_start = time.perf_counter()
-            pairs = engine.query(sources, targets)
+            pairs = engine.run(ReachQuery(tuple(sources), tuple(targets))).pairs
             query_seconds = time.perf_counter() - query_start
             assert pairs == reachable_pairs(full, sources, targets)
             rows.append(

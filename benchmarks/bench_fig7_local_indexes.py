@@ -18,7 +18,7 @@ from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once
 from repro.bench.datasets import load_dataset
 from repro.bench.reporting import format_series
 from repro.bench.workloads import query_size_sweep
-from repro.core.engine import DSREngine
+from repro.api import DSRConfig, ReachQuery, open_engine
 
 DATASETS = ["livej68", "freebase"]
 QUERY_SIZES = [10, 50, 100]
@@ -33,11 +33,10 @@ def test_local_reachability_strategies(benchmark, name):
 
     engines = {}
     for strategy in STRATEGIES:
-        engine = DSREngine(
-            graph, num_partitions=NUM_SLAVES, local_index=strategy, seed=BENCH_SEED
+        engines[strategy] = open_engine(
+            graph,
+            DSRConfig(num_partitions=NUM_SLAVES, local_index=strategy, seed=BENCH_SEED),
         )
-        engine.build_index()
-        engines[strategy] = engine
 
     def run_sweep():
         series = {strategy: [] for strategy in STRATEGIES}
@@ -45,7 +44,9 @@ def test_local_reachability_strategies(benchmark, name):
             answers = {}
             for strategy, engine in engines.items():
                 start = time.perf_counter()
-                answers[strategy] = engine.query(sources, targets)
+                answers[strategy] = engine.run(
+                    ReachQuery(tuple(sources), tuple(targets))
+                ).pairs
                 series[strategy].append(round(time.perf_counter() - start, 4))
             assert answers["dfs"] == answers["ferrari"] == answers["msbfs"]
         return series

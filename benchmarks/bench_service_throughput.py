@@ -21,13 +21,12 @@ the regime a result cache exists for.
 
 import threading
 
-import pytest
 
 from benchmarks.conftest import BENCH_SEED, run_once
 from repro.bench.datasets import load_dataset
 from repro.bench.reporting import format_table
 from repro.bench.workloads import random_query
-from repro.core.engine import DSREngine
+from repro.api import DSRConfig, open_engine
 from repro.graph.traversal import reachable_pairs
 from repro.service import DSRService, QueryRequest, UpdateRequest
 
@@ -41,10 +40,10 @@ NUM_WORKERS = 4
 
 def _build_service(enable_cache):
     graph = load_dataset(DATASET, scale=SCALE, seed=BENCH_SEED)
-    engine = DSREngine(
-        graph, num_partitions=NUM_SLAVES, local_index="msbfs", seed=BENCH_SEED
+    engine = open_engine(
+        graph,
+        DSRConfig(num_partitions=NUM_SLAVES, local_index="msbfs", seed=BENCH_SEED),
     )
-    engine.build_index()
     service = DSRService(
         engine, num_workers=NUM_WORKERS, max_queue_depth=NUM_REQUESTS + 8,
         enable_cache=enable_cache,

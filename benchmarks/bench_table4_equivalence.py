@@ -14,7 +14,7 @@ from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once
 from repro.bench.datasets import load_dataset
 from repro.bench.reporting import format_table
 from repro.bench.workloads import random_query
-from repro.core.engine import DSREngine
+from repro.api import DSRConfig, ReachQuery, open_engine
 from repro.partition.partition import make_partitioning
 
 DATASETS = ["amazon", "berkstan", "google", "notredame", "stanford"]
@@ -30,14 +30,12 @@ def test_equivalence_optimisation(benchmark, name):
     sources, targets = random_query(graph, 10, 10, seed=BENCH_SEED)
 
     def run(use_equivalence):
-        engine = DSREngine(
+        engine = open_engine(
             graph,
+            DSRConfig(local_index="msbfs", use_equivalence=use_equivalence),
             partitioning=partitioning,
-            local_index="msbfs",
-            use_equivalence=use_equivalence,
         )
-        engine.build_index()
-        result = engine.query_with_stats(sources, targets)
+        result = engine.run(ReachQuery(tuple(sources), tuple(targets)))
         forward, backward = engine.index.total_boundary_entries()
         return result, forward, backward
 

@@ -13,22 +13,23 @@ from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once
 from repro.bench.datasets import load_dataset
 from repro.bench.reporting import format_table
 from repro.bench.workloads import random_query
-from repro.core.engine import DSREngine
+from repro.api import DSRConfig, ReachQuery, open_engine
 
 DATASETS = ["amazon", "berkstan", "google", "notredame", "stanford", "livej20", "livej68"]
 NUM_SLAVES = 5
 
 
 def _query_time(graph, partitioner, sources, targets):
-    engine = DSREngine(
+    engine = open_engine(
         graph,
-        num_partitions=NUM_SLAVES,
-        partitioner=partitioner,
-        local_index="msbfs",
-        seed=BENCH_SEED,
+        DSRConfig(
+            num_partitions=NUM_SLAVES,
+            partitioner=partitioner,
+            local_index="msbfs",
+            seed=BENCH_SEED,
+        ),
     )
-    engine.build_index()
-    result = engine.query_with_stats(sources, targets)
+    result = engine.run(ReachQuery(tuple(sources), tuple(targets)))
     return result, engine.partitioning.cut_size()
 
 

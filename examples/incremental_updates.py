@@ -12,7 +12,7 @@ Run with:  python examples/incremental_updates.py
 import random
 import time
 
-from repro import DSREngine
+from repro.api import DSRConfig, ReachQuery, open_engine
 from repro.bench.reporting import format_table
 from repro.bench.workloads import random_query
 from repro.graph import generators
@@ -30,8 +30,9 @@ def main() -> None:
     base_graph = DiGraph.from_edges(
         (edge for edge in edges[len(edges) // 10 :]), vertices=full_graph.vertices()
     )
-    engine = DSREngine(base_graph, num_partitions=4, local_index="msbfs", seed=1)
-    build_report = engine.build_index()
+    config = DSRConfig(num_partitions=4, local_index="msbfs", seed=1)
+    engine = open_engine(base_graph, config)
+    build_report = engine.last_build_report
     full_build_seconds = max(build_report.parallel_build_seconds, 1e-9)
     print(
         f"initial index over {base_graph.num_edges} edges built in "
@@ -55,9 +56,9 @@ def main() -> None:
     )
 
     # The incrementally maintained index must agree with a fresh build.
-    fresh = DSREngine(full_graph, num_partitions=4, local_index="msbfs", seed=1)
-    fresh.build_index()
-    assert engine.query(sources, targets) == fresh.query(sources, targets)
+    fresh = open_engine(full_graph, config)
+    query = ReachQuery(tuple(sources), tuple(targets))
+    assert engine.run(query).pairs == fresh.run(query).pairs
 
     delete_slice = held_out[: max(1, len(held_out) // 2)]
     delete_start = time.perf_counter()
@@ -74,7 +75,7 @@ def main() -> None:
     )
     print(format_table(rows, title="incremental maintenance"))
 
-    pairs = engine.query(sources, targets)
+    pairs = engine.run(query).pairs
     print(f"query after maintenance: {len(pairs)} reachable pairs")
 
 

@@ -1,18 +1,20 @@
 #!/usr/bin/env python
 """Quickstart: build a DSR index over a partitioned graph and query it.
 
-Walks through the full public API:
+Walks through the full public API (:mod:`repro.api`):
 
 1. generate a synthetic social graph (a scaled-down LiveJournal analogue);
-2. partition it with the METIS-like min-cut partitioner;
-3. build the distributed DSR index (equivalence sets + compound graphs);
-4. run a set-reachability query and inspect the communication statistics;
+2. describe the engine with a typed, serialisable :class:`DSRConfig`;
+3. open it through the backend registry (:func:`open_engine`) — the config's
+   ``backend`` field selects the execution strategy;
+4. run a set-reachability :class:`ReachQuery` and inspect the communication
+   statistics;
 5. apply a few incremental updates and query again.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import DSREngine
+from repro.api import DSRConfig, ReachQuery, open_engine
 from repro.bench.reporting import format_table
 from repro.bench.workloads import random_query
 from repro.graph import generators
@@ -25,15 +27,19 @@ def main() -> None:
     graph = generators.social_graph(num_vertices=1500, avg_degree=8, seed=7)
     print(f"data graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
 
-    # 2-3. Partition into 5 slaves and build the DSR index.
-    engine = DSREngine(
-        graph,
+    # 2-3. One typed config describes the whole engine; the registry opens a
+    # ready-to-query backend from it.  The same dict round-trips through JSON
+    # (DSRConfig.from_dict(config.to_dict()) == config), so the CLI, the
+    # service layer and the benchmarks all build engines the same way.
+    config = DSRConfig(
+        backend="dsr",
         num_partitions=5,
         partitioner="metis",
         local_index="msbfs",
         use_equivalence=True,
     )
-    report = engine.build_index()
+    engine = open_engine(graph, config)
+    report = engine.last_build_report
     print("\npartitioning:", engine.partition_summary())
     print(
         "index build: "
@@ -42,19 +48,19 @@ def main() -> None:
         f"({report.max_dag_edges} after SCC condensation)"
     )
 
-    # 4. A 10x10 set-reachability query.
+    # 4. A 10x10 set-reachability query — one query object for every backend.
     sources, targets = random_query(graph, 10, 10, seed=3)
-    pairs = engine.query(sources, targets)
-    stats = engine.last_query_stats
-    print(f"\nquery |S|=10 |T|=10  ->  {len(pairs)} reachable pairs")
-    print(format_table([stats], title="query statistics"))
+    query = ReachQuery(sources=tuple(sources), targets=tuple(targets))
+    result = engine.run(query)
+    print(f"\nquery |S|=10 |T|=10  ->  {result.num_pairs} reachable pairs")
+    print(format_table([result.as_dict()], title="query statistics"))
 
     # 5. Incremental updates: insert two edges, delete one, query again.
     vertices = sorted(graph.vertices())
     engine.insert_edge(vertices[0], vertices[-1])
     engine.insert_edge(vertices[1], vertices[-2])
     engine.delete_edge(*next(iter(graph.edges())))
-    pairs_after = engine.query(sources, targets)
+    pairs_after = engine.run(query).pairs
     print(f"\nafter updates: {len(pairs_after)} reachable pairs")
 
 

@@ -14,7 +14,7 @@ Walks through the serving layer on top of the batch engine:
 Run with:  python examples/service_demo.py
 """
 
-from repro import DSREngine
+from repro.api import DSRConfig, ReachQuery, open_engine
 from repro.bench.reporting import format_table
 from repro.bench.workloads import random_query
 from repro.graph import generators
@@ -22,7 +22,6 @@ from repro.service import (
     DSRClient,
     DSRService,
     DSRSocketServer,
-    QueryRequest,
     StatsRequest,
     UpdateRequest,
 )
@@ -33,19 +32,20 @@ def main() -> None:
 
     # 1. Data graph + index (backward index too, so the planner has a choice).
     graph = generators.web_graph(num_vertices=1200, avg_degree=6, seed=11)
-    engine = DSREngine(
-        graph, num_partitions=4, local_index="msbfs", enable_backward=True
+    engine = open_engine(
+        graph,
+        DSRConfig(num_partitions=4, local_index="msbfs", enable_backward=True),
     )
-    engine.build_index()
     print(f"data graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
 
     # 2. The service: 4 workers, LRU cache of 512 exact answers.
     service = DSRService(engine, num_workers=4, cache_capacity=512)
 
-    # 3. A hot workload: 5 distinct queries, each asked 8 times.
+    # 3. A hot workload: 5 distinct queries, each asked 8 times.  The service
+    # accepts the same ReachQuery object the engine itself answers.
     pool = [random_query(graph, 10, 10, seed=seed) for seed in range(5)]
     futures = [
-        service.submit(QueryRequest(tuple(sources), tuple(targets)))
+        service.submit(ReachQuery(tuple(sources), tuple(targets)))
         for _ in range(8)
         for sources, targets in pool
     ]
@@ -60,7 +60,7 @@ def main() -> None:
     removed = next(iter(graph.edges()))
     service.submit(UpdateRequest("delete-edge", *removed)).result()
     response = service.submit(
-        QueryRequest(tuple(pool[0][0]), tuple(pool[0][1]))
+        ReachQuery(tuple(pool[0][0]), tuple(pool[0][1]))
     ).result()
     print(f"\nafter delete-edge: cached={response.cached} (cache was invalidated)")
 

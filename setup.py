@@ -13,11 +13,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-dsr",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'Distributed Set Reachability' (SIGMOD 2016): "
-        "DSR index, one-round query protocol, incremental maintenance and "
-        "an online query service (planner, result cache, concurrent server)"
+        "DSR index, one-round query protocol, incremental maintenance, an "
+        "online query service (planner, result cache, concurrent server) and "
+        "a unified typed API (DSRConfig, ReachQuery, backend registry)"
     ),
     long_description=open("README.md", encoding="utf-8").read(),
     long_description_content_type="text/markdown",

@@ -6,16 +6,31 @@ reachability indexes, a simulated message-passing cluster, Pregel/Giraph-style
 baselines, a SPARQL 1.1 property-path application and a social-network
 community application.
 
+The public surface is the :mod:`repro.api` package: a typed
+:class:`~repro.api.config.DSRConfig`, a backend registry behind
+:func:`~repro.api.backends.open_engine`, and one
+:class:`~repro.api.query.ReachQuery` object that every backend answers.
+
 Quickstart
 ----------
->>> from repro import DSREngine
+>>> from repro.api import DSRConfig, ReachQuery, open_engine
 >>> from repro.graph import generators
 >>> graph = generators.social_graph(1000, avg_degree=6, seed=7)
->>> engine = DSREngine(graph, num_partitions=4, local_index="msbfs")
->>> _ = engine.build_index()
->>> pairs = engine.query(sources=[0, 1, 2], targets=[500, 600])
+>>> engine = open_engine(graph, DSRConfig(num_partitions=4, local_index="msbfs"))
+>>> result = engine.run(ReachQuery(sources=(0, 1, 2), targets=(500, 600)))
 """
 
+from repro.api import (
+    Backend,
+    ConfigError,
+    DSRConfig,
+    QueryError,
+    ReachQuery,
+    UnknownBackendError,
+    available_backends,
+    open_engine,
+    register_backend,
+)
 from repro.core.engine import DSREngine
 from repro.core.fan import DSRFan
 from repro.core.index import DSRIndex
@@ -24,16 +39,25 @@ from repro.core.query import QueryResult
 from repro.graph.digraph import DiGraph
 from repro.partition.partition import GraphPartitioning, make_partitioning
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "Backend",
+    "ConfigError",
+    "DSRConfig",
     "DSREngine",
     "DSRIndex",
     "DSRFan",
     "DSRNaive",
-    "QueryResult",
     "DiGraph",
     "GraphPartitioning",
+    "QueryError",
+    "QueryResult",
+    "ReachQuery",
+    "UnknownBackendError",
+    "available_backends",
     "make_partitioning",
+    "open_engine",
+    "register_backend",
     "__version__",
 ]

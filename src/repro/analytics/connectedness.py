@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
 from repro.analytics.community import CommunityDetection, detect_communities
+from repro.api import DSRConfig, ReachQuery
 from repro.core.engine import DSREngine
 from repro.graph.digraph import DiGraph
 
@@ -43,8 +44,9 @@ class CommunityConnectedness:
     ) -> None:
         self.graph = graph
         self.seed = seed
-        self.engine = engine or DSREngine(
-            graph, num_partitions=num_partitions, local_index="msbfs", seed=seed
+        self.engine = engine or DSREngine.from_config(
+            graph,
+            DSRConfig(num_partitions=num_partitions, local_index="msbfs", seed=seed),
         )
         if not self.engine.is_built:
             self.engine.build_index()
@@ -86,7 +88,7 @@ class CommunityConnectedness:
         targets = self.sample_representatives(community_b, representatives, rng)
 
         start = time.perf_counter()
-        pairs = self.engine.query(sources, targets)
+        pairs = self.engine.run(ReachQuery(tuple(sources), tuple(targets))).pairs
         elapsed = time.perf_counter() - start
         return ConnectednessReport(
             community_a=community_a,

@@ -1,0 +1,150 @@
+"""Backend protocol and string-keyed registry.
+
+A *backend* is one interchangeable execution strategy for set-reachability
+queries — the partitioned DSR index, the Giraph/Giraph++-style vertex-centric
+baselines, the naive per-pair evaluation, … .  Every backend answers the same
+:class:`~repro.api.query.ReachQuery` and returns the same
+:class:`~repro.core.query.QueryResult`, so callers (service, CLI, benchmarks)
+can switch strategies by changing one string in a
+:class:`~repro.api.config.DSRConfig`.
+
+>>> from repro.api import DSRConfig, ReachQuery, open_engine
+>>> from repro.graph import generators
+>>> graph = generators.random_digraph(50, 120, seed=3)
+>>> engine = open_engine(graph, DSRConfig(backend="giraphpp", num_partitions=3))
+>>> result = engine.run(ReachQuery((0, 1), (20, 30)))
+
+Third-party strategies plug in through :func:`register_backend`::
+
+    register_backend("mine", lambda graph, config, partitioning: MyBackend(...))
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, TYPE_CHECKING
+
+try:  # Protocol is 3.8+; runtime_checkable lets isinstance() work on it.
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - Python < 3.8 fallback
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+from repro.api.config import DSRConfig
+from repro.api.query import ReachQuery
+from repro.core.query import QueryResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.digraph import DiGraph
+    from repro.partition.partition import GraphPartitioning
+
+
+class UnknownBackendError(ValueError):
+    """Raised by :func:`open_engine` for a backend name that is not registered."""
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """What every execution strategy exposes once opened.
+
+    ``name`` is the registry key the backend was opened under; ``run`` answers
+    one :class:`ReachQuery` with a :class:`QueryResult`; ``reachable`` is the
+    single-pair special case (Algorithm 1).
+    """
+
+    name: str
+
+    def run(self, query: ReachQuery) -> QueryResult:
+        """Answer ``query`` and return the reachable pairs plus statistics."""
+        ...
+
+    def reachable(self, source: int, target: int) -> bool:
+        """Single-pair reachability."""
+        ...
+
+
+#: ``factory(graph, config, partitioning)`` returns a ready-to-query Backend.
+#: ``partitioning`` is an optional pre-computed partitioning to share across
+#: backends (``None`` means: derive one from the config).
+BackendFactory = Callable[
+    ["DiGraph", DSRConfig, Optional["GraphPartitioning"]], Backend
+]
+
+_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+def _ensure_builtin_backends() -> None:
+    # The built-in adapters live in their own module to keep this one free of
+    # engine imports; importing it registers them (idempotent).
+    import repro.api.adapters  # noqa: F401
+
+
+def register_backend(
+    name: str, factory: BackendFactory, *, replace: bool = False
+) -> None:
+    """Register ``factory`` under ``name`` for :func:`open_engine`.
+
+    Re-registering an existing name raises ``ValueError`` unless
+    ``replace=True``.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    if not callable(factory):
+        raise ValueError(f"backend factory for {name!r} must be callable")
+    _ensure_builtin_backends()
+    if name in _REGISTRY and not replace:
+        raise ValueError(
+            f"backend {name!r} is already registered; pass replace=True to override"
+        )
+    _REGISTRY[name] = factory
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (missing names are ignored)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The registered backend names, sorted."""
+    _ensure_builtin_backends()
+    return tuple(sorted(_REGISTRY))
+
+
+def open_engine(
+    graph: "DiGraph",
+    config: Optional[DSRConfig] = None,
+    *,
+    partitioning: Optional["GraphPartitioning"] = None,
+) -> Backend:
+    """Open the backend named by ``config.backend`` over ``graph``.
+
+    The returned engine is fully built and ready to :meth:`~Backend.run`
+    queries.  ``partitioning`` optionally supplies a pre-computed
+    :class:`~repro.partition.partition.GraphPartitioning` so several backends
+    (e.g. in a benchmark) share the exact same graph cut; when omitted, the
+    partitioning is derived from the config's ``num_partitions``,
+    ``partitioner`` and ``seed``.
+    """
+    _ensure_builtin_backends()
+    if config is None:
+        config = DSRConfig()
+    factory = _REGISTRY.get(config.backend)
+    if factory is None:
+        raise UnknownBackendError(
+            f"unknown backend {config.backend!r}; "
+            f"available: {', '.join(available_backends())}"
+        )
+    return factory(graph, config, partitioning)
+
+
+__all__ = [
+    "Backend",
+    "BackendFactory",
+    "UnknownBackendError",
+    "available_backends",
+    "open_engine",
+    "register_backend",
+    "unregister_backend",
+]

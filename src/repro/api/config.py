@@ -1,0 +1,159 @@
+"""Typed, serialisable engine configuration.
+
+:class:`DSRConfig` is the single description of *how* a set-reachability
+engine should be built: which backend answers the queries, how the graph is
+partitioned, which local reachability strategy each slave uses, and whether
+the equivalence-set and backward-processing optimisations are enabled.  Every
+entry point of the reproduction — the Python API (:func:`repro.api.open_engine`),
+the CLI, the service layer and the benchmarks — constructs engines from the
+same config object, and :meth:`DSRConfig.to_dict` / :meth:`DSRConfig.from_dict`
+round-trip it losslessly through JSON so a config can travel over the wire or
+live in a file.
+
+Validation happens at construction: a :class:`DSRConfig` that exists is a
+config the engine builders accept (the one exception is ``backend``, whose
+registry membership is checked at :func:`~repro.api.backends.open_engine`
+time so user-defined backends can be registered after configs referencing
+them are created).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional
+
+from repro.reachability.factory import available_strategies
+
+#: Partitioning strategies understood by ``repro.partition.make_partitioning``.
+PARTITIONERS = ("metis", "min-cut", "mincut", "hash")
+
+
+class ConfigError(ValueError):
+    """Raised when a :class:`DSRConfig` field or payload is invalid."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+@dataclass(frozen=True)
+class DSRConfig:
+    """Frozen, validated configuration for building a set-reachability engine.
+
+    Fields
+    ------
+    backend:
+        Registry name of the execution strategy (``"dsr"``, ``"giraph"``,
+        ``"giraphpp"``, ``"giraphpp-eq"``, ``"naive"``, ``"fan"``, or any
+        name added via :func:`repro.api.register_backend`).
+    num_partitions:
+        Number of slaves / graph partitions.
+    partitioner:
+        ``"metis"`` (min-cut) or ``"hash"``.
+    local_index:
+        Per-slave reachability strategy (``"dfs"``, ``"msbfs"``, ``"ferrari"``,
+        ``"grail"``, ``"closure"``).
+    use_equivalence:
+        Enable the equivalence-set optimisation (Section 3.3 of the paper).
+    parallel:
+        Run the simulated slaves on a thread pool.
+    seed:
+        Random seed used by the partitioner.
+    enable_backward:
+        Also build the mirror index over the reversed graph so queries can be
+        processed from the target side (Section 3.3.2).
+    local_index_options:
+        Extra keyword arguments for the local reachability strategy.
+    """
+
+    backend: str = "dsr"
+    num_partitions: int = 4
+    partitioner: str = "metis"
+    local_index: str = "dfs"
+    use_equivalence: bool = True
+    parallel: bool = False
+    seed: int = 0
+    enable_backward: bool = False
+    local_index_options: Optional[Dict[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.backend, str) and bool(self.backend),
+            f"backend must be a non-empty string, got {self.backend!r}",
+        )
+        _require(
+            isinstance(self.num_partitions, int)
+            and not isinstance(self.num_partitions, bool)
+            and self.num_partitions >= 1,
+            f"num_partitions must be a positive integer, got {self.num_partitions!r}",
+        )
+        _require(
+            self.partitioner in PARTITIONERS,
+            f"unknown partitioner {self.partitioner!r}; "
+            f"available: {', '.join(PARTITIONERS)}",
+        )
+        _require(
+            self.local_index in available_strategies(),
+            f"unknown local index {self.local_index!r}; "
+            f"available: {', '.join(available_strategies())}",
+        )
+        for flag in ("use_equivalence", "parallel", "enable_backward"):
+            _require(
+                isinstance(getattr(self, flag), bool),
+                f"{flag} must be a bool, got {getattr(self, flag)!r}",
+            )
+        _require(
+            isinstance(self.seed, int) and not isinstance(self.seed, bool),
+            f"seed must be an integer, got {self.seed!r}",
+        )
+        if self.local_index_options is not None:
+            _require(
+                isinstance(self.local_index_options, Mapping)
+                and all(isinstance(key, str) for key in self.local_index_options),
+                "local_index_options must be a mapping with string keys, "
+                f"got {self.local_index_options!r}",
+            )
+            # Normalise to a plain dict so equality and round-tripping behave.
+            object.__setattr__(
+                self, "local_index_options", dict(self.local_index_options)
+            )
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a JSON-safe dict that :meth:`from_dict` accepts unchanged."""
+        payload: Dict[str, Any] = {
+            spec.name: getattr(self, spec.name) for spec in fields(self)
+        }
+        if payload["local_index_options"] is not None:
+            payload["local_index_options"] = dict(payload["local_index_options"])
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DSRConfig":
+        """Build a config from a dict, rejecting unknown keys."""
+        if not isinstance(payload, Mapping):
+            raise ConfigError(
+                f"config payload must be a mapping, got {type(payload).__name__}"
+            )
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown config keys: {', '.join(unknown)}; "
+                f"known keys: {', '.join(sorted(known))}"
+            )
+        try:
+            return cls(**dict(payload))
+        except TypeError as exc:
+            raise ConfigError(f"malformed config payload: {exc}") from exc
+
+    def replace(self, **overrides: Any) -> "DSRConfig":
+        """Return a copy with ``overrides`` applied (re-validated)."""
+        return dataclasses.replace(self, **overrides)
+
+
+__all__ = ["ConfigError", "DSRConfig", "PARTITIONERS"]

@@ -1,0 +1,152 @@
+"""The one query object every backend answers.
+
+:class:`ReachQuery` is the first-class description of a set-reachability
+query ``S ⇝ T``: the source and target vertex sets plus the execution options
+that used to be spread positionally across ``DSREngine.query*``, the service
+planner and the wire protocol.  Every backend opened through
+:func:`repro.api.open_engine` takes a :class:`ReachQuery` and returns a
+:class:`~repro.core.query.QueryResult`; the service layer's
+``QueryRequest`` is a thin serialisation of this same class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+#: Processing directions accepted by :class:`ReachQuery`.
+DIRECTIONS = ("auto", "forward", "backward")
+
+
+class QueryError(ValueError):
+    """Raised when a :class:`ReachQuery` is malformed."""
+
+
+@dataclass(frozen=True)
+class ReachQuery:
+    """A set-reachability query ``S ⇝ T`` plus its execution options.
+
+    Fields
+    ------
+    sources / targets:
+        The query's source and target vertex ids (any iterable; normalised to
+        tuples, order preserved).
+    direction:
+        ``"forward"`` starts at the sources, ``"backward"`` at the targets
+        over the mirror index, ``"auto"`` lets the engine/planner choose
+        (Section 3.3.2, "Forward vs. Backward Processing").
+    use_cache:
+        Allow the serving layer to answer from its exact-result cache.
+    max_batch_pairs:
+        Optional per-query override of the planner's batching budget — the
+        maximum ``|S| × |T|`` evaluated in a single engine call.
+    """
+
+    sources: Tuple[int, ...]
+    targets: Tuple[int, ...]
+    direction: str = "auto"
+    use_cache: bool = True
+    max_batch_pairs: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sources", tuple(self.sources))
+        object.__setattr__(self, "targets", tuple(self.targets))
+        if self.direction not in DIRECTIONS:
+            raise QueryError(
+                f"unknown query direction {self.direction!r}; "
+                f"available: {', '.join(DIRECTIONS)}"
+            )
+        if self.max_batch_pairs is not None and (
+            not isinstance(self.max_batch_pairs, int)
+            or isinstance(self.max_batch_pairs, bool)
+            or self.max_batch_pairs < 1
+        ):
+            raise QueryError(
+                f"max_batch_pairs must be a positive integer or None, "
+                f"got {self.max_batch_pairs!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def is_empty(self) -> bool:
+        """True when the answer is trivially empty (no sources or targets)."""
+        return not self.sources or not self.targets
+
+    @property
+    def num_pairs(self) -> int:
+        """The ``|S| × |T|`` size of the query."""
+        return len(self.sources) * len(self.targets)
+
+    # ------------------------------------------------------------------ #
+    # construction helpers / serialisation
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def single(cls, source: int, target: int, **options: Any) -> "ReachQuery":
+        """The single-pair special case (Algorithm 1)."""
+        return cls((source,), (target,), **options)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a JSON-safe dict that :meth:`from_dict` accepts unchanged."""
+        return {
+            "sources": list(self.sources),
+            "targets": list(self.targets),
+            "direction": self.direction,
+            "use_cache": self.use_cache,
+            "max_batch_pairs": self.max_batch_pairs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ReachQuery":
+        """Build a query from a dict, rejecting unknown keys."""
+        if not isinstance(payload, Mapping):
+            raise QueryError(
+                f"query payload must be a mapping, got {type(payload).__name__}"
+            )
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise QueryError(
+                f"unknown query keys: {', '.join(unknown)}; "
+                f"known keys: {', '.join(sorted(known))}"
+            )
+        missing = [name for name in ("sources", "targets") if name not in payload]
+        if missing:
+            raise QueryError(f"query payload is missing: {', '.join(missing)}")
+        return cls(**dict(payload))
+
+
+def as_reach_query(
+    query_or_sources: "ReachQuery | Iterable[int]",
+    targets: Optional[Iterable[int]] = None,
+    direction: Optional[str] = None,
+) -> ReachQuery:
+    """Coerce either a :class:`ReachQuery` or ``(sources, targets)`` to a query.
+
+    This is the compatibility bridge used by call sites that still accept the
+    old positional form next to the new query object.  A query object carries
+    its own direction, so combining one with an explicit ``direction`` (or
+    ``targets``) raises instead of silently dropping the argument.
+    """
+    if isinstance(query_or_sources, ReachQuery):
+        if targets is not None:
+            raise TypeError(
+                "targets must not be given when a ReachQuery is passed"
+            )
+        if direction is not None:
+            raise TypeError(
+                "direction must not be given when a ReachQuery is passed; "
+                "set it on the query itself"
+            )
+        return query_or_sources
+    if targets is None:
+        raise TypeError("targets are required when sources are a plain iterable")
+    return ReachQuery(
+        tuple(query_or_sources),
+        tuple(targets),
+        direction="auto" if direction is None else direction,
+    )
+
+
+__all__ = ["DIRECTIONS", "QueryError", "ReachQuery", "as_reach_query"]

@@ -7,7 +7,7 @@ with aligned columns; ``format_series`` renders the x/y series behind a figure.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 
 def _stringify(value: object) -> str:

@@ -1,24 +1,20 @@
 """Experiment runner shared by the ``benchmarks/`` scripts.
 
-The runner builds every competing approach over the same graph/partitioning,
-runs the same query workload through each of them, and collects comparable
-records (index build time, query time, communication volume, result size).
-It also verifies that every approach returns the same answer, so a benchmark
-run doubles as an end-to-end consistency check.
+The runner opens every competing approach through the :mod:`repro.api`
+backend registry over the same graph/partitioning, runs the same query
+workload through each of them, and collects comparable records (index build
+time, query time, communication volume, result size).  It also verifies that
+every approach returns the same answer, so a benchmark run doubles as an
+end-to-end consistency check.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.core.engine import DSREngine
-from repro.core.fan import DSRFan
-from repro.core.naive import DSRNaive
-from repro.giraph.giraph_dsr import GiraphDSR
-from repro.giraph.giraphpp_dsr import GiraphPlusPlusDSR
-from repro.giraph.giraphpp_eq_dsr import GiraphPlusPlusEqDSR
+from repro.api import DSRConfig, ReachQuery, open_engine
 from repro.graph.digraph import DiGraph
 from repro.partition.partition import GraphPartitioning, make_partitioning
 
@@ -48,14 +44,25 @@ class ApproachResult:
         }
 
 
-# Names accepted by ExperimentRunner.run(...).
+# Names accepted by ExperimentRunner.run(...), mapped to the registry backend
+# they open plus any config overrides.
+_APPROACH_TO_BACKEND: Dict[str, Tuple[str, Dict[str, object]]] = {
+    "dsr": ("dsr", {"use_equivalence": True}),
+    "dsr-noeq": ("dsr", {"use_equivalence": False}),
+    "giraph": ("giraph", {}),
+    "giraph++": ("giraphpp", {}),
+    "giraph++weq": ("giraphpp-eq", {}),
+    "dsr-fan": ("fan", {}),
+    "dsr-naive": ("naive", {}),
+}
+
 DSR_APPROACHES = ("dsr", "dsr-noeq")
 BASELINE_APPROACHES = ("giraph", "giraph++", "giraph++weq", "dsr-fan", "dsr-naive")
 ALL_APPROACHES = DSR_APPROACHES + BASELINE_APPROACHES
 
 
 class ExperimentRunner:
-    """Builds and times competing DSR approaches over one partitioned graph."""
+    """Opens and times competing DSR approaches over one partitioned graph."""
 
     def __init__(
         self,
@@ -81,35 +88,21 @@ class ExperimentRunner:
     def _build(self, approach: str):
         if approach in self._engines:
             return self._engines[approach]
+        try:
+            backend, overrides = _APPROACH_TO_BACKEND[approach]
+        except KeyError:
+            raise ValueError(f"unknown approach {approach!r}") from None
+        config = DSRConfig(
+            backend=backend,
+            num_partitions=self.partitioning.num_partitions,
+            local_index=self.local_index,
+            seed=self.seed,
+            **overrides,
+        )
         start = time.perf_counter()
-        if approach == "dsr":
-            engine = DSREngine(
-                self.graph,
-                partitioning=self.partitioning,
-                local_index=self.local_index,
-                use_equivalence=True,
-            )
-            engine.build_index()
-        elif approach == "dsr-noeq":
-            engine = DSREngine(
-                self.graph,
-                partitioning=self.partitioning,
-                local_index=self.local_index,
-                use_equivalence=False,
-            )
-            engine.build_index()
-        elif approach == "dsr-fan":
-            engine = DSRFan(self.partitioning, local_strategy=self.local_index)
-        elif approach == "dsr-naive":
-            engine = DSRNaive(self.partitioning, local_strategy=self.local_index)
-        elif approach == "giraph":
-            engine = GiraphDSR(self.graph, self.partitioning)
-        elif approach == "giraph++":
-            engine = GiraphPlusPlusDSR(self.graph, self.partitioning)
-        elif approach == "giraph++weq":
-            engine = GiraphPlusPlusEqDSR(self.graph, self.partitioning)
-        else:
-            raise ValueError(f"unknown approach {approach!r}")
+        # Every approach shares the exact same partitioning, so the
+        # comparison isolates the execution strategy from the graph cut.
+        engine = open_engine(self.graph, config, partitioning=self.partitioning)
         self._index_seconds[approach] = time.perf_counter() - start
         self._engines[approach] = engine
         return engine
@@ -125,13 +118,9 @@ class ExperimentRunner:
     ) -> ApproachResult:
         """Run one approach on one query and record its measurements."""
         engine = self._build(approach)
-        sources = list(sources)
-        targets = list(targets)
+        query = ReachQuery(tuple(sources), tuple(targets))
         start = time.perf_counter()
-        if isinstance(engine, DSREngine):
-            result = engine.query_with_stats(sources, targets)
-        else:
-            result = engine.query(sources, targets)
+        result = engine.run(query)
         elapsed = time.perf_counter() - start
         return ApproachResult(
             approach=approach,
@@ -155,17 +144,13 @@ class ExperimentRunner:
         With ``check_consistency`` (the default) the runner asserts that every
         approach returns exactly the same set of reachable pairs.
         """
-        sources = list(sources)
-        targets = list(targets)
+        query = ReachQuery(tuple(sources), tuple(targets))
         results: List[ApproachResult] = []
         answers: Dict[str, Set[Tuple[int, int]]] = {}
         for approach in approaches:
             engine = self._build(approach)
             start = time.perf_counter()
-            if isinstance(engine, DSREngine):
-                query_result = engine.query_with_stats(sources, targets)
-            else:
-                query_result = engine.query(sources, targets)
+            query_result = engine.run(query)
             elapsed = time.perf_counter() - start
             answers[approach] = query_result.pairs
             results.append(

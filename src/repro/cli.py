@@ -4,7 +4,8 @@ The CLI exposes the most common workflows without writing any Python:
 
 * ``repro-dsr info <dataset>`` — generate a dataset analogue and print its
   statistics (vertices, edges, cut sizes under both partitioners).
-* ``repro-dsr query <dataset>`` — build a DSR index and run a random
+* ``repro-dsr query <dataset>`` — open any registered backend
+  (``--backend dsr|giraph|giraphpp|giraphpp-eq|naive|fan``) and run a random
   set-reachability query, printing the Table-3-style measurements.
 * ``repro-dsr compare <dataset>`` — run the same query through several
   approaches (DSR, Giraph variants, DSR-Fan, DSR-Naïve) and print a
@@ -26,11 +27,11 @@ import sys
 from typing import List, Optional
 
 from repro.analytics.connectedness import CommunityConnectedness
+from repro.api import DSRConfig, ReachQuery, available_backends, open_engine
 from repro.bench.datasets import DATASETS, load_dataset
 from repro.bench.reporting import format_table
 from repro.bench.runner import ALL_APPROACHES, ExperimentRunner
 from repro.bench.workloads import random_query
-from repro.core.engine import DSREngine
 from repro.graph import generators
 from repro.service import (
     DSRService,
@@ -63,8 +64,14 @@ def _build_parser() -> argparse.ArgumentParser:
     info.add_argument("dataset", choices=sorted(DATASETS))
     _add_common_arguments(info)
 
-    query = subparsers.add_parser("query", help="run one DSR query")
+    query = subparsers.add_parser("query", help="run one set-reachability query")
     query.add_argument("dataset", choices=sorted(DATASETS))
+    query.add_argument(
+        "--backend",
+        choices=sorted(available_backends()),
+        default="dsr",
+        help="execution strategy from the repro.api backend registry",
+    )
     query.add_argument("--partitions", type=int, default=5)
     query.add_argument("--partitioner", choices=["metis", "hash"], default="metis")
     query.add_argument(
@@ -161,23 +168,30 @@ def _command_info(args: argparse.Namespace) -> int:
 
 def _command_query(args: argparse.Namespace) -> int:
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    engine = DSREngine(
-        graph,
+    config = DSRConfig(
+        backend=args.backend,
         num_partitions=args.partitions,
         partitioner=args.partitioner,
         local_index=args.local_index,
         use_equivalence=not args.no_equivalence,
         seed=args.seed,
     )
-    report = engine.build_index()
+    engine = open_engine(graph, config)
+    report = getattr(engine, "last_build_report", None)
+    if report is not None:
+        print(
+            f"index: {report.parallel_build_seconds:.3f}s simulated-parallel build, "
+            f"max compound graph {report.max_original_edges} edges "
+            f"({report.max_dag_edges} condensed)"
+        )
     sources, targets = random_query(graph, args.sources, args.targets, seed=args.seed)
-    result = engine.query_with_stats(sources, targets)
+    result = engine.run(ReachQuery(tuple(sources), tuple(targets)))
     print(
-        f"index: {report.parallel_build_seconds:.3f}s simulated-parallel build, "
-        f"max compound graph {report.max_original_edges} edges "
-        f"({report.max_dag_edges} condensed)"
+        format_table(
+            [result.as_dict()],
+            title=f"{args.backend} query |S|={args.sources} |T|={args.targets}",
+        )
     )
-    print(format_table([result.as_dict()], title=f"query |S|={args.sources} |T|={args.targets}"))
     return 0
 
 
@@ -274,14 +288,16 @@ def _command_communities(args: argparse.Namespace) -> int:
 
 def _command_serve(args: argparse.Namespace) -> int:
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    engine = DSREngine(
+    engine = open_engine(
         graph,
-        num_partitions=args.partitions,
-        local_index=args.local_index,
-        seed=args.seed,
-        enable_backward=args.backward,
+        DSRConfig(
+            num_partitions=args.partitions,
+            local_index=args.local_index,
+            seed=args.seed,
+            enable_backward=args.backward,
+        ),
     )
-    report = engine.build_index()
+    report = engine.last_build_report
     print(
         f"{args.dataset}: {graph.num_vertices} vertices, {graph.num_edges} edges — "
         f"index built in {report.parallel_build_seconds:.3f}s simulated-parallel"

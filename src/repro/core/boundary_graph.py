@@ -15,7 +15,7 @@ it in isolation makes the index logic much easier to test.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Iterable, Mapping, Tuple
 
 from repro.core.summary import PartitionSummary
 from repro.graph.digraph import DiGraph

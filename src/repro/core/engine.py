@@ -1,32 +1,44 @@
 """The public DSR engine.
 
 :class:`DSREngine` is the top-level API a downstream user works with: give it
-a directed graph, choose how to partition it, which local reachability
-strategy to plug in and whether to enable the equivalence-set optimisation,
-then build the index once and run as many set-reachability queries and
-incremental updates as needed.
+a directed graph and a :class:`~repro.api.config.DSRConfig` describing how to
+partition it, which local reachability strategy to plug in and whether to
+enable the equivalence-set optimisation, then build the index once and run as
+many set-reachability queries and incremental updates as needed.
 
 Example
 -------
->>> from repro import DSREngine
+>>> from repro.api import DSRConfig, ReachQuery, open_engine
 >>> from repro.graph import generators
 >>> graph = generators.social_graph(500, avg_degree=6, seed=1)
->>> engine = DSREngine(graph, num_partitions=4, local_index="msbfs")
->>> engine.build_index()                                   # doctest: +ELLIPSIS
-IndexBuildReport(...)
->>> pairs = engine.query(sources=[0, 1, 2], targets=[100, 200])
+>>> engine = open_engine(graph, DSRConfig(num_partitions=4, local_index="msbfs"))
+>>> result = engine.run(ReachQuery(sources=(0, 1, 2), targets=(100, 200)))
+
+The pre-``repro.api`` entry points — ``DSREngine(graph, num_partitions=...)``
+and ``engine.query(sources, targets)`` — keep working as thin shims but emit
+:class:`DeprecationWarning`; see the README's "Public API" section for the
+migration table.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, Optional, Set, Tuple
 
+from repro.api.config import DSRConfig
+from repro.api.query import ReachQuery
 from repro.cluster.cluster import SimulatedCluster
 from repro.core.index import DSRIndex, IndexBuildReport
 from repro.core.query import DistributedQueryExecutor, QueryResult
 from repro.core.updates import IncrementalMaintainer, UpdateResult
 from repro.graph.digraph import DiGraph
 from repro.partition.partition import GraphPartitioning, make_partitioning
+
+_INIT_DEPRECATION = (
+    "constructing DSREngine(graph, ...) directly is deprecated; use "
+    "repro.api.open_engine(graph, DSRConfig(...)) or "
+    "DSREngine.from_config(graph, config) instead"
+)
 
 
 class DSREngine:
@@ -45,7 +57,93 @@ class DSREngine:
         local_index_options: Optional[dict] = None,
         enable_backward: bool = False,
     ) -> None:
+        """Deprecated keyword-soup constructor (shim).
+
+        Prefer :meth:`from_config` / :func:`repro.api.open_engine`, which
+        take the same knobs as a validated, serialisable
+        :class:`~repro.api.config.DSRConfig`.
+        """
+        warnings.warn(_INIT_DEPRECATION, DeprecationWarning, stacklevel=2)
+        self._init(
+            graph,
+            num_partitions=num_partitions,
+            partitioner=partitioner,
+            local_index=local_index,
+            use_equivalence=use_equivalence,
+            parallel=parallel,
+            seed=seed,
+            partitioning=partitioning,
+            local_index_options=local_index_options,
+            enable_backward=enable_backward,
+        )
+
+    @classmethod
+    def from_config(
+        cls,
+        graph: DiGraph,
+        config: Optional[DSRConfig] = None,
+        *,
+        partitioning: Optional[GraphPartitioning] = None,
+    ) -> "DSREngine":
+        """Build an engine from a :class:`~repro.api.config.DSRConfig`.
+
+        ``partitioning`` optionally supplies a pre-computed partitioning to
+        share with other engines; the stored :attr:`config` is then
+        reconciled to its partition count so it keeps describing the engine
+        faithfully (the ``partitioner``/``seed`` fields describe how a
+        partitioning *would* be derived and do not apply to a supplied one).
+        The index is *not* built yet — call :meth:`build_index`, or use
+        :func:`repro.api.open_engine` which returns a ready-to-query engine.
+        """
+        config = config if config is not None else DSRConfig()
+        if partitioning is not None and (
+            config.num_partitions != partitioning.num_partitions
+        ):
+            config = config.replace(num_partitions=partitioning.num_partitions)
+        if config.backend != "dsr":
+            raise ValueError(
+                f"DSREngine.from_config expects backend='dsr', got "
+                f"{config.backend!r}; use repro.api.open_engine for other backends"
+            )
+        engine = cls.__new__(cls)
+        engine._init(
+            graph,
+            num_partitions=config.num_partitions,
+            partitioner=config.partitioner,
+            local_index=config.local_index,
+            use_equivalence=config.use_equivalence,
+            parallel=config.parallel,
+            seed=config.seed,
+            partitioning=partitioning,
+            local_index_options=(
+                dict(config.local_index_options)
+                if config.local_index_options
+                else None
+            ),
+            enable_backward=config.enable_backward,
+        )
+        engine.config = config
+        return engine
+
+    def _init(
+        self,
+        graph: DiGraph,
+        num_partitions: int,
+        partitioner: str,
+        local_index: str,
+        use_equivalence: bool,
+        parallel: bool,
+        seed: int,
+        partitioning: Optional[GraphPartitioning],
+        local_index_options: Optional[dict],
+        enable_backward: bool,
+    ) -> None:
         self.graph = graph
+        #: Registry name under which this engine satisfies the Backend protocol.
+        self.name = "dsr"
+        #: The config this engine was opened from (``None`` for engines built
+        #: through the deprecated keyword constructor).
+        self.config: Optional[DSRConfig] = None
         if partitioning is not None:
             self.partitioning = partitioning
         else:
@@ -122,24 +220,11 @@ class DSREngine:
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
-    def query(
-        self,
-        sources: Iterable[int],
-        targets: Iterable[int],
-        direction: str = "auto",
-    ) -> Set[Tuple[int, int]]:
-        """Return every reachable ``(s, t)`` pair of the DSR query ``S ⇝ T``."""
-        return self.query_with_stats(sources, targets, direction=direction).pairs
+    def run(self, query: ReachQuery) -> QueryResult:
+        """Answer one :class:`~repro.api.query.ReachQuery`.
 
-    def query_with_stats(
-        self,
-        sources: Iterable[int],
-        targets: Iterable[int],
-        direction: str = "auto",
-    ) -> QueryResult:
-        """Like :meth:`query` but returns timing and communication statistics.
-
-        ``direction`` selects the processing direction (Section 3.3.2,
+        This is the canonical query entry point shared by every backend.
+        ``query.direction`` selects the processing direction (Section 3.3.2,
         "Forward vs. Backward Processing"):
 
         * ``"forward"`` — start from the sources (the default behaviour);
@@ -149,10 +234,18 @@ class DSREngine:
           query has fewer targets than sources.
         """
         self._require_built()
-        if direction not in ("auto", "forward", "backward"):
-            raise ValueError(f"unknown query direction {direction!r}")
-        sources = list(sources)
-        targets = list(targets)
+        if not isinstance(query, ReachQuery):
+            raise TypeError(
+                f"run() takes a ReachQuery, got {type(query).__name__}; "
+                "the positional form lives on the deprecated query() shim"
+            )
+        # Trivially empty queries short-circuit before the distributed
+        # pipeline (and before folding updates — the empty answer is correct
+        # regardless of pending changes).
+        if query.is_empty:
+            result = QueryResult(pairs=set())
+            self.last_query_result = result
+            return result
         # Any batched incremental updates must be folded into the index before
         # answering, so query results always reflect every applied update.
         if self._maintainer is not None and self._maintainer.has_pending_changes:
@@ -160,35 +253,62 @@ class DSREngine:
         if self._reverse_maintainer is not None and self._reverse_maintainer.has_pending_changes:
             self._reverse_maintainer.flush()
 
-        use_backward = direction == "backward" or (
-            direction == "auto"
+        use_backward = query.direction == "backward" or (
+            query.direction == "auto"
             and self._reverse_executor is not None
-            and len(targets) < len(sources)
+            and len(query.targets) < len(query.sources)
         )
         if use_backward:
             if self._reverse_executor is None:
                 raise RuntimeError(
                     "backward processing requires enable_backward=True at construction"
                 )
-            reverse_result = self._reverse_executor.query(targets, sources)
-            result = QueryResult(
-                pairs={(s, t) for t, s in reverse_result.pairs},
-                parallel_seconds=reverse_result.parallel_seconds,
-                total_seconds=reverse_result.total_seconds,
-                messages_sent=reverse_result.messages_sent,
-                bytes_sent=reverse_result.bytes_sent,
-                rounds=reverse_result.rounds,
-                per_phase_seconds=reverse_result.per_phase_seconds,
-            )
+            result = self._reverse_executor.query(
+                query.targets, query.sources
+            ).swapped()
         else:
-            result = self._executor.query(sources, targets)
+            result = self._executor.query(query.sources, query.targets)
         self.last_query_result = result
         return result
+
+    def query(
+        self,
+        sources: Iterable[int],
+        targets: Iterable[int],
+        direction: str = "auto",
+    ) -> Set[Tuple[int, int]]:
+        """Deprecated shim: use ``run(ReachQuery(...)).pairs`` instead."""
+        warnings.warn(
+            "DSREngine.query(sources, targets) is deprecated; use "
+            "run(ReachQuery(sources, targets)).pairs",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run(
+            ReachQuery(tuple(sources), tuple(targets), direction=direction)
+        ).pairs
+
+    def query_with_stats(
+        self,
+        sources: Iterable[int],
+        targets: Iterable[int],
+        direction: str = "auto",
+    ) -> QueryResult:
+        """Deprecated shim: use ``run(ReachQuery(...))`` instead."""
+        warnings.warn(
+            "DSREngine.query_with_stats(sources, targets) is deprecated; use "
+            "run(ReachQuery(sources, targets))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run(
+            ReachQuery(tuple(sources), tuple(targets), direction=direction)
+        )
 
     def reachable(self, source: int, target: int) -> bool:
         """Single-pair reachability (Algorithm 1)."""
         self._require_built()
-        return (source, target) in self.query_with_stats([source], [target]).pairs
+        return (source, target) in self.run(ReachQuery.single(source, target)).pairs
 
     @property
     def last_query_stats(self) -> Dict[str, object]:

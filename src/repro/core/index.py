@@ -16,7 +16,7 @@ The index also exposes the size statistics reported in Tables 2 and 4.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.cluster.cluster import SimulatedCluster
 from repro.core.boundary_graph import BoundaryGraphStats, boundary_graph_stats
@@ -25,7 +25,6 @@ from repro.core.equivalence import ClassIdAllocator
 from repro.core.summary import PartitionSummary, build_partition_summary
 from repro.graph.digraph import DiGraph
 from repro.partition.partition import GraphPartitioning
-from repro.reachability.factory import make_reachability_index
 
 
 @dataclass

@@ -9,7 +9,7 @@ the cost Table 2 and Table 3 quantify.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Iterable, Optional
 
 from repro.cluster.cluster import SimulatedCluster
 from repro.core.fan import DSRFan, FanQueryResult

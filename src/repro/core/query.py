@@ -28,8 +28,9 @@ Single-pair queries (Algorithm 1) are the special case ``|S| = |T| = 1``.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.cluster.cluster import SimulatedCluster
 from repro.core.index import DSRIndex
@@ -50,6 +51,19 @@ class QueryResult:
     @property
     def num_pairs(self) -> int:
         return len(self.pairs)
+
+    def swapped(self) -> "QueryResult":
+        """This result with every ``(s, t)`` pair flipped to ``(t, s)``.
+
+        Used to translate the answer of a backward query (run over the
+        reversed index as ``T ⇝ S``) back into the caller's orientation.
+        Implemented with :func:`dataclasses.replace` so every statistics
+        field — including ones added later, and subclass extensions — is
+        carried over unchanged.
+        """
+        return dataclasses.replace(
+            self, pairs={(target, source) for source, target in self.pairs}
+        )
 
     def as_dict(self) -> Dict[str, object]:
         return {

@@ -18,8 +18,6 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.core.equivalence import (
-    BACKWARD,
-    FORWARD,
     ClassIdAllocator,
     EquivalenceClass,
     compute_backward_classes,

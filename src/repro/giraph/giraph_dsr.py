@@ -10,7 +10,7 @@ the iterative behaviour the DSR index eliminates.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Iterable, List, Optional, Set, Tuple
 
 from repro.core.query import QueryResult
 from repro.giraph.pregel import PregelEngine, PregelStats, VertexContext

@@ -11,7 +11,7 @@ the local propagation.  This reduces the number and volume of network messages
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.core.equivalence import ClassIdAllocator, EquivalenceClass, compute_forward_classes
 from repro.core.query import QueryResult

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Set, Tuple
 
-from repro.graph.digraph import DiGraph, GraphError
+from repro.graph.digraph import DiGraph
 
 
 class PartitioningError(Exception):

@@ -5,18 +5,23 @@ wraps a built :class:`~repro.core.engine.DSREngine` behind a planner, an
 exact-answer result cache and a concurrent request loop, and exposes the
 whole thing in-process or over a local socket.
 
->>> from repro import DSREngine
+>>> from repro.api import DSRConfig, ReachQuery, open_engine
 >>> from repro.graph import generators
->>> from repro.service import DSRService, QueryRequest
+>>> from repro.service import DSRService
 >>> graph = generators.social_graph(300, avg_degree=5, seed=1)
->>> service = DSRService(DSREngine(graph, num_partitions=3))
->>> response = service.handle(QueryRequest((0, 1), (100, 200)))
+>>> service = DSRService(open_engine(graph, DSRConfig(num_partitions=3)))
+>>> response = service.handle(ReachQuery((0, 1), (100, 200)))
 >>> service.close()
+
+The wire-form :class:`QueryRequest` is a thin serialisation of the same
+:class:`~repro.api.query.ReachQuery` object, so in-process callers can submit
+either.
 """
 
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.planner import QueryPlan, QueryPlanner
 from repro.service.protocol import (
+    PROTOCOL_VERSION,
     ErrorResponse,
     ProtocolError,
     QueryRequest,
@@ -37,6 +42,7 @@ from repro.service.server import (
 )
 
 __all__ = [
+    "PROTOCOL_VERSION",
     "CacheStats",
     "ResultCache",
     "QueryPlan",

@@ -35,7 +35,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from repro.core.updates import FlushResult, IncrementalMaintainer, UpdateResult

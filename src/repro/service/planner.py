@@ -27,9 +27,10 @@ the engine:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.api.query import ReachQuery, as_reach_query
 from repro.core.engine import DSREngine
 
 
@@ -91,15 +92,22 @@ class QueryPlanner:
     # ------------------------------------------------------------------ #
     def plan(
         self,
-        sources: Iterable[int],
-        targets: Iterable[int],
-        direction: str = "auto",
+        sources: "ReachQuery | Iterable[int]",
+        targets: Optional[Iterable[int]] = None,
+        direction: Optional[str] = None,
     ) -> QueryPlan:
-        """Build a :class:`QueryPlan` for ``S ⇝ T``."""
-        if direction not in ("auto", "forward", "backward"):
-            raise ValueError(f"unknown query direction {direction!r}")
-        source_list = sorted(set(sources))
-        target_list = sorted(set(targets))
+        """Build a :class:`QueryPlan` for ``S ⇝ T``.
+
+        Accepts either one :class:`~repro.api.query.ReachQuery` or the legacy
+        positional ``(sources, targets, direction)`` spread.  A query's
+        ``max_batch_pairs`` overrides the planner-wide batching budget for
+        that request.
+        """
+        query = as_reach_query(sources, targets, direction)
+        direction = query.direction
+        max_batch_pairs = query.max_batch_pairs or self.max_batch_pairs
+        source_list = sorted(set(query.sources))
+        target_list = sorted(set(query.targets))
         if not source_list or not target_list:
             return QueryPlan(
                 direction="forward",
@@ -135,7 +143,7 @@ class QueryPlanner:
             cost = self.estimate_cost(len(source_list), len(target_list), chosen)
             reason = f"explicit {chosen} request"
 
-        batches, split_axis = self._split(source_list, target_list)
+        batches, split_axis = self._split(source_list, target_list, max_batch_pairs)
         return QueryPlan(
             direction=chosen,
             batches=batches,
@@ -145,16 +153,16 @@ class QueryPlanner:
         )
 
     def _split(
-        self, sources: List[int], targets: List[int]
+        self, sources: List[int], targets: List[int], max_batch_pairs: int
     ) -> Tuple[Tuple[Tuple[Tuple[int, ...], Tuple[int, ...]], ...], str]:
         """Chunk the larger query side so every batch fits the pair budget."""
-        if len(sources) * len(targets) <= self.max_batch_pairs:
+        if len(sources) * len(targets) <= max_batch_pairs:
             return ((tuple(sources), tuple(targets)),), "none"
         if len(sources) >= len(targets):
             fixed, split, axis = targets, sources, "sources"
         else:
             fixed, split, axis = sources, targets, "targets"
-        chunk = max(1, self.max_batch_pairs // len(fixed))
+        chunk = max(1, max_batch_pairs // len(fixed))
         batches = []
         for start in range(0, len(split), chunk):
             piece = tuple(split[start : start + chunk])

@@ -4,26 +4,49 @@ Requests and responses are plain dataclasses so they can be passed to
 :meth:`~repro.service.server.DSRService.handle` in-process without any
 serialisation.  For remote clients the same messages travel over a local
 socket as newline-delimited JSON: :func:`encode` / :func:`decode` map a
-message to/from a JSON-safe dict tagged with its ``kind``, and
-:func:`send_message` / :func:`recv_message` frame one message per line on a
-file-like stream.
+message to/from a JSON-safe dict tagged with its ``kind`` and the protocol
+``version``, and :func:`send_message` / :func:`recv_message` frame one
+message per line on a file-like stream.
+
+The query message is not a parallel definition of the query shape: since
+protocol version 2, :class:`QueryRequest` *is* a
+:class:`~repro.api.query.ReachQuery` (a subclass that only translates
+validation failures into :class:`ProtocolError`), so the service, the engine
+and the wire all share one query object.
 
 The message set mirrors the four things a client can do with a running
-:class:`~repro.core.engine.DSREngine`:
+engine:
 
-* ``QueryRequest`` — a set-reachability query ``S ⇝ T``;
+* ``QueryRequest`` — a set-reachability query ``S ⇝ T`` (a serialised
+  :class:`~repro.api.query.ReachQuery`);
 * ``UpdateRequest`` — one incremental graph update (or an explicit flush);
 * ``StatsRequest`` — the service's own serving metrics;
 * ``SnapshotRequest`` — the simulated cluster's execution/communication
   counters (:meth:`SimulatedCluster.snapshot`).
+
+Versioning
+----------
+Every encoded frame carries a ``version`` tag (:data:`PROTOCOL_VERSION`).
+:func:`decode` rejects frames whose version differs from this peer's with a
+clear :class:`ProtocolError`, so the wire format can evolve without silent
+misinterpretation.  Frames without a ``version`` tag (hand-rolled payloads,
+pre-versioning peers) are accepted and treated as the current version.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, fields
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import json
+
+from repro.api.query import ReachQuery
+
+#: Version of the wire format emitted by :func:`encode`.  Bump whenever the
+#: shape or meaning of a message changes incompatibly.  Version 1 was the
+#: unversioned pre-``repro.api`` format; version 2 serialises
+#: :class:`~repro.api.query.ReachQuery` as the query message.
+PROTOCOL_VERSION = 2
 
 #: Update operations accepted by :class:`UpdateRequest`.
 UPDATE_OPS = ("insert-edge", "delete-edge", "insert-vertex", "delete-vertex", "flush")
@@ -36,20 +59,32 @@ class ProtocolError(ValueError):
 # ---------------------------------------------------------------------- #
 # requests
 # ---------------------------------------------------------------------- #
-@dataclass(frozen=True)
-class QueryRequest:
-    """``S ⇝ T`` set-reachability query."""
+class QueryRequest(ReachQuery):
+    """``S ⇝ T`` set-reachability query — the wire form of ``ReachQuery``.
 
-    sources: Tuple[int, ...]
-    targets: Tuple[int, ...]
-    direction: str = "auto"
-    use_cache: bool = True
+    Identical fields and semantics; the only difference is that malformed
+    values raise :class:`ProtocolError` (as every protocol message does)
+    instead of the API-level ``QueryError``.
+    """
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "sources", tuple(self.sources))
-        object.__setattr__(self, "targets", tuple(self.targets))
-        if self.direction not in ("auto", "forward", "backward"):
-            raise ProtocolError(f"unknown query direction {self.direction!r}")
+        try:
+            super().__post_init__()
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
+
+    @classmethod
+    def from_query(cls, query: ReachQuery) -> "QueryRequest":
+        """Wrap a :class:`ReachQuery` for the wire (no-op on instances)."""
+        if isinstance(query, cls):
+            return query
+        return cls(
+            sources=query.sources,
+            targets=query.targets,
+            direction=query.direction,
+            use_cache=query.use_cache,
+            max_batch_pairs=query.max_batch_pairs,
+        )
 
 
 @dataclass(frozen=True)
@@ -158,7 +193,10 @@ _MESSAGE_TYPES = {
 }
 _KIND_OF = {cls: kind for kind, cls in _MESSAGE_TYPES.items()}
 
-REQUEST_TYPES = (QueryRequest, UpdateRequest, StatsRequest, SnapshotRequest)
+#: Message types the service accepts as requests.  ``ReachQuery`` covers both
+#: the wire-form :class:`QueryRequest` and plain API queries submitted
+#: in-process.
+REQUEST_TYPES = (ReachQuery, UpdateRequest, StatsRequest, SnapshotRequest)
 
 
 # ---------------------------------------------------------------------- #
@@ -166,18 +204,33 @@ REQUEST_TYPES = (QueryRequest, UpdateRequest, StatsRequest, SnapshotRequest)
 # ---------------------------------------------------------------------- #
 def encode(message: Any) -> Dict[str, Any]:
     """Encode a protocol message into a JSON-safe tagged dict."""
+    if type(message) is ReachQuery:
+        # A plain API query is a valid query message: promote it to its wire
+        # form so the kind lookup and round-tripping stay uniform.
+        message = QueryRequest.from_query(message)
     kind = _KIND_OF.get(type(message))
     if kind is None:
         raise ProtocolError(f"not a protocol message: {type(message).__name__}")
     payload = asdict(message)
     payload["kind"] = kind
+    payload["version"] = PROTOCOL_VERSION
     return payload
 
 
 def decode(payload: Dict[str, Any]) -> Any:
-    """Decode a tagged dict (as produced by :func:`encode`) into a message."""
+    """Decode a tagged dict (as produced by :func:`encode`) into a message.
+
+    Frames carrying a ``version`` different from :data:`PROTOCOL_VERSION`
+    are rejected; frames without one are treated as the current version.
+    """
     if not isinstance(payload, dict) or "kind" not in payload:
         raise ProtocolError("message payload must be a dict with a 'kind' tag")
+    version = payload.get("version", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: peer speaks version {version!r}, "
+            f"this side speaks version {PROTOCOL_VERSION}"
+        )
     kind = payload["kind"]
     cls = _MESSAGE_TYPES.get(kind)
     if cls is None:
@@ -225,6 +278,7 @@ def recv_message(stream) -> Optional[Any]:
 
 
 __all__ = [
+    "PROTOCOL_VERSION",
     "UPDATE_OPS",
     "ProtocolError",
     "QueryRequest",

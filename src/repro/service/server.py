@@ -37,6 +37,7 @@ from collections import deque
 from concurrent.futures import Future
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.api.query import ReachQuery
 from repro.core.engine import DSREngine
 from repro.service.cache import ResultCache
 from repro.service.planner import QueryPlanner
@@ -232,7 +233,9 @@ class DSRService:
         """Execute one protocol request and return its response message."""
         start = time.perf_counter()
         try:
-            if isinstance(request, QueryRequest):
+            # Wire-form QueryRequests and plain API ReachQuerys are the same
+            # message; in-process callers may submit either.
+            if isinstance(request, ReachQuery):
                 return self._handle_query(request, start)
             if isinstance(request, UpdateRequest):
                 return self._handle_update(request, start)
@@ -249,9 +252,9 @@ class DSRService:
             self.metrics.increment("errors")
             return ErrorResponse(error=type(exc).__name__, message=str(exc))
 
-    def _handle_query(self, request: QueryRequest, start: float) -> QueryResponse:
+    def _handle_query(self, request: ReachQuery, start: float) -> QueryResponse:
         self.metrics.increment("queries")
-        plan = self.planner.plan(request.sources, request.targets, request.direction)
+        plan = self.planner.plan(request)
         if plan.is_empty:
             latency = time.perf_counter() - start
             self.metrics.record("query", latency)
@@ -280,8 +283,8 @@ class DSRService:
         with self._engine_lock:
             results = []
             for batch_sources, batch_targets in plan.batches:
-                result = self.engine.query_with_stats(
-                    batch_sources, batch_targets, direction=plan.direction
+                result = self.engine.run(
+                    ReachQuery(batch_sources, batch_targets, direction=plan.direction)
                 )
                 results.append(result.pairs)
                 messages += result.messages_sent

@@ -12,11 +12,10 @@ built once over the predicate's subgraph and reused across queries.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.core.engine import DSREngine
-from repro.graph.digraph import DiGraph
+from repro.api import Backend, DSRConfig, ReachQuery, open_engine
 from repro.sparql.parser import ParsedQuery, TriplePattern, is_variable, parse_query
 from repro.sparql.rdf import TripleStore
 
@@ -195,7 +194,13 @@ class BasicGraphPatternEvaluator:
 
 
 class PropertyPathEngine:
-    """SPARQL property paths evaluated through the DSR index."""
+    """SPARQL property paths evaluated through a set-reachability backend.
+
+    Each predicate's subgraph gets its own engine, opened through the
+    :mod:`repro.api` backend registry from one shared
+    :class:`~repro.api.config.DSRConfig` — so property paths can run over the
+    distributed DSR index (the default) or any other registered backend.
+    """
 
     def __init__(
         self,
@@ -204,33 +209,34 @@ class PropertyPathEngine:
         partitioner: str = "metis",
         local_index: str = "msbfs",
         use_equivalence: bool = True,
+        backend: str = "dsr",
     ) -> None:
         self.store = store
-        self.num_slaves = num_slaves
-        self.partitioner = partitioner
-        self.local_index = local_index
-        self.use_equivalence = use_equivalence
+        self.config = DSRConfig(
+            backend=backend,
+            num_partitions=num_slaves,
+            partitioner=partitioner,
+            local_index=local_index,
+            use_equivalence=use_equivalence,
+        )
         self._evaluator = BasicGraphPatternEvaluator(store)
-        self._engines: Dict[str, Optional[DSREngine]] = {}
+        self._engines: Dict[str, Optional[Backend]] = {}
+
+    @property
+    def num_slaves(self) -> int:
+        return self.config.num_partitions
 
     # ------------------------------------------------------------------ #
-    def _engine_for(self, predicate: str) -> Optional[DSREngine]:
-        """Build (once) and cache the DSR engine of one predicate graph."""
+    def _engine_for(self, predicate: str) -> Optional[Backend]:
+        """Open (once) and cache the backend of one predicate graph."""
         if predicate in self._engines:
             return self._engines[predicate]
         graph = self.store.predicate_graph(predicate)
         if graph.num_vertices == 0:
             self._engines[predicate] = None
             return None
-        partitions = max(1, min(self.num_slaves, graph.num_vertices))
-        engine = DSREngine(
-            graph,
-            num_partitions=partitions,
-            partitioner=self.partitioner,
-            local_index=self.local_index,
-            use_equivalence=self.use_equivalence,
-        )
-        engine.build_index()
+        partitions = max(1, min(self.config.num_partitions, graph.num_vertices))
+        engine = open_engine(graph, self.config.replace(num_partitions=partitions))
         self._engines[predicate] = engine
         return engine
 
@@ -242,7 +248,7 @@ class PropertyPathEngine:
         engine = self._engine_for(predicate)
         if engine is None:
             return set()
-        return engine.query(sources, targets)
+        return engine.run(ReachQuery(tuple(sources), tuple(targets))).pairs
 
     # ------------------------------------------------------------------ #
     def execute(self, query_text: str) -> SparqlResult:

@@ -12,7 +12,7 @@ chains — at a configurable scale.
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Tuple
+from typing import List, Tuple
 
 Triple = Tuple[str, str, str]
 

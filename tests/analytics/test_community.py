@@ -1,6 +1,5 @@
 """Tests for Louvain-style community detection."""
 
-import pytest
 
 from repro.analytics.community import detect_communities
 from repro.graph import generators

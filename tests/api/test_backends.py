@@ -1,0 +1,149 @@
+"""Tests for the backend registry and cross-backend answer parity."""
+
+import pytest
+
+from repro.api import (
+    Backend,
+    DSRConfig,
+    ReachQuery,
+    UnknownBackendError,
+    available_backends,
+    open_engine,
+    register_backend,
+    unregister_backend,
+)
+from repro.core.query import QueryResult
+from repro.graph import generators
+from repro.graph.traversal import reachable_pairs
+from repro.partition.partition import make_partitioning
+
+#: Every built-in strategy the acceptance criteria name, plus the Fan
+#: baseline which rides along for free.
+ALL_BUILTIN_BACKENDS = ("dsr", "giraph", "giraphpp", "giraphpp-eq", "naive", "fan")
+
+
+@pytest.fixture(scope="module")
+def seeded_graph():
+    graph = generators.random_digraph(70, 210, seed=17)
+    vertices = sorted(graph.vertices())
+    sources = tuple(vertices[:9])
+    targets = tuple(vertices[9:18])
+    return graph, sources, targets
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        names = available_backends()
+        for name in ALL_BUILTIN_BACKENDS:
+            assert name in names
+
+    def test_unknown_backend_rejected_with_available_list(self):
+        graph = generators.random_digraph(10, 20, seed=1)
+        with pytest.raises(UnknownBackendError, match="unknown backend 'teleport'"):
+            open_engine(graph, DSRConfig(backend="teleport"))
+        with pytest.raises(UnknownBackendError, match="dsr"):
+            open_engine(graph, DSRConfig(backend="teleport"))
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("dsr", lambda graph, config, partitioning: None)
+
+    def test_custom_backend_registration_and_replace(self):
+        class FixedAnswer:
+            name = "fixed"
+
+            def run(self, query):
+                return QueryResult(pairs={(0, 0)})
+
+            def reachable(self, source, target):
+                return (source, target) in self.run(None).pairs
+
+        graph = generators.random_digraph(10, 20, seed=1)
+        try:
+            register_backend("fixed", lambda g, c, p: FixedAnswer())
+            engine = open_engine(graph, DSRConfig(backend="fixed"))
+            assert engine.run(ReachQuery((1,), (2,))).pairs == {(0, 0)}
+            # replace=True swaps the factory in place.
+            register_backend(
+                "fixed", lambda g, c, p: FixedAnswer(), replace=True
+            )
+        finally:
+            unregister_backend("fixed")
+        assert "fixed" not in available_backends()
+
+    def test_invalid_registration_arguments(self):
+        with pytest.raises(ValueError):
+            register_backend("", lambda g, c, p: None)
+        with pytest.raises(ValueError):
+            register_backend("notcallable", "nope")
+
+    def test_default_config_opens_dsr(self):
+        graph = generators.random_digraph(20, 50, seed=2)
+        engine = open_engine(graph)
+        assert engine.name == "dsr"
+        assert engine.is_built
+
+
+class TestBackendParity:
+    """Acceptance: every backend answers the same ReachQuery identically."""
+
+    @pytest.mark.parametrize("backend", ALL_BUILTIN_BACKENDS)
+    def test_backend_matches_ground_truth(self, seeded_graph, backend):
+        graph, sources, targets = seeded_graph
+        expected = reachable_pairs(graph, sources, targets)
+        engine = open_engine(
+            graph, DSRConfig(backend=backend, num_partitions=3, local_index="msbfs")
+        )
+        result = engine.run(ReachQuery(sources, targets))
+        assert result.pairs == expected
+        assert isinstance(result, QueryResult)
+
+    def test_all_backends_agree_on_shared_partitioning(self, seeded_graph):
+        graph, sources, targets = seeded_graph
+        partitioning = make_partitioning(graph, 3, strategy="metis", seed=5)
+        query = ReachQuery(sources, targets)
+        answers = {
+            backend: open_engine(
+                graph,
+                DSRConfig(backend=backend, local_index="msbfs"),
+                partitioning=partitioning,
+            ).run(query).pairs
+            for backend in ALL_BUILTIN_BACKENDS
+        }
+        reference = answers["naive"]
+        for backend, pairs in answers.items():
+            assert pairs == reference, f"{backend} disagrees with naive"
+
+    @pytest.mark.parametrize("backend", ALL_BUILTIN_BACKENDS)
+    def test_empty_query_short_circuits(self, seeded_graph, backend):
+        graph, sources, _ = seeded_graph
+        engine = open_engine(
+            graph, DSRConfig(backend=backend, num_partitions=3, local_index="msbfs")
+        )
+        assert engine.run(ReachQuery((), sources)).pairs == set()
+        assert engine.run(ReachQuery(sources, ())).pairs == set()
+
+    @pytest.mark.parametrize("backend", ALL_BUILTIN_BACKENDS)
+    def test_reachable_single_pair(self, seeded_graph, backend):
+        graph, sources, targets = seeded_graph
+        expected = reachable_pairs(graph, sources, targets)
+        engine = open_engine(
+            graph, DSRConfig(backend=backend, num_partitions=3, local_index="msbfs")
+        )
+        probe = (sources[0], targets[0])
+        assert engine.reachable(*probe) == (probe in expected)
+
+    def test_backward_unsupported_on_traversal_backends(self, seeded_graph):
+        graph, sources, targets = seeded_graph
+        engine = open_engine(graph, DSRConfig(backend="giraph", num_partitions=3))
+        with pytest.raises(ValueError, match="backward"):
+            engine.run(ReachQuery(sources, targets, direction="backward"))
+
+
+class TestBackendProtocol:
+    def test_opened_engines_satisfy_protocol(self, seeded_graph):
+        graph, _, _ = seeded_graph
+        for backend in ALL_BUILTIN_BACKENDS:
+            engine = open_engine(graph, DSRConfig(backend=backend, num_partitions=2))
+            assert isinstance(engine, Backend)
+            assert engine.name == backend

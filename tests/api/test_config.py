@@ -1,0 +1,103 @@
+"""Validation and serialisation tests for :class:`repro.api.DSRConfig`."""
+
+import pytest
+
+from repro.api import ConfigError, DSRConfig
+
+
+class TestDefaults:
+    def test_default_config_is_valid(self):
+        config = DSRConfig()
+        assert config.backend == "dsr"
+        assert config.num_partitions == 4
+        assert config.use_equivalence is True
+
+    def test_config_is_frozen(self):
+        config = DSRConfig()
+        with pytest.raises(AttributeError):
+            config.backend = "giraph"
+
+    def test_config_is_hashable_without_options(self):
+        assert hash(DSRConfig()) == hash(DSRConfig())
+        assert DSRConfig() in {DSRConfig()}
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"backend": ""},
+            {"backend": 7},
+            {"num_partitions": 0},
+            {"num_partitions": -2},
+            {"num_partitions": 2.5},
+            {"num_partitions": True},
+            {"partitioner": "nope"},
+            {"local_index": "nope"},
+            {"use_equivalence": "yes"},
+            {"parallel": 1},
+            {"enable_backward": "true"},
+            {"seed": "seven"},
+            {"local_index_options": ["not", "a", "mapping"]},
+            {"local_index_options": {1: "non-string-key"}},
+        ],
+        ids=lambda overrides: repr(overrides),
+    )
+    def test_invalid_values_rejected(self, overrides):
+        with pytest.raises(ConfigError):
+            DSRConfig(**overrides)
+
+    def test_config_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            DSRConfig(partitioner="nope")
+
+    def test_all_known_partitioners_and_indexes_accepted(self):
+        for partitioner in ("metis", "hash"):
+            for local_index in ("dfs", "msbfs", "ferrari", "grail", "closure"):
+                DSRConfig(partitioner=partitioner, local_index=local_index)
+
+    def test_replace_revalidates(self):
+        config = DSRConfig()
+        assert config.replace(num_partitions=8).num_partitions == 8
+        with pytest.raises(ConfigError):
+            config.replace(num_partitions=0)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            DSRConfig(),
+            DSRConfig(backend="giraphpp-eq", num_partitions=7, partitioner="hash"),
+            DSRConfig(local_index="grail", local_index_options={"num_intervals": 3}),
+            DSRConfig(enable_backward=True, parallel=True, seed=99),
+        ],
+        ids=["default", "giraphpp-eq", "with-options", "backward-parallel"],
+    )
+    def test_from_dict_inverts_to_dict(self, config):
+        assert DSRConfig.from_dict(config.to_dict()) == config
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        config = DSRConfig(local_index_options={"k": 2})
+        restored = DSRConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert restored == config
+
+    def test_to_dict_copies_options(self):
+        config = DSRConfig(local_index_options={"k": 2})
+        payload = config.to_dict()
+        payload["local_index_options"]["k"] = 99
+        assert config.local_index_options == {"k": 2}
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError, match="unknown config keys: replicas"):
+            DSRConfig.from_dict({"backend": "dsr", "replicas": 3})
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(ConfigError):
+            DSRConfig.from_dict(["backend", "dsr"])
+
+    def test_from_dict_rejects_invalid_values(self):
+        with pytest.raises(ConfigError):
+            DSRConfig.from_dict({"num_partitions": 0})

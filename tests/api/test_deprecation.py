@@ -1,0 +1,91 @@
+"""The old entry points still work — but only via the documented shims.
+
+The pre-``repro.api`` surface (``DSREngine(graph, num_partitions=...)``,
+``engine.query(sources, targets)``, ``engine.query_with_stats(...)``) is kept
+as thin shims that emit :class:`DeprecationWarning`; the new surface must be
+completely silent under ``-W error::DeprecationWarning``.
+"""
+
+import warnings
+
+import pytest
+
+from repro.api import DSRConfig, ReachQuery, open_engine
+from repro.core.engine import DSREngine
+from repro.graph import generators
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.random_digraph(40, 110, seed=9)
+
+
+@pytest.fixture(scope="module")
+def engine(graph):
+    return open_engine(graph, DSRConfig(num_partitions=3, local_index="msbfs"))
+
+
+class TestOldSurfaceWarns:
+    def test_direct_constructor_warns(self, graph):
+        with pytest.warns(DeprecationWarning, match="open_engine"):
+            DSREngine(graph, num_partitions=3)
+
+    def test_query_shim_warns_and_matches_run(self, graph, engine):
+        query = ReachQuery((0, 1), (20, 30))
+        expected = engine.run(query).pairs
+        with pytest.warns(DeprecationWarning, match="run\\(ReachQuery"):
+            assert engine.query([0, 1], [20, 30]) == expected
+
+    def test_query_with_stats_shim_warns_and_matches_run(self, engine):
+        query = ReachQuery((0, 1), (20, 30))
+        expected = engine.run(query)
+        with pytest.warns(DeprecationWarning):
+            result = engine.query_with_stats([0, 1], [20, 30])
+        assert result.pairs == expected.pairs
+
+    def test_shim_still_validates_direction(self, engine):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                engine.query([0], [1], direction="sideways")
+
+
+class TestNewSurfaceIsClean:
+    """The documented replacement path emits no DeprecationWarning at all."""
+
+    def test_config_registry_run_roundtrip_is_warning_free(self, graph):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            config = DSRConfig.from_dict(
+                DSRConfig(num_partitions=3, local_index="msbfs").to_dict()
+            )
+            engine = open_engine(graph, config)
+            result = engine.run(ReachQuery((0, 1, 2), (10, 11)))
+            assert result.rounds >= 1
+            assert engine.reachable(0, 1) in (True, False)
+            engine.insert_edge(0, 1)
+            assert engine.reachable(0, 1)
+
+    def test_from_config_is_warning_free(self, graph):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine = DSREngine.from_config(
+                graph, DSRConfig(num_partitions=2), partitioning=None
+            )
+            engine.build_index()
+            assert engine.config == DSRConfig(num_partitions=2)
+
+    def test_from_config_rejects_foreign_backend(self, graph):
+        with pytest.raises(ValueError, match="backend='dsr'"):
+            DSREngine.from_config(graph, DSRConfig(backend="giraph"))
+
+    def test_config_reconciled_to_supplied_partitioning(self, graph):
+        # engine.config must keep describing the engine faithfully even when
+        # a pre-computed partitioning overrides the config's partition count.
+        from repro.partition.partition import make_partitioning
+
+        partitioning = make_partitioning(graph, 5, strategy="hash", seed=1)
+        engine = DSREngine.from_config(
+            graph, DSRConfig(num_partitions=3), partitioning=partitioning
+        )
+        assert engine.config.num_partitions == 5
+        assert engine.partitioning is partitioning

@@ -1,0 +1,89 @@
+"""Tests for the unified :class:`repro.api.ReachQuery` object."""
+
+import pytest
+
+from repro.api import QueryError, ReachQuery, as_reach_query
+
+
+class TestConstruction:
+    def test_coerces_iterables_to_tuples(self):
+        query = ReachQuery([3, 1], {2})
+        assert query.sources == (3, 1)
+        assert query.targets == (2,)
+
+    def test_defaults(self):
+        query = ReachQuery((1,), (2,))
+        assert query.direction == "auto"
+        assert query.use_cache is True
+        assert query.max_batch_pairs is None
+
+    def test_frozen_and_hashable(self):
+        query = ReachQuery((1,), (2,))
+        with pytest.raises(AttributeError):
+            query.direction = "forward"
+        assert query == ReachQuery([1], [2])
+        assert hash(query) == hash(ReachQuery((1,), (2,)))
+
+    def test_single_pair_constructor(self):
+        query = ReachQuery.single(4, 9)
+        assert query.sources == (4,)
+        assert query.targets == (9,)
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(QueryError):
+            ReachQuery((1,), (2,), direction="sideways")
+
+    @pytest.mark.parametrize("bad", [0, -3, 2.5, True, "many"])
+    def test_invalid_batch_budget_rejected(self, bad):
+        with pytest.raises(QueryError):
+            ReachQuery((1,), (2,), max_batch_pairs=bad)
+
+
+class TestIntrospection:
+    def test_is_empty(self):
+        assert ReachQuery((), (1,)).is_empty
+        assert ReachQuery((1,), ()).is_empty
+        assert not ReachQuery((1,), (2,)).is_empty
+
+    def test_num_pairs(self):
+        assert ReachQuery((1, 2, 3), (4, 5)).num_pairs == 6
+
+
+class TestRoundTrip:
+    def test_from_dict_inverts_to_dict(self):
+        query = ReachQuery(
+            (1, 2), (3,), direction="backward", use_cache=False, max_batch_pairs=10
+        )
+        assert ReachQuery.from_dict(query.to_dict()) == query
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(QueryError, match="unknown query keys"):
+            ReachQuery.from_dict({"sources": [1], "targets": [2], "limit": 5})
+
+    def test_from_dict_requires_sources_and_targets(self):
+        with pytest.raises(QueryError, match="missing"):
+            ReachQuery.from_dict({"sources": [1]})
+
+
+class TestAsReachQuery:
+    def test_passthrough(self):
+        query = ReachQuery((1,), (2,), direction="forward")
+        assert as_reach_query(query) is query
+
+    def test_positional_form(self):
+        query = as_reach_query([1, 2], [3], "backward")
+        assert query == ReachQuery((1, 2), (3,), direction="backward")
+
+    def test_query_plus_targets_rejected(self):
+        with pytest.raises(TypeError):
+            as_reach_query(ReachQuery((1,), (2,)), [3])
+
+    def test_query_plus_direction_rejected(self):
+        # An explicit direction next to a query object would be silently
+        # shadowed by the query's own direction — refuse instead.
+        with pytest.raises(TypeError, match="direction"):
+            as_reach_query(ReachQuery((1,), (2,)), direction="backward")
+
+    def test_missing_targets_rejected(self):
+        with pytest.raises(TypeError):
+            as_reach_query([1, 2])

@@ -4,7 +4,7 @@ import pytest
 
 from repro.bench.datasets import DATASETS, LARGE_DATASETS, SMALL_DATASETS, load_dataset
 from repro.bench.reporting import format_series, format_table
-from repro.bench.runner import ALL_APPROACHES, ExperimentRunner
+from repro.bench.runner import ExperimentRunner
 from repro.bench.workloads import query_size_sweep, random_query, random_vertex_sample
 from repro.graph import generators
 

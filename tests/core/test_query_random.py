@@ -7,7 +7,6 @@ import pytest
 from repro.core.engine import DSREngine
 from repro.graph import generators
 from repro.graph.traversal import reachable_pairs
-from repro.partition.partition import make_partitioning
 
 
 def ground_truth(graph, sources, targets):

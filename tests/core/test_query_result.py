@@ -1,0 +1,104 @@
+"""Tests for QueryResult.swapped() and the engine's empty-query short-circuit."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import DSRConfig, ReachQuery, open_engine
+from repro.core.fan import FanQueryResult
+from repro.core.query import QueryResult
+from repro.graph import generators
+
+
+class TestSwapped:
+    def test_pairs_are_flipped(self):
+        result = QueryResult(pairs={(1, 2), (3, 4)})
+        assert result.swapped().pairs == {(2, 1), (4, 3)}
+
+    def test_every_stats_field_is_preserved(self):
+        result = QueryResult(
+            pairs={(1, 2)},
+            parallel_seconds=0.5,
+            total_seconds=1.5,
+            messages_sent=7,
+            bytes_sent=512,
+            rounds=2,
+            per_phase_seconds={"local": 0.25},
+        )
+        swapped = result.swapped()
+        for spec in dataclasses.fields(QueryResult):
+            if spec.name == "pairs":
+                continue
+            assert getattr(swapped, spec.name) == getattr(result, spec.name), spec.name
+
+    def test_subclass_fields_survive(self):
+        # dataclasses.replace keeps the runtime type, so stats fields added by
+        # subclasses (or in the future) cannot silently be dropped.
+        result = FanQueryResult(
+            pairs={(1, 2)}, dependency_graph_edges=9, dependency_graph_vertices=4
+        )
+        swapped = result.swapped()
+        assert isinstance(swapped, FanQueryResult)
+        assert swapped.dependency_graph_edges == 9
+        assert swapped.dependency_graph_vertices == 4
+
+    def test_double_swap_is_identity_on_pairs(self):
+        result = QueryResult(pairs={(1, 2), (5, 5)})
+        assert result.swapped().swapped().pairs == result.pairs
+
+
+class TestBackwardStatsViaSwapped:
+    def test_backward_query_keeps_statistics(self):
+        graph = generators.web_graph(120, avg_degree=5, seed=8)
+        engine = open_engine(
+            graph,
+            DSRConfig(num_partitions=3, local_index="msbfs", enable_backward=True),
+        )
+        vertices = sorted(graph.vertices())
+        forward = engine.run(
+            ReachQuery(tuple(vertices[:12]), tuple(vertices[12:18]), direction="forward")
+        )
+        backward = engine.run(
+            ReachQuery(tuple(vertices[:12]), tuple(vertices[12:18]), direction="backward")
+        )
+        assert backward.pairs == forward.pairs
+        assert backward.rounds == 1
+        assert backward.per_phase_seconds  # not dropped by the swap
+
+
+class TestEmptyQueryShortCircuit:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        graph = generators.random_digraph(40, 100, seed=4)
+        return open_engine(graph, DSRConfig(num_partitions=3))
+
+    @pytest.mark.parametrize("sources,targets", [((), (1, 2)), ((1, 2), ()), ((), ())])
+    def test_empty_side_returns_empty_result(self, engine, sources, targets):
+        result = engine.run(ReachQuery(sources, targets))
+        assert result.pairs == set()
+        # The distributed pipeline never ran: no rounds, no messages.
+        assert result.rounds == 0
+        assert result.messages_sent == 0
+        assert engine.last_query_result is result
+
+    def test_short_circuit_skips_pending_flush(self, engine):
+        engine.insert_edge(0, 1)
+        assert engine.has_pending_updates
+        engine.run(ReachQuery((), (1,)))
+        # The empty answer is correct regardless of pending updates, so the
+        # short-circuit must not pay for a flush.
+        assert engine.has_pending_updates
+        engine.run(ReachQuery((0,), (1,)))
+        assert not engine.has_pending_updates
+
+    def test_empty_query_before_build_still_raises(self):
+        graph = generators.random_digraph(10, 20, seed=1)
+        from repro.core.engine import DSREngine
+
+        engine = DSREngine.from_config(graph, DSRConfig(num_partitions=2))
+        with pytest.raises(RuntimeError):
+            engine.run(ReachQuery((), ()))
+
+    def test_run_rejects_positional_style(self, engine):
+        with pytest.raises(TypeError, match="ReachQuery"):
+            engine.run([0, 1])

@@ -1,6 +1,5 @@
 """Tests for per-partition summaries and boundary graphs (Definitions 4/5)."""
 
-import pytest
 
 from repro.core.boundary_graph import boundary_graph_stats, build_boundary_graph
 from repro.core.equivalence import ClassIdAllocator

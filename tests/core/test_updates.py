@@ -8,7 +8,6 @@ from repro.core.engine import DSREngine
 from repro.graph import generators
 from repro.graph.digraph import DiGraph
 from repro.graph.traversal import reachable_pairs
-from repro.partition.partition import GraphPartitioning
 
 
 def fresh_engine(graph, num_partitions=3, seed=1, **kwargs):

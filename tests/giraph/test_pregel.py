@@ -1,6 +1,5 @@
 """Tests for the vertex-centric and partition-centric BSP engines."""
 
-import pytest
 
 from repro.giraph.pregel import PartitionCentricEngine, PregelEngine
 from repro.graph import generators

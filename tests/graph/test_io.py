@@ -1,6 +1,5 @@
 """Tests for edge-list / triple IO."""
 
-import gzip
 
 import pytest
 

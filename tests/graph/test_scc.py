@@ -1,6 +1,5 @@
 """Tests for SCC computation and condensation."""
 
-import pytest
 
 from repro.graph import generators
 from repro.graph.digraph import DiGraph

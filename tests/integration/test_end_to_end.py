@@ -8,7 +8,6 @@ an independent implementation.
 
 import random
 
-import pytest
 
 from repro.analytics.connectedness import CommunityConnectedness
 from repro.bench.datasets import load_dataset

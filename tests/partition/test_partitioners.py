@@ -1,6 +1,5 @@
 """Tests for the hash and METIS-like partitioners."""
 
-import pytest
 
 from repro.graph import generators
 from repro.partition.hash_partitioner import hash_partition

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api import ReachQuery
 from repro.core.engine import DSREngine
 from repro.graph import generators
 from repro.graph.traversal import reachable_pairs
@@ -88,6 +89,34 @@ class TestBatching:
     def test_invalid_budget_rejected(self, engine):
         with pytest.raises(ValueError):
             QueryPlanner(engine, max_batch_pairs=0)
+
+
+class TestReachQueryPlanning:
+    """The planner accepts the unified query object directly."""
+
+    def test_plan_accepts_reach_query(self, engine):
+        planner = QueryPlanner(engine)
+        plan = planner.plan(ReachQuery((0, 1), (2,), direction="forward"))
+        assert plan.direction == "forward"
+        assert plan.num_batches == 1
+
+    def test_query_level_batch_budget_overrides_planner_default(self, engine):
+        vertices = sorted(engine.graph.vertices())
+        planner = QueryPlanner(engine, max_batch_pairs=4096)
+        query = ReachQuery(
+            tuple(vertices[:40]), tuple(vertices[40:60]), max_batch_pairs=100
+        )
+        plan = planner.plan(query)
+        assert plan.num_batches > 1
+        for batch_sources, batch_targets in plan.batches:
+            assert len(batch_sources) * len(batch_targets) <= 100
+
+    def test_reach_query_plus_targets_rejected(self, engine):
+        with pytest.raises(TypeError):
+            QueryPlanner(engine).plan(ReachQuery((0,), (1,)), [2])
+
+    def test_empty_reach_query_yields_empty_plan(self, engine):
+        assert QueryPlanner(engine).plan(ReachQuery((), (1,))).is_empty
 
 
 class TestSplitCorrectness:

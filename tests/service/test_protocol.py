@@ -4,7 +4,9 @@ import io
 
 import pytest
 
+from repro.api import ReachQuery
 from repro.service.protocol import (
+    PROTOCOL_VERSION,
     ErrorResponse,
     ProtocolError,
     QueryRequest,
@@ -108,3 +110,56 @@ class TestValidation:
         payload = encode(StatsRequest())
         payload["extra"] = "future-field"
         assert decode(payload) == StatsRequest()
+
+
+class TestVersioning:
+    def test_encode_stamps_current_version(self):
+        payload = encode(StatsRequest())
+        assert payload["version"] == PROTOCOL_VERSION
+
+    @pytest.mark.parametrize("foreign", [1, 3, "2", None])
+    def test_mismatched_version_rejected(self, foreign):
+        payload = encode(StatsRequest())
+        payload["version"] = foreign
+        with pytest.raises(ProtocolError, match="version"):
+            decode(payload)
+
+    def test_missing_version_treated_as_current(self):
+        payload = encode(StatsRequest())
+        del payload["version"]
+        assert decode(payload) == StatsRequest()
+
+    def test_version_survives_the_wire(self):
+        import json
+
+        frame = json.loads(dumps(QueryRequest((1,), (2,))))
+        assert frame["version"] == PROTOCOL_VERSION
+
+
+class TestReachQueryBridge:
+    """QueryRequest is a thin serialisation of the API's ReachQuery."""
+
+    def test_query_request_is_a_reach_query(self):
+        request = QueryRequest((1, 2), (3,), direction="forward")
+        assert isinstance(request, ReachQuery)
+        assert request.sources == (1, 2)
+        assert request.max_batch_pairs is None
+
+    def test_plain_reach_query_encodes_as_query_message(self):
+        query = ReachQuery((1, 2), (3,), use_cache=False, max_batch_pairs=16)
+        decoded = decode(encode(query))
+        assert isinstance(decoded, QueryRequest)
+        assert decoded.sources == query.sources
+        assert decoded.targets == query.targets
+        assert decoded.use_cache is False
+        assert decoded.max_batch_pairs == 16
+
+    def test_from_query_round_trip(self):
+        query = ReachQuery((4,), (5,), direction="backward")
+        request = QueryRequest.from_query(query)
+        assert request.direction == "backward"
+        assert QueryRequest.from_query(request) is request
+
+    def test_batch_budget_travels_the_wire(self):
+        request = QueryRequest((1,), (2,), max_batch_pairs=64)
+        assert loads(dumps(request)).max_batch_pairs == 64

@@ -1,6 +1,5 @@
 """Tests for the LUBM-like and Freebase-like RDF generators."""
 
-import pytest
 
 from repro.sparql.freebase_like import generate_freebase_triples
 from repro.sparql.lubm import generate_lubm_triples
