@@ -1,5 +1,12 @@
 """The unified public API of the DSR reproduction.
 
+Contract: the one stable surface downstream code imports — a validated,
+serialisable :class:`DSRConfig`, a string-keyed backend registry
+(:func:`open_engine` / :func:`register_backend`), and one
+:class:`ReachQuery` → :class:`QueryResult` exchange that every backend
+answers identically (cross-backend parity is test-enforced; see
+``docs/ARCHITECTURE.md``).
+
 Three pieces compose every workflow:
 
 * :class:`DSRConfig` — a frozen, validated, serialisable description of how

@@ -1,5 +1,12 @@
 """The paper's primary contribution: Distributed Set Reachability (DSR).
 
+Contract: turns a partitioned graph into a distributed index (summaries →
+one broadcast → compound graphs) and answers any ``S ⇝ T`` query in ONE
+communication round, staying consistent under incremental updates.  Builds
+on :mod:`repro.graph` / :mod:`repro.reachability` / :mod:`repro.partition` /
+:mod:`repro.cluster`; per-partition evaluation runs the CSR-snapshot
+strategies (see ``docs/ARCHITECTURE.md``).
+
 Layout (Section 3 of the paper → modules):
 
 * :mod:`repro.core.equivalence` — forward/backward equivalence sets over the

@@ -27,7 +27,11 @@ edges, which are present verbatim (**completeness**).
 
 At query time local set-reachability is evaluated over the *SCC-condensed*
 compound graph (as the paper does for all three local strategies), wrapped so
-that callers keep using original vertex ids.
+that callers keep using original vertex ids.  Both the condensation and the
+traversal-based strategies run over CSR snapshots (:mod:`repro.graph.csr`):
+:meth:`CondensedReachability.rebuild` condenses via the compound graph's
+snapshot and pre-warms the condensation DAG's own snapshot, so the first
+query after a build or maintenance flush pays no lazy CSR construction.
 """
 
 from __future__ import annotations
@@ -58,6 +62,12 @@ class CondensedReachability:
 
     def rebuild(self) -> None:
         self.dag, self.vertex_to_component = condense(self.graph)
+        # Pre-warm the DAG's CSR snapshot: the traversal strategies would
+        # otherwise build it lazily on the first query, charging one-off
+        # construction cost to query latency instead of build time.  (The
+        # label/closure indexes reach it anyway through their own internal
+        # condensation, so this is never wasted work.)
+        self.dag.csr()
         self._index: ReachabilityIndex = make_reachability_index(
             self.strategy, self.dag, **self._kwargs
         )

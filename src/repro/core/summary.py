@@ -144,7 +144,10 @@ def build_partition_summary(
     """Compute the summary of one partition (runs at its home slave).
 
     ``local_index`` may be provided to reuse an existing index over
-    ``local_graph``; otherwise one is created with ``local_index_name``.
+    ``local_graph``; otherwise one is created with ``local_index_name`` (the
+    default ``"msbfs"`` evaluates the whole ``I_j ⇝ (I_j ∪ O_j)`` batch with
+    the CSR bitset kernel of :mod:`repro.reachability.bitset_msbfs` — one
+    frontier pass for all in-boundaries instead of one BFS each).
 
     The transitive reachability is materialised as follows:
 

@@ -1,5 +1,11 @@
 """Pregel/Giraph-style baselines.
 
+Contract: iterative BSP evaluation of the same DSR queries — no index, one
+superstep per frontier hop (vertex-centric) or per partition crossing
+(graph-centric) — used as the comparison baselines for Figures 5 and 8.
+Compute functions traverse a per-run CSR snapshot of the data graph; results
+must match the indexed engine pair-for-pair (see ``docs/ARCHITECTURE.md``).
+
 The paper compares its DSR index against three implementations on top of
 vertex-centric / graph-centric BSP engines (Appendix 8.4):
 

@@ -6,6 +6,9 @@ vertex that learns about *new* sources forwards exactly those to all its
 out-neighbours.  The computation needs as many supersteps as the longest
 shortest source-to-anywhere path — the diameter in the worst case — which is
 the iterative behaviour the DSR index eliminates.
+
+The vertex program's ``ctx.out_neighbors()`` reads the engine's per-run CSR
+snapshot (:mod:`repro.graph.csr`), not the mutable adjacency sets.
 """
 
 from __future__ import annotations

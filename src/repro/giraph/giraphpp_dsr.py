@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.query import QueryResult
 from repro.giraph.pregel import PartitionCentricEngine, PregelStats
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.partition.partition import GraphPartitioning
 
@@ -34,6 +35,10 @@ class GiraphPlusPlusDSR:
         self.last_stats: Optional[PregelStats] = None
         # value[v] = set of query sources known to reach v.
         self.values: Dict[int, Set[int]] = {}
+        # CSR snapshot pinned at the start of each query(); all local
+        # propagation reads it.  Not built here: constructing eagerly would
+        # be wasted work if the graph mutates before the first query.
+        self._csr: Optional[CSRGraph] = None
 
     # ------------------------------------------------------------------ #
     def _local_process(
@@ -54,9 +59,10 @@ class GiraphPlusPlusDSR:
                 self.values[vertex] |= fresh
                 gained.setdefault(vertex, set()).update(fresh)
                 queue.append((vertex, fresh))
+        adjacency = self._csr.successor_table()
         while queue:
             vertex, fresh = queue.popleft()
-            for neighbour in self.graph.successors(vertex):
+            for neighbour in adjacency[vertex]:
                 if neighbour not in local_vertices:
                     continue
                 new_for_neighbour = fresh - self.values[neighbour]
@@ -74,8 +80,9 @@ class GiraphPlusPlusDSR:
     ) -> None:
         """Send newly gained sources across partition-boundary edges."""
         local_vertices = self.partitioning.vertices_of(pid)
+        adjacency = self._csr.successor_table()
         for vertex, sources in gained.items():
-            for neighbour in self.graph.successors(vertex):
+            for neighbour in adjacency[vertex]:
                 if neighbour in local_vertices:
                     continue
                 for source in sources:
@@ -85,6 +92,7 @@ class GiraphPlusPlusDSR:
     def query(self, sources: Iterable[int], targets: Iterable[int]) -> QueryResult:
         source_set = set(sources)
         target_set = set(targets)
+        self._csr = self.graph.csr()
         self.values = {vertex: set() for vertex in self.graph.vertices()}
         engine = PartitionCentricEngine(
             self.graph, self.partitioning, max_supersteps=self.max_supersteps

@@ -80,8 +80,9 @@ class GiraphPlusPlusEqDSR(GiraphPlusPlusDSR):
         """
         local_vertices = self.partitioning.vertices_of(pid)
         emitted: Set[Tuple[int, int]] = set()
+        adjacency = self._csr.successor_table()
         for vertex, sources in gained.items():
-            for neighbour in self.graph.successors(vertex):
+            for neighbour in adjacency[vertex]:
                 if neighbour in local_vertices:
                     continue
                 destination = self._route[(vertex, neighbour)]
@@ -100,6 +101,7 @@ class GiraphPlusPlusEqDSR(GiraphPlusPlusDSR):
         source_set = set(sources)
         target_set = set(targets)
         self._current_targets = target_set
+        self._csr = self.graph.csr()
         self.values = {vertex: set() for vertex in self.graph.vertices()}
         engine = PartitionCentricEngine(
             self.graph, self.partitioning, max_supersteps=self.max_supersteps

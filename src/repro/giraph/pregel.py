@@ -21,9 +21,10 @@ their byte volume.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.message import payload_size
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.partition.partition import GraphPartitioning
 
@@ -69,8 +70,9 @@ class VertexContext:
     def value(self, new_value: Any) -> None:
         self._engine.values[self.vertex] = new_value
 
-    def out_neighbors(self) -> Set[int]:
-        return self._engine.graph.successors(self.vertex)
+    def out_neighbors(self) -> Tuple[int, ...]:
+        """Out-neighbours from the engine's CSR snapshot (frozen per run)."""
+        return self._engine.adjacency[self.vertex]
 
     def send_message(self, destination: int, payload: Any) -> None:
         self._engine.enqueue(self.vertex, destination, payload)
@@ -93,6 +95,19 @@ class PregelEngine:
         self.superstep = 0
         self._incoming: Dict[int, List[Any]] = {}
         self._next_incoming: Dict[int, List[Any]] = {}
+        self._csr: Optional[CSRGraph] = None
+
+    @property
+    def csr(self) -> CSRGraph:
+        """The CSR snapshot all vertex programs traverse during :meth:`run`."""
+        if self._csr is None:
+            self._csr = self.graph.csr()
+        return self._csr
+
+    @property
+    def adjacency(self) -> Dict[int, Tuple[int, ...]]:
+        """The snapshot's cached id-space successor table (see CSRGraph)."""
+        return self.csr.successor_table()
 
     def _crosses_partition(self, u: int, v: int) -> bool:
         if self.partitioning is None:
@@ -119,6 +134,11 @@ class PregelEngine:
         self.superstep = 0
         self._incoming = {}
         self._next_incoming = {}
+        # One CSR snapshot per run: the graph must not mutate mid-computation.
+        # ctx.out_neighbors() serves cached tuples from the snapshot's
+        # successor table (translated once here, not per visit).
+        self._csr = self.graph.csr()
+        self._csr.successor_table()
 
         while self.superstep < self.max_supersteps:
             if self.superstep == 0:

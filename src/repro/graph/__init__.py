@@ -1,17 +1,27 @@
-"""Directed-graph kernel used by every other subsystem.
+"""Directed-graph substrate used by every other subsystem.
 
-The kernel provides:
+Contract: owns graph *representation* only — the mutable
+:class:`~repro.graph.digraph.DiGraph`, its immutable CSR snapshot
+(:meth:`DiGraph.csr` / :class:`~repro.graph.csr.CSRGraph`, rebuilt lazily
+after mutations), SCC condensation, reference traversals, I/O and synthetic
+generators.  No partitioning, indexing or distribution logic lives here, and
+nothing in this package imports from a higher layer (see
+``docs/ARCHITECTURE.md``).
 
-* :class:`~repro.graph.digraph.DiGraph` — a mutable directed graph with
-  integer vertex identifiers and an optional bijective label mapping
-  (Definition 1 of the paper).
-* SCC computation and condensation (:mod:`repro.graph.scc`).
-* BFS/DFS/multi-source-BFS traversals (:mod:`repro.graph.traversal`).
-* Edge-list readers and writers (:mod:`repro.graph.io`).
-* Synthetic dataset generators that stand in for the paper's graph
-  collections (:mod:`repro.graph.generators`).
+Modules:
+
+* :mod:`repro.graph.digraph` — mutable ``DiGraph`` (Definition 1 of the
+  paper) with the cached CSR dirty-flag life cycle.
+* :mod:`repro.graph.csr` — the immutable ``array('q')`` CSR snapshot every
+  batched kernel traverses.
+* :mod:`repro.graph.scc` — SCCs + condensation, iterative Tarjan over CSR.
+* :mod:`repro.graph.traversal` — reference BFS/DFS/multi-source traversals
+  (ground truth for the test suite).
+* :mod:`repro.graph.io` / :mod:`repro.graph.generators` — edge-list
+  readers/writers and the synthetic dataset generators.
 """
 
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.graph.scc import condense, strongly_connected_components
 from repro.graph.traversal import (
@@ -23,6 +33,7 @@ from repro.graph.traversal import (
 
 __all__ = [
     "DiGraph",
+    "CSRGraph",
     "strongly_connected_components",
     "condense",
     "bfs_reachable_set",

@@ -1,0 +1,248 @@
+"""Immutable compressed-sparse-row (CSR) snapshots of a :class:`DiGraph`.
+
+The mutable :class:`~repro.graph.digraph.DiGraph` stores adjacency as
+per-vertex Python sets — ideal for updates, terrible for batched traversal:
+every BFS level chases hash buckets and re-boxes vertex ids.  A
+:class:`CSRGraph` freezes the same topology into flat ``array('q')``
+offset/target buffers over a *dense* vertex numbering ``0..n-1``, which is
+the layout every batched kernel in :mod:`repro.reachability.bitset_msbfs`
+and the SCC condensation in :mod:`repro.graph.scc` iterate over.  The
+forward direction is built eagerly; the reverse buffers are derived lazily
+from the forward arrays on first use (a counting sort — most consumers only
+ever walk forward, and skipping the reverse half halves build cost).
+
+Snapshots are **immutable by contract**: nothing in this module ever writes
+to a built snapshot, and consumers must not either.  Mutating the source
+``DiGraph`` does not change an existing snapshot — it *invalidates* the
+graph's cached one (a dirty flag inside ``DiGraph``), so the next call to
+``DiGraph.csr()`` rebuilds lazily.  Hold onto a snapshot only for as long as
+you want a frozen view.
+
+Dense indices vs. vertex ids
+----------------------------
+``ids[i]`` maps the dense index ``i`` back to the original vertex id and
+``index_of(v)`` maps the other way.  Vertex ids are sorted before numbering
+and every adjacency run is sorted too, so two structurally equal graphs
+always produce byte-identical snapshots (determinism matters for tests and
+for reproducible benchmark numbers).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (digraph imports us)
+    from repro.graph.digraph import DiGraph
+
+
+class CSRGraph:
+    """An immutable CSR snapshot of a directed graph (forward + reverse)."""
+
+    __slots__ = (
+        "ids",
+        "_index_of",
+        "fwd_offsets",
+        "fwd_targets",
+        "_rev_offsets",
+        "_rev_targets",
+        "_degree_stats",
+        "_successor_table",
+    )
+
+    def __init__(
+        self,
+        ids: Tuple[int, ...],
+        index_of: Dict[int, int],
+        fwd_offsets: array,
+        fwd_targets: array,
+    ) -> None:
+        self.ids = ids
+        self._index_of = index_of
+        self.fwd_offsets = fwd_offsets
+        self.fwd_targets = fwd_targets
+        # The reverse arrays are derived lazily from the (immutable) forward
+        # arrays on first use: most consumers only ever walk forward, and
+        # skipping the reverse half halves snapshot build time.
+        self._rev_offsets: Optional[array] = None
+        self._rev_targets: Optional[array] = None
+        self._degree_stats: Dict[str, float] = {}
+        self._successor_table: Dict[int, Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_digraph(cls, graph: "DiGraph") -> "CSRGraph":
+        """Build a snapshot from the current state of ``graph``."""
+        ids = tuple(sorted(graph.vertices()))
+        index_of = {vertex: i for i, vertex in enumerate(ids)}
+        n = len(ids)
+
+        fwd_offsets = array("q", bytes(8 * (n + 1)))
+        fwd_targets = array("q")
+        for i, vertex in enumerate(ids):
+            fwd_targets.extend(sorted(index_of[w] for w in graph.successors(vertex)))
+            fwd_offsets[i + 1] = len(fwd_targets)
+        return cls(ids, index_of, fwd_offsets, fwd_targets)
+
+    def _ensure_reverse(self) -> None:
+        """Materialise the reverse arrays (counting sort over the forward)."""
+        if self._rev_offsets is not None:
+            return
+        n = len(self.ids)
+        offsets, targets = self.fwd_offsets, self.fwd_targets
+        counts = [0] * n
+        for w in targets:
+            counts[w] += 1
+        rev_offsets = array("q", bytes(8 * (n + 1)))
+        total = 0
+        for i in range(n):
+            total += counts[i]
+            rev_offsets[i + 1] = total
+        # Fill positions; iterating sources in ascending order keeps every
+        # reverse run sorted, matching the forward runs' determinism.
+        fill = list(rev_offsets[:n]) if n else []
+        rev_targets = array("q", bytes(8 * len(targets)))
+        for u in range(n):
+            for k in range(offsets[u], offsets[u + 1]):
+                w = targets[k]
+                rev_targets[fill[w]] = u
+                fill[w] += 1
+        self._rev_targets = rev_targets
+        self._rev_offsets = rev_offsets
+
+    @property
+    def rev_offsets(self) -> array:
+        self._ensure_reverse()
+        return self._rev_offsets
+
+    @property
+    def rev_targets(self) -> array:
+        self._ensure_reverse()
+        return self._rev_targets
+
+    # ------------------------------------------------------------------ #
+    # sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        return len(self.ids)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.fwd_targets)
+
+    def nbytes(self) -> int:
+        """Footprint of the materialised ``array('q')`` buffers only.
+
+        The optional id-space :meth:`successor_table` (boxed tuples, built
+        only for the Pregel/Giraph consumers) is not counted here.
+        """
+        total = len(self.fwd_offsets) + len(self.fwd_targets)
+        if self._rev_offsets is not None:
+            total += len(self._rev_offsets) + len(self._rev_targets)
+        return 8 * total
+
+    # ------------------------------------------------------------------ #
+    # id translation
+    # ------------------------------------------------------------------ #
+    def has_vertex(self, vertex: int) -> bool:
+        return vertex in self._index_of
+
+    def index_of(self, vertex: int) -> int:
+        """Dense index of ``vertex`` (raises ``KeyError`` if absent)."""
+        return self._index_of[vertex]
+
+    def vertex_at(self, index: int) -> int:
+        """Original vertex id at dense index ``index``."""
+        return self.ids[index]
+
+    # ------------------------------------------------------------------ #
+    # adjacency
+    # ------------------------------------------------------------------ #
+    def out_neighbors(self, index: int) -> array:
+        """Dense out-neighbour run of dense vertex ``index`` (do not mutate)."""
+        return self.fwd_targets[self.fwd_offsets[index] : self.fwd_offsets[index + 1]]
+
+    def in_neighbors(self, index: int) -> array:
+        """Dense in-neighbour run of dense vertex ``index`` (do not mutate)."""
+        return self.rev_targets[self.rev_offsets[index] : self.rev_offsets[index + 1]]
+
+    def successors(self, vertex: int) -> Tuple[int, ...]:
+        """Out-neighbours of ``vertex`` as original ids (empty if absent)."""
+        i = self._index_of.get(vertex)
+        if i is None:
+            return ()
+        ids = self.ids
+        return tuple(ids[w] for w in self.out_neighbors(i))
+
+    def successor_table(self) -> Dict[int, Tuple[int, ...]]:
+        """``{vertex id: out-neighbour ids}``, built once per snapshot.
+
+        For consumers that iterate adjacency in *original id* space per
+        visited vertex (the Pregel/Giraph compute loops): repeated
+        :meth:`successors` calls would re-translate and re-allocate a tuple
+        each time, whereas this table pays the translation once and then
+        serves cached tuples — at least as fast as iterating the mutable
+        graph's live sets, and frozen with the snapshot.
+        """
+        if not self._successor_table and self.num_vertices:
+            ids = self.ids
+            offsets, targets = self.fwd_offsets, self.fwd_targets
+            self._successor_table = {
+                vertex: tuple(ids[w] for w in targets[offsets[i] : offsets[i + 1]])
+                for i, vertex in enumerate(ids)
+            }
+        return self._successor_table
+
+    def predecessors(self, vertex: int) -> Tuple[int, ...]:
+        """In-neighbours of ``vertex`` as original ids (empty if absent)."""
+        i = self._index_of.get(vertex)
+        if i is None:
+            return ()
+        ids = self.ids
+        return tuple(ids[w] for w in self.in_neighbors(i))
+
+    def out_degree(self, index: int) -> int:
+        return self.fwd_offsets[index + 1] - self.fwd_offsets[index]
+
+    def in_degree(self, index: int) -> int:
+        return self.rev_offsets[index + 1] - self.rev_offsets[index]
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def degree_stats(self) -> Dict[str, float]:
+        """Degree statistics of the snapshot, computed once and cached.
+
+        Consumers like the service planner's cost model read these instead of
+        re-walking the adjacency per query; because a snapshot is immutable
+        the cache can never go stale — a mutated graph hands out a *new*
+        snapshot with its own cache.
+        """
+        if not self._degree_stats:
+            n = self.num_vertices
+            m = self.num_edges
+            max_out = 0
+            for i in range(n):
+                out = self.fwd_offsets[i + 1] - self.fwd_offsets[i]
+                if out > max_out:
+                    max_out = out
+            # In-degrees are counted off the forward targets so computing
+            # stats never forces the reverse arrays to materialise.
+            in_counts = [0] * n
+            for w in self.fwd_targets:
+                in_counts[w] += 1
+            max_in = max(in_counts, default=0)
+            self._degree_stats = {
+                "num_vertices": float(n),
+                "num_edges": float(m),
+                "avg_degree": (m / n) if n else 0.0,
+                "max_out_degree": float(max_out),
+                "max_in_degree": float(max_in),
+            }
+        return dict(self._degree_stats)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRGraph(|V|={self.num_vertices}, |E|={self.num_edges})"

@@ -10,11 +10,17 @@ adjacency is stored as per-vertex sets for both successors and predecessors so
 that edge insertion, deletion and membership tests are O(1) on average, and
 vertex-induced subgraphs (the building block of graph partitioning) are cheap
 to construct.
+
+For batched traversal the hot paths do not walk these sets: :meth:`DiGraph.csr`
+hands out an immutable :class:`~repro.graph.csr.CSRGraph` snapshot, cached
+until the next mutation dirties it (see :mod:`repro.graph.csr`).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.graph.csr import CSRGraph
 
 
 class GraphError(Exception):
@@ -31,6 +37,39 @@ class DiGraph:
         self._label_index: Dict[Hashable, int] = {}
         self._num_edges = 0
         self._next_vertex = 0
+        # Lazily built CSR snapshot (see :meth:`csr`); ``None`` doubles as the
+        # dirty flag — every topology mutation resets it.
+        self._csr: Optional[CSRGraph] = None
+
+    # ------------------------------------------------------------------ #
+    # CSR snapshot
+    # ------------------------------------------------------------------ #
+    def csr(self) -> CSRGraph:
+        """Return the cached :class:`~repro.graph.csr.CSRGraph` snapshot.
+
+        The snapshot is built on first use and reused until the next topology
+        mutation (``add_vertex``/``add_edge``/``remove_vertex``/
+        ``remove_edge``), each of which marks it dirty so a fresh snapshot is
+        built lazily on the next call.  Callers must treat the returned
+        object as immutable.
+        """
+        if self._csr is None:
+            self._csr = CSRGraph.from_digraph(self)
+        return self._csr
+
+    def csr_if_cached(self) -> Optional[CSRGraph]:
+        """The cached CSR snapshot, or ``None`` — never triggers a build.
+
+        For observers (e.g. the service planner's cost model) that run
+        concurrently with writers: building a snapshot iterates the live
+        adjacency dicts and must only happen on a thread that holds the
+        owner's write lock, but *reading* an already-built snapshot is always
+        safe because snapshots are immutable.
+        """
+        return self._csr
+
+    def _invalidate_csr(self) -> None:
+        self._csr = None
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -86,6 +125,7 @@ class DiGraph:
             return vertex
         self._succ[vertex] = set()
         self._pred[vertex] = set()
+        self._invalidate_csr()
         if label is not None:
             self._set_label(vertex, label)
         if vertex >= self._next_vertex:
@@ -108,6 +148,7 @@ class DiGraph:
             self.remove_edge(pred, vertex)
         del self._succ[vertex]
         del self._pred[vertex]
+        self._invalidate_csr()
         label = self._labels.pop(vertex, None)
         if label is not None:
             self._label_index.pop(label, None)
@@ -152,6 +193,7 @@ class DiGraph:
         self._succ[u].add(v)
         self._pred[v].add(u)
         self._num_edges += 1
+        self._invalidate_csr()
         return True
 
     def remove_edge(self, u: int, v: int) -> bool:
@@ -161,6 +203,7 @@ class DiGraph:
         self._succ[u].discard(v)
         self._pred[v].discard(u)
         self._num_edges -= 1
+        self._invalidate_csr()
         return True
 
     def has_edge(self, u: int, v: int) -> bool:

@@ -6,7 +6,12 @@ sets start from SCC grouping (Algorithm 3, line 2), and incremental updates
 maintain condensed compound graphs (Section 3.3.3).
 
 The implementation is an iterative Tarjan so that large, deep graphs do not
-exhaust Python's recursion limit.
+exhaust Python's recursion limit.  It runs over the graph's cached CSR
+snapshot (:meth:`repro.graph.digraph.DiGraph.csr`): the DFS state lives in
+dense lists indexed by CSR position and edges are scanned straight out of the
+flat ``array('q')`` adjacency, so condensing a compound graph — which happens
+on every index build and on every maintenance flush — costs no per-visit
+hashing.
 """
 
 from __future__ import annotations
@@ -23,49 +28,61 @@ def strongly_connected_components(graph: DiGraph) -> List[List[int]]:
     condensation (i.e. a component appears after every component it can
     reach), which is a useful property for downstream dynamic programming.
     """
-    index_counter = 0
-    index: Dict[int, int] = {}
-    lowlink: Dict[int, int] = {}
-    on_stack: Dict[int, bool] = {}
+    csr = graph.csr()
+    n = csr.num_vertices
+    offsets, targets = csr.fwd_offsets, csr.fwd_targets
+    ids = csr.ids
+
+    UNVISITED = -1
+    index: List[int] = [UNVISITED] * n
+    lowlink: List[int] = [0] * n
+    on_stack = bytearray(n)
     stack: List[int] = []
     components: List[List[int]] = []
+    counter = 0
 
-    for root in graph.vertices():
-        if root in index:
+    for root in range(n):
+        if index[root] != UNVISITED:
             continue
-        # Iterative Tarjan: each frame is (vertex, iterator over successors).
-        work = [(root, iter(graph.successors(root)))]
-        index[root] = lowlink[root] = index_counter
-        index_counter += 1
+        index[root] = lowlink[root] = counter
+        counter += 1
         stack.append(root)
-        on_stack[root] = True
+        on_stack[root] = 1
+        # Iterative Tarjan: each frame is [vertex, next-edge cursor].
+        work: List[List[int]] = [[root, offsets[root]]]
 
         while work:
-            vertex, successors = work[-1]
+            frame = work[-1]
+            vertex, cursor = frame
+            end = offsets[vertex + 1]
             advanced = False
-            for succ in successors:
-                if succ not in index:
-                    index[succ] = lowlink[succ] = index_counter
-                    index_counter += 1
+            while cursor < end:
+                succ = targets[cursor]
+                cursor += 1
+                if index[succ] == UNVISITED:
+                    frame[1] = cursor
+                    index[succ] = lowlink[succ] = counter
+                    counter += 1
                     stack.append(succ)
-                    on_stack[succ] = True
-                    work.append((succ, iter(graph.successors(succ))))
+                    on_stack[succ] = 1
+                    work.append([succ, offsets[succ]])
                     advanced = True
                     break
-                if on_stack.get(succ, False):
-                    lowlink[vertex] = min(lowlink[vertex], index[succ])
+                if on_stack[succ] and index[succ] < lowlink[vertex]:
+                    lowlink[vertex] = index[succ]
             if advanced:
                 continue
             work.pop()
             if work:
                 parent = work[-1][0]
-                lowlink[parent] = min(lowlink[parent], lowlink[vertex])
+                if lowlink[vertex] < lowlink[parent]:
+                    lowlink[parent] = lowlink[vertex]
             if lowlink[vertex] == index[vertex]:
                 component = []
                 while True:
                     member = stack.pop()
-                    on_stack[member] = False
-                    component.append(member)
+                    on_stack[member] = 0
+                    component.append(ids[member])
                     if member == vertex:
                         break
                 components.append(component)
@@ -86,14 +103,20 @@ def condense(graph: DiGraph) -> Tuple[DiGraph, Dict[int, int]]:
         for vertex in members:
             vertex_to_component[vertex] = component_id
 
+    csr = graph.csr()
+    offsets, targets = csr.fwd_offsets, csr.fwd_targets
+    ids = csr.ids
+    component_of = [vertex_to_component[vertex] for vertex in ids]
+
     dag = DiGraph()
     for component_id in range(len(components)):
         dag.add_vertex(component_id)
-    for u, v in graph.edges():
-        cu = vertex_to_component[u]
-        cv = vertex_to_component[v]
-        if cu != cv:
-            dag.add_edge(cu, cv)
+    for dense in range(csr.num_vertices):
+        cu = component_of[dense]
+        for succ in targets[offsets[dense] : offsets[dense + 1]]:
+            cv = component_of[succ]
+            if cu != cv:
+                dag.add_edge(cu, cv)
     return dag, vertex_to_component
 
 

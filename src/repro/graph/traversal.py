@@ -1,9 +1,11 @@
 """Graph traversal primitives: BFS, DFS and multi-source reachability.
 
-These are the "no index" building blocks: the plain DFS local strategy
-(DSR-DFS in the paper), ground-truth reachability used by the test suite, and
-the shared-frontier multi-source BFS that :mod:`repro.reachability.msbfs`
-builds on.
+These are the *reference* implementations: deliberately simple walks over the
+mutable ``dict``/``set`` adjacency, used as ground truth by the test suite
+and as the "legacy per-source" baseline in ``benchmarks/bench_csr_kernel.py``.
+The production hot paths do not traverse this way — they run over the CSR
+snapshot via :mod:`repro.reachability.bitset_msbfs` and the CSR-backed
+strategies in :mod:`repro.reachability`.
 """
 
 from __future__ import annotations

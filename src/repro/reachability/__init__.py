@@ -1,12 +1,19 @@
-"""Centralized reachability indexes.
+"""Centralized reachability strategies — the ``localSetReachability(.)`` layer.
 
-These are the pluggable ``localSetReachability(.)`` strategies of Section 3.3:
-any of them can be used by the DSR engine for its per-partition computations.
+Contract: answers single-pair and set-reachability questions over ONE graph,
+with no knowledge of partitions, clusters or queries-as-objects.  Every
+strategy implements :class:`~repro.reachability.base.ReachabilityIndex` and
+is constructed by name through :func:`make_reachability_index`; the
+traversal-based strategies run on the graph's cached CSR snapshot, so an
+instance stays correct across graph updates (see ``docs/ARCHITECTURE.md``).
 
-* :class:`~repro.reachability.dfs.DFSReachability` — plain DFS, no index
-  ("DSR-DFS" in the paper).
+Strategies (Section 3.3 of the paper):
+
+* :class:`~repro.reachability.dfs.DFSReachability` — per-source DFS over CSR
+  arrays, no index ("DSR-DFS").
 * :class:`~repro.reachability.msbfs.MultiSourceBFS` — shared-frontier
-  multi-source BFS of Then et al. [30] ("DSR-MSBFS").
+  multi-source BFS ("DSR-MSBFS"), a thin wrapper over the bitset kernel in
+  :mod:`repro.reachability.bitset_msbfs` (also registered as ``"bitset"``).
 * :class:`~repro.reachability.ferrari.FerrariIndex` — FERRARI-style interval
   index [28] ("DSR-FERRARI").
 * :class:`~repro.reachability.grail.GrailIndex` — GRAIL-style random interval
@@ -15,6 +22,7 @@ any of them can be used by the DSR engine for its per-partition computations.
   fully materialised closure; the ground truth used by the test suite.
 """
 
+from repro.reachability import bitset_msbfs
 from repro.reachability.base import ReachabilityIndex
 from repro.reachability.dfs import DFSReachability
 from repro.reachability.factory import available_strategies, make_reachability_index
@@ -30,6 +38,7 @@ __all__ = [
     "FerrariIndex",
     "GrailIndex",
     "TransitiveClosureIndex",
+    "bitset_msbfs",
     "make_reachability_index",
     "available_strategies",
 ]

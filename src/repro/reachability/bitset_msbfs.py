@@ -1,0 +1,122 @@
+"""Bitset multi-source BFS kernel over CSR snapshots.
+
+This is the batched traversal kernel behind every ``localSetReachability(.)``
+hot path: instead of running ``W`` separate BFS traversals for a ``W``-source
+set-reachability query, one pass propagates a *W-wide frontier* — every dense
+vertex carries one arbitrary-width Python ``int`` whose bit ``p`` means
+"source number ``p`` reaches this vertex".  A BFS level ORs the parent's bits
+into each successor and only re-enqueues vertices that gained *new* bits, so
+each edge is relaxed a handful of times for the whole batch instead of once
+per source (the memoisation the paper observes for large query sets, Fig. 7;
+cf. Then et al. [30]).
+
+The kernel operates on the flat ``array('q')`` adjacency of a
+:class:`~repro.graph.csr.CSRGraph` (see :mod:`repro.graph.csr`) with the
+per-vertex bitsets in a dense Python list — no per-visit hashing, no set
+boxing.  :class:`~repro.reachability.msbfs.MultiSourceBFS` is a thin
+:class:`~repro.reachability.base.ReachabilityIndex` wrapper around it; the
+partition summaries, the compound-graph expansion in the DSR engine and the
+``benchmarks/bench_csr_kernel.py`` micro-benchmark all call into this module
+through that wrapper or directly.
+
+Batches wider than ``batch_size`` sources are split so the per-vertex ints
+stay small; 512-bit ints are still cheap to OR/AND in CPython.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.graph.csr import CSRGraph
+
+#: Default number of sources propagated per kernel pass.
+DEFAULT_BATCH_SIZE = 512
+
+
+def propagate(csr: CSRGraph, seed_bits: Dict[int, int], reverse: bool = False) -> List[int]:
+    """Run the bitset frontier to fixpoint and return the ``seen`` table.
+
+    ``seed_bits`` maps *dense* vertex indices to their initial bitsets;
+    the returned list maps every dense vertex index to the OR of all source
+    bits that reach it (seeds included).  With ``reverse=True`` the frontier
+    follows in-edges instead (useful for backward processing).
+    """
+    seen = [0] * csr.num_vertices
+    if reverse:
+        offsets, targets = csr.rev_offsets, csr.rev_targets
+    else:
+        offsets, targets = csr.fwd_offsets, csr.fwd_targets
+
+    frontier: Dict[int, int] = {}
+    for vertex, bits in seed_bits.items():
+        seen[vertex] |= bits
+        frontier[vertex] = frontier.get(vertex, 0) | bits
+
+    while frontier:
+        next_frontier: Dict[int, int] = {}
+        for vertex, bits in frontier.items():
+            for succ in targets[offsets[vertex] : offsets[vertex + 1]]:
+                new_bits = bits & ~seen[succ]
+                if new_bits:
+                    seen[succ] |= new_bits
+                    if succ in next_frontier:
+                        next_frontier[succ] |= new_bits
+                    else:
+                        next_frontier[succ] = new_bits
+        frontier = next_frontier
+    return seen
+
+
+def set_reachability(
+    csr: CSRGraph,
+    sources: Iterable[int],
+    targets: Iterable[int],
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Dict[int, Set[int]]:
+    """Batched ``{source: {targets reachable from source}}`` over a snapshot.
+
+    Sources and targets are *original* vertex ids; ids absent from the
+    snapshot yield empty result sets (sources) or are ignored (targets).
+    A source that is also a target reaches itself.  Sources are processed in
+    chunks of ``batch_size`` bits per pass.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    source_list = list(sources)
+    result: Dict[int, Set[int]] = {source: set() for source in source_list}
+    dense_targets = [
+        (target, csr.index_of(target)) for target in set(targets) if csr.has_vertex(target)
+    ]
+    valid_sources = [source for source in source_list if csr.has_vertex(source)]
+    if not valid_sources or not dense_targets:
+        return result
+
+    for start in range(0, len(valid_sources), batch_size):
+        batch = valid_sources[start : start + batch_size]
+        _run_batch(csr, batch, dense_targets, result)
+    return result
+
+
+def _run_batch(
+    csr: CSRGraph,
+    batch: Sequence[int],
+    dense_targets: Sequence[tuple],
+    result: Dict[int, Set[int]],
+) -> None:
+    """Propagate one ≤``batch_size``-source chunk and harvest target bits."""
+    seeds: Dict[int, int] = {}
+    for position, source in enumerate(batch):
+        index = csr.index_of(source)
+        seeds[index] = seeds.get(index, 0) | (1 << position)
+    seen = propagate(csr, seeds)
+    for position, source in enumerate(batch):
+        bit = 1 << position
+        reached = result[source]
+        for target, target_index in dense_targets:
+            if seen[target_index] & bit:
+                reached.add(target)
+
+
+def reachable(csr: CSRGraph, source: int, target: int) -> bool:
+    """Single-pair convenience wrapper over :func:`set_reachability`."""
+    return target in set_reachability(csr, [source], [target]).get(source, set())

@@ -3,62 +3,110 @@
 No index is built; every query performs an early-terminating depth-first
 search.  For set queries, one DFS per source is used, pruned by the set of
 still-unresolved targets.
+
+The traversal runs over the graph's cached CSR snapshot
+(:meth:`repro.graph.digraph.DiGraph.csr`): successor runs are flat
+``array('q')`` slices, and visited marks live in one dense buffer that is
+allocated once per snapshot and *generation-stamped* per traversal — a
+source that visits 10 vertices costs O(10), not an O(n) clear — which is
+substantially faster than chasing per-vertex Python sets and stays correct
+across updates because mutations dirty the snapshot.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Set
+from typing import Dict, Iterable, List, Optional, Set
 
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import DiGraph
 from repro.reachability.base import ReachabilityIndex
 
 
 class DFSReachability(ReachabilityIndex):
-    """Index-free DFS reachability."""
+    """Index-free DFS reachability over the CSR snapshot.
+
+    Not safe for concurrent queries on one instance: traversals share the
+    generation-stamped visited buffer (the engine serialises all local
+    evaluation, so this never bites in-tree).  Use one instance per thread
+    for standalone concurrent use.
+    """
 
     def __init__(self, graph: DiGraph) -> None:
         super().__init__(graph)
+        # Generation-stamped visited buffer, lazily sized to the current
+        # snapshot.  ``visited[i] == stamp`` means "visited this traversal";
+        # bumping the stamp invalidates all marks in O(1).
+        self._visited: List[int] = []
+        self._stamp = 0
+        self._buffer_csr: Optional[CSRGraph] = None
+
+    def _next_traversal(self, csr: CSRGraph) -> int:
+        """Return a fresh generation stamp for one traversal over ``csr``."""
+        if self._buffer_csr is not csr:
+            self._buffer_csr = csr
+            self._visited = [0] * csr.num_vertices
+            self._stamp = 0
+        self._stamp += 1
+        return self._stamp
 
     def reachable(self, source: int, target: int) -> bool:
-        if not self.graph.has_vertex(source) or not self.graph.has_vertex(target):
+        csr = self.graph.csr()
+        if not csr.has_vertex(source) or not csr.has_vertex(target):
             return False
         if source == target:
             return True
-        visited = {source}
-        stack = [source]
+        offsets, targets = csr.fwd_offsets, csr.fwd_targets
+        goal = csr.index_of(target)
+        start = csr.index_of(source)
+        stamp = self._next_traversal(csr)
+        visited = self._visited
+        visited[start] = stamp
+        stack = [start]
         while stack:
             vertex = stack.pop()
-            for succ in self.graph.successors(vertex):
-                if succ == target:
+            for succ in targets[offsets[vertex] : offsets[vertex + 1]]:
+                if succ == goal:
                     return True
-                if succ not in visited:
-                    visited.add(succ)
+                if visited[succ] != stamp:
+                    visited[succ] = stamp
                     stack.append(succ)
         return False
 
     def set_reachability(
         self, sources: Iterable[int], targets: Iterable[int]
     ) -> Dict[int, Set[int]]:
+        csr = self.graph.csr()
+        offsets, adjacency = csr.fwd_offsets, csr.fwd_targets
         target_set = set(targets)
+        # Dense target mapping, shared across the per-source traversals.
+        dense_to_target: Dict[int, int] = {}
+        for target in target_set:
+            if csr.has_vertex(target):
+                dense_to_target[csr.index_of(target)] = target
+
         result: Dict[int, Set[int]] = {}
         for source in sources:
-            if not self.graph.has_vertex(source):
+            if not csr.has_vertex(source):
                 result[source] = set()
                 continue
             reached: Set[int] = set()
             if source in target_set:
                 reached.add(source)
-            remaining = target_set - reached
-            visited = {source}
-            stack = [source]
+            remaining = len(dense_to_target) - len(reached)
+            start = csr.index_of(source)
+            stamp = self._next_traversal(csr)
+            visited = self._visited
+            visited[start] = stamp
+            stack = [start]
             while stack and remaining:
                 vertex = stack.pop()
-                for succ in self.graph.successors(vertex):
-                    if succ not in visited:
-                        visited.add(succ)
-                        if succ in remaining:
-                            reached.add(succ)
-                            remaining.discard(succ)
+                for succ in adjacency[offsets[vertex] : offsets[vertex + 1]]:
+                    if visited[succ] != stamp:
+                        visited[succ] = stamp
+                        target = dense_to_target.get(succ)
+                        if target is not None and target not in reached:
+                            reached.add(target)
+                            remaining -= 1
                         stack.append(succ)
             result[source] = reached
         return result

@@ -1,7 +1,10 @@
 """Factory for centralized reachability strategies.
 
 Keeps the string names used across the engine, the benchmarks and the
-command-line examples in one place.
+command-line examples in one place.  Every strategy is handed the mutable
+:class:`~repro.graph.digraph.DiGraph`; the traversal-based ones (``dfs``,
+``msbfs`` and its ``bitset`` alias) pull the graph's cached CSR snapshot on
+each query, so a strategy instance stays valid across graph updates.
 """
 
 from __future__ import annotations
@@ -19,6 +22,8 @@ from repro.reachability.transitive_closure import TransitiveClosureIndex
 _STRATEGIES: Dict[str, Callable[[DiGraph], ReachabilityIndex]] = {
     "dfs": DFSReachability,
     "msbfs": MultiSourceBFS,
+    # Explicit name for the CSR bitset kernel backing "msbfs" since PR 3.
+    "bitset": MultiSourceBFS,
     "ferrari": FerrariIndex,
     "grail": GrailIndex,
     "closure": TransitiveClosureIndex,

@@ -6,19 +6,25 @@ sources that have reached it so far, and a BFS level only propagates the
 of times for the whole source set instead of once per source, which is the
 memoisation benefit the paper observes for large query sets (Figure 7).
 
-Python integers are used as arbitrary-width bitsets.
+Since PR 3 the actual propagation lives in the CSR kernel
+(:mod:`repro.reachability.bitset_msbfs`): this class fetches the graph's
+cached :class:`~repro.graph.csr.CSRGraph` snapshot (rebuilt lazily after
+mutations — see :meth:`repro.graph.digraph.DiGraph.csr`) and runs the dense
+bitset frontier over its flat adjacency arrays, instead of walking the
+``dict``/``set`` adjacency one vertex at a time.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+from typing import Dict, Iterable, Set
 
 from repro.graph.digraph import DiGraph
+from repro.reachability import bitset_msbfs
 from repro.reachability.base import ReachabilityIndex
 
 
 class MultiSourceBFS(ReachabilityIndex):
-    """Shared-frontier multi-source BFS."""
+    """Shared-frontier multi-source BFS over the graph's CSR snapshot."""
 
     def __init__(self, graph: DiGraph, batch_size: int = 512) -> None:
         super().__init__(graph)
@@ -31,44 +37,6 @@ class MultiSourceBFS(ReachabilityIndex):
     def set_reachability(
         self, sources: Iterable[int], targets: Iterable[int]
     ) -> Dict[int, Set[int]]:
-        source_list = [s for s in sources]
-        target_set = set(targets)
-        result: Dict[int, Set[int]] = {source: set() for source in source_list}
-        valid_sources = [s for s in source_list if self.graph.has_vertex(s)]
-        for start in range(0, len(valid_sources), self.batch_size):
-            batch = valid_sources[start : start + self.batch_size]
-            self._run_batch(batch, target_set, result)
-        return result
-
-    def _run_batch(
-        self,
-        batch: List[int],
-        target_set: Set[int],
-        result: Dict[int, Set[int]],
-    ) -> None:
-        bit_of = {source: 1 << position for position, source in enumerate(batch)}
-        # seen[v] = bitset of batch sources that reach v.
-        seen: Dict[int, int] = {}
-        frontier: Dict[int, int] = {}
-        for source in batch:
-            seen[source] = seen.get(source, 0) | bit_of[source]
-            frontier[source] = frontier.get(source, 0) | bit_of[source]
-
-        while frontier:
-            next_frontier: Dict[int, int] = {}
-            for vertex, bits in frontier.items():
-                for succ in self.graph.successors(vertex):
-                    new_bits = bits & ~seen.get(succ, 0)
-                    if new_bits:
-                        seen[succ] = seen.get(succ, 0) | new_bits
-                        next_frontier[succ] = next_frontier.get(succ, 0) | new_bits
-            frontier = next_frontier
-
-        for position, source in enumerate(batch):
-            bit = 1 << position
-            reached = {
-                vertex
-                for vertex in target_set
-                if seen.get(vertex, 0) & bit
-            }
-            result[source] |= reached
+        return bitset_msbfs.set_reachability(
+            self.graph.csr(), list(sources), targets, batch_size=self.batch_size
+        )

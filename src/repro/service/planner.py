@@ -9,8 +9,13 @@ the engine:
   the target side.  The planner weighs both using the query cardinalities and
   the index's boundary statistics: partitions with many forward entry handles
   make forward traversals touch more virtual vertices, and symmetrically for
-  backward entries.  The backward direction is only eligible when the engine
-  was built with ``enable_backward=True``.
+  backward entries.  The per-vertex traversal cost is scaled by the data
+  graph's average degree, read from the cached CSR snapshot's degree
+  statistics (:meth:`repro.graph.csr.CSRGraph.degree_stats`) rather than
+  recomputed per query; planning runs outside the service's engine lock, so
+  the planner never *builds* a snapshot and falls back to the graph's O(1)
+  counters when none is cached.  The backward direction is only eligible
+  when the engine was built with ``enable_backward=True``.
 
 * **Batching.**  The one-round protocol evaluates ``S ⇝ T`` as a whole, and
   its local phases grow with ``|S|`` (traversal frontiers) while the answer
@@ -74,18 +79,40 @@ class QueryPlanner:
         num_partitions = max(1, index.num_partitions)
         return forward / num_partitions, backward / num_partitions
 
+    def _edge_factor(self) -> float:
+        """Per-frontier-vertex expansion cost, from CSR degree statistics.
+
+        Read off the data graph's cached :class:`~repro.graph.csr.CSRGraph`
+        snapshot when one is live: the stats are computed once per snapshot
+        and reused for every planned query, instead of being recomputed per
+        request.  Planning runs *outside* the service's engine lock, so this
+        deliberately never **builds** a snapshot (building iterates the live
+        adjacency and would race concurrent updates); with no snapshot
+        cached it falls back to the graph's O(1) vertex/edge counters, which
+        yield the same average degree.
+        """
+        snapshot = self.engine.graph.csr_if_cached()
+        if snapshot is not None:
+            return 1.0 + snapshot.degree_stats()["avg_degree"]
+        num_vertices = self.engine.graph.num_vertices
+        if not num_vertices:
+            return 1.0
+        return 1.0 + self.engine.graph.num_edges / num_vertices
+
     def estimate_cost(self, num_sources: int, num_targets: int, direction: str) -> float:
         """Relative cost of one engine call in the given direction.
 
         The dominant step-1 work is one multi-source traversal from the query
-        side it starts at, over a compound graph whose virtual-vertex count
-        scales with the entry handles of the *opposite* side's partitions; the
-        step-3 work scales with the other cardinality.
+        side it starts at: per frontier vertex it pays the graph's average
+        degree (CSR degree statistics), over a compound graph whose
+        virtual-vertex count scales with the entry handles of the *opposite*
+        side's partitions; the step-3 work scales with the other cardinality.
         """
         forward_entries, backward_entries = self._entry_stats()
+        edge_factor = self._edge_factor()
         if direction == "backward":
-            return num_targets * (1.0 + forward_entries) + num_sources
-        return num_sources * (1.0 + backward_entries) + num_targets
+            return num_targets * (1.0 + forward_entries) * edge_factor + num_sources
+        return num_sources * (1.0 + backward_entries) * edge_factor + num_targets
 
     # ------------------------------------------------------------------ #
     # planning

@@ -1,0 +1,61 @@
+"""Documentation health checks: links must resolve, examples must run.
+
+Documentation rots silently unless it is executed: this module resolves
+every relative Markdown link in README.md and docs/*.md against the
+repository tree, and runs the ``>>>`` doctest blocks embedded in
+docs/ARCHITECTURE.md.  The CI ``docs`` job runs exactly these checks.
+"""
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+#: Markdown files whose links are checked, relative to the repo root.
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md"] + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def relative_links(markdown_path: Path):
+    """Yield (link, resolved target path) for every relative link."""
+    for match in _LINK.finditer(markdown_path.read_text(encoding="utf-8")):
+        link = match.group(1)
+        if link.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = link.split("#", 1)[0]
+        if not target:
+            continue
+        yield link, (markdown_path.parent / target).resolve()
+
+
+def test_doc_files_exist():
+    assert (REPO_ROOT / "docs" / "ARCHITECTURE.md") in DOC_FILES
+    assert (REPO_ROOT / "docs" / "BENCHMARKS.md") in DOC_FILES
+
+
+@pytest.mark.parametrize(
+    "doc", DOC_FILES, ids=[str(p.relative_to(REPO_ROOT)) for p in DOC_FILES]
+)
+def test_relative_links_resolve(doc):
+    broken = [
+        link for link, target in relative_links(doc) if not target.exists()
+    ]
+    assert not broken, f"{doc.relative_to(REPO_ROOT)} has broken links: {broken}"
+
+
+def test_architecture_doctests_pass():
+    """The ``>>>`` blocks in ARCHITECTURE.md are executable and correct."""
+    # No option flags, so this check stays exactly as strict as the CI
+    # job's direct `python -m doctest docs/ARCHITECTURE.md` step.
+    failures, tests = doctest.testfile(
+        str(REPO_ROOT / "docs" / "ARCHITECTURE.md"),
+        module_relative=False,
+    )
+    assert tests > 0, "ARCHITECTURE.md lost its executable examples"
+    assert failures == 0

@@ -1,0 +1,141 @@
+"""Tests for the CSR snapshot: structure, caching and dirty-flag invalidation."""
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.csr import CSRGraph
+from repro.graph.digraph import DiGraph
+from repro.reachability.msbfs import MultiSourceBFS
+
+
+def assert_matches_digraph(csr: CSRGraph, graph: DiGraph) -> None:
+    """Every adjacency fact of the snapshot must mirror the source graph."""
+    assert csr.num_vertices == graph.num_vertices
+    assert csr.num_edges == graph.num_edges
+    assert set(csr.ids) == set(graph.vertices())
+    for vertex in graph.vertices():
+        assert set(csr.successors(vertex)) == set(graph.successors(vertex))
+        assert set(csr.predecessors(vertex)) == set(graph.predecessors(vertex))
+        index = csr.index_of(vertex)
+        assert csr.vertex_at(index) == vertex
+        assert csr.out_degree(index) == graph.out_degree(vertex)
+        assert csr.in_degree(index) == graph.in_degree(vertex)
+
+
+class TestStructure:
+    def test_mirrors_random_graph(self):
+        graph = generators.random_digraph(80, 300, seed=3)
+        assert_matches_digraph(graph.csr(), graph)
+
+    def test_mirrors_graph_with_gaps_in_ids(self):
+        graph = DiGraph.from_edges([(5, 90), (90, 7), (7, 5), (200, 90)])
+        assert_matches_digraph(graph.csr(), graph)
+
+    def test_empty_graph(self):
+        csr = DiGraph().csr()
+        assert csr.num_vertices == 0
+        assert csr.num_edges == 0
+        assert csr.degree_stats()["avg_degree"] == 0.0
+
+    def test_offsets_are_monotone_and_runs_sorted(self):
+        graph = generators.web_graph(120, avg_degree=6, seed=1)
+        csr = graph.csr()
+        for i in range(csr.num_vertices):
+            run = list(csr.out_neighbors(i))
+            assert run == sorted(run)
+            assert csr.fwd_offsets[i] <= csr.fwd_offsets[i + 1]
+        assert csr.fwd_offsets[csr.num_vertices] == csr.num_edges
+
+    def test_deterministic_across_insertion_order(self):
+        edges = [(0, 1), (1, 2), (2, 0), (2, 3)]
+        a = DiGraph.from_edges(edges)
+        b = DiGraph.from_edges(list(reversed(edges)))
+        assert a.csr().ids == b.csr().ids
+        assert a.csr().fwd_targets == b.csr().fwd_targets
+        assert a.csr().rev_targets == b.csr().rev_targets
+
+    def test_degree_stats(self):
+        graph = DiGraph.from_edges([(0, 1), (0, 2), (0, 3), (1, 3)])
+        stats = graph.csr().degree_stats()
+        assert stats["num_vertices"] == 4
+        assert stats["num_edges"] == 4
+        assert stats["avg_degree"] == 1.0
+        assert stats["max_out_degree"] == 3
+        assert stats["max_in_degree"] == 2
+
+    def test_reverse_arrays_are_lazy(self):
+        # Most consumers only walk forward; the reverse buffers must not be
+        # paid for until something actually asks for them.
+        graph = generators.random_digraph(40, 120, seed=6)
+        csr = graph.csr()
+        assert csr._rev_offsets is None
+        forward_only = csr.nbytes()
+        vertex = next(iter(graph.vertices()))
+        assert set(csr.predecessors(vertex)) == set(graph.predecessors(vertex))
+        assert csr._rev_offsets is not None
+        assert csr.nbytes() > forward_only
+
+    def test_missing_vertex_lookup(self):
+        graph = DiGraph.from_edges([(0, 1)])
+        csr = graph.csr()
+        assert not csr.has_vertex(99)
+        assert csr.successors(99) == ()
+        with pytest.raises(KeyError):
+            csr.index_of(99)
+
+
+class TestCachingAndInvalidation:
+    def test_snapshot_is_cached_until_mutation(self):
+        graph = generators.random_digraph(30, 60, seed=1)
+        assert graph.csr() is graph.csr()
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda g: g.add_edge(0, 17),
+            lambda g: g.remove_edge(*next(iter(g.edges()))),
+            lambda g: g.remove_vertex(3),
+            lambda g: g.add_vertex(),
+        ],
+        ids=["add_edge", "remove_edge", "remove_vertex", "add_vertex"],
+    )
+    def test_every_mutation_invalidates(self, mutate):
+        graph = generators.random_digraph(30, 60, seed=2)
+        before = graph.csr()
+        mutate(graph)
+        after = graph.csr()
+        assert after is not before
+        assert_matches_digraph(after, graph)
+
+    def test_noop_mutations_keep_snapshot(self):
+        graph = DiGraph.from_edges([(0, 1), (1, 2)])
+        snapshot = graph.csr()
+        assert not graph.add_edge(0, 1)  # already present
+        assert not graph.remove_edge(2, 0)  # never existed
+        graph.add_vertex(1)  # already present
+        assert graph.csr() is snapshot
+
+    def test_remove_edge_regression_stale_snapshot_never_served(self):
+        # The satellite-task regression: after remove_edge the old snapshot
+        # (which still contains the edge) must not answer queries.
+        graph = DiGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        index = MultiSourceBFS(graph)
+        assert index.reachable(0, 3)
+        graph.remove_edge(1, 2)
+        assert not index.reachable(0, 3)
+        assert set(graph.csr().successors(1)) == set()
+
+    def test_remove_vertex_regression_stale_snapshot_never_served(self):
+        graph = DiGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        index = MultiSourceBFS(graph)
+        assert index.reachable(0, 3)
+        graph.remove_vertex(2)
+        assert not index.reachable(0, 3)
+        assert not graph.csr().has_vertex(2)
+
+    def test_insert_then_query_sees_new_edge(self):
+        graph = DiGraph.from_edges([(0, 1), (2, 3)])
+        index = MultiSourceBFS(graph)
+        assert not index.reachable(0, 3)
+        graph.add_edge(1, 2)
+        assert index.reachable(0, 3)

@@ -91,6 +91,39 @@ class TestBatching:
             QueryPlanner(engine, max_batch_pairs=0)
 
 
+class TestCostModel:
+    """The cost model reads CSR degree stats without ever building snapshots."""
+
+    def test_plan_never_builds_a_csr_snapshot(self, engine):
+        # Planning runs outside the service's engine lock, so triggering a
+        # snapshot build there would race concurrent updates (the build
+        # iterates the live adjacency dicts).  The planner must only *peek*.
+        engine.graph._invalidate_csr()
+        assert engine.graph.csr_if_cached() is None
+        QueryPlanner(engine).plan([0, 1, 2], [3, 4])
+        assert engine.graph.csr_if_cached() is None
+
+    def test_cached_snapshot_and_counter_fallback_agree(self, engine):
+        planner = QueryPlanner(engine)
+        engine.graph._invalidate_csr()
+        fallback = planner._edge_factor()
+        engine.graph.csr()  # warm the snapshot (as a lock holder would)
+        from_snapshot = planner._edge_factor()
+        assert from_snapshot == pytest.approx(fallback)
+
+    def test_edge_factor_scales_traversal_side_only(self, engine):
+        planner = QueryPlanner(engine)
+        factor = planner._edge_factor()
+        assert factor > 1.0
+        # Doubling the traversal-side cardinality must raise the cost by
+        # more than doubling the collection side (the edge factor applies
+        # to the traversal term only).
+        base = planner.estimate_cost(10, 10, "forward")
+        more_sources = planner.estimate_cost(20, 10, "forward")
+        more_targets = planner.estimate_cost(10, 20, "forward")
+        assert more_sources - base > more_targets - base
+
+
 class TestReachQueryPlanning:
     """The planner accepts the unified query object directly."""
 
