@@ -5,19 +5,43 @@ Paper setup: LiveJ-68M, Freebase-1B, Twitter-1.4B and LUBM-1B, 10x10 queries,
 
 Expected shape (asserted): for every slave count DSR answers the query faster
 than vertex-centric Giraph, and DSR's single-round guarantee holds throughout.
+
+Executor sweep (``test_executor_real_speedup``): the same DSR engine is run
+through every :class:`~repro.cluster.executors.ExecutorBackend` — ``serial``,
+``threads`` and ``processes`` — over one partitioning and one heavy batch
+query.  For each executor the *simulated* parallel time (slowest-worker model,
+what the paper reports) is printed alongside the *real* wall-clock on this
+machine, and both land in the pytest-benchmark JSON report via ``extra_info``.
+On a host with enough usable cores, the ``processes`` executor — whose
+workers each own their partition's hydrated CSR shard — is asserted to beat
+``serial`` by ≥ 1.5x real wall-clock at 4 partitions (the paper's actual
+distributed speed-up claim, reproduced rather than simulated).
+
+Environment knobs for the CI smoke run:
+
+* ``REPRO_BENCH_EXECUTOR_WORKERS`` — partitions/workers (default 4);
+* ``REPRO_BENCH_EXECUTOR_VERTICES`` — DAG size (default 8000 vertices).
 """
+
+import json
+import os
+import time
 
 import pytest
 
 from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once
+from repro.api import DSRConfig, ReachQuery, open_engine
 from repro.bench.datasets import load_dataset
-from repro.bench.reporting import format_series
+from repro.bench.reporting import format_series, format_table
 from repro.bench.runner import ExperimentRunner
 from repro.bench.workloads import random_query
+from repro.graph import generators
 
 DATASETS = ["livej68", "freebase", "twitter", "lubm"]
 SLAVE_COUNTS = [2, 4, 6, 8]
 APPROACHES = ["dsr", "giraph++weq", "giraph++", "giraph"]
+
+EXECUTORS = ["serial", "threads", "processes"]
 
 
 @pytest.mark.parametrize("name", DATASETS)
@@ -56,3 +80,122 @@ def test_strong_scaling(benchmark, name):
             title=f"Figure 5 strong scaling — {name}",
         )
     )
+
+
+# --------------------------------------------------------------------- #
+# real (not simulated) strong scaling across executor backends
+# --------------------------------------------------------------------- #
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def test_executor_real_speedup(benchmark):
+    """Real wall-clock speed-up of sharded process workers over serial.
+
+    The workload is a partition-heavy batch query over a DAG (condensation
+    keeps its size, so every worker does real traversal work on its shard).
+    """
+    workers = int(os.environ.get("REPRO_BENCH_EXECUTOR_WORKERS", "4"))
+    num_vertices = int(os.environ.get("REPRO_BENCH_EXECUTOR_VERTICES", "8000"))
+    graph = generators.dag(num_vertices, 4 * num_vertices, seed=BENCH_SEED)
+    sources, targets = random_query(graph, 128, 128, seed=BENCH_SEED)
+    query = ReachQuery(tuple(sources), tuple(targets))
+
+    def measure(executor: str):
+        engine = open_engine(
+            graph,
+            DSRConfig(
+                num_partitions=workers,
+                local_index="msbfs",
+                seed=BENCH_SEED,
+                executor=executor,
+            ),
+        )
+        try:
+            engine.run(query)  # warm-up: shard hydration, CSR snapshots
+            best_real = float("inf")
+            last = None
+            for _ in range(2):
+                start = time.perf_counter()
+                last = engine.run(query)
+                best_real = min(best_real, time.perf_counter() - start)
+            return {
+                "executor": executor,
+                "real_seconds": best_real,
+                "simulated_parallel_seconds": last.parallel_seconds,
+                "worker_cpu_seconds": last.total_seconds,
+                "pairs": last.num_pairs,
+            }
+        finally:
+            engine.close()
+
+    def sweep():
+        return {executor: measure(executor) for executor in EXECUTORS}
+
+    rows = run_once(benchmark, sweep)
+    baseline = rows["serial"]["real_seconds"]
+    for record in rows.values():
+        record["speedup_vs_serial"] = round(baseline / record["real_seconds"], 3)
+
+    # Both timing models go into the pytest-benchmark JSON report.
+    benchmark.extra_info["executor_sweep"] = {
+        executor: {
+            "real_seconds": round(record["real_seconds"], 6),
+            "simulated_parallel_seconds": round(
+                record["simulated_parallel_seconds"], 6
+            ),
+            "speedup_vs_serial": record["speedup_vs_serial"],
+        }
+        for executor, record in rows.items()
+    }
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["usable_cpus"] = _usable_cpus()
+
+    print()
+    print(
+        format_table(
+            [
+                {
+                    "executor": executor,
+                    "real_s": record["real_seconds"],
+                    "simulated_s": record["simulated_parallel_seconds"],
+                    "cpu_s": record["worker_cpu_seconds"],
+                    "speedup": record["speedup_vs_serial"],
+                }
+                for executor, record in rows.items()
+            ],
+            title=f"Figure 5 executor sweep — {workers} partitions, "
+            f"{_usable_cpus()} usable CPUs",
+        )
+    )
+    print(json.dumps(benchmark.extra_info["executor_sweep"], indent=2))
+
+    # Every executor must compute the identical answer.
+    answers = {record["pairs"] for record in rows.values()}
+    assert len(answers) == 1, f"executors disagree on the answer: {rows}"
+
+    cpus = _usable_cpus()
+    if cpus < 2:
+        pytest.skip(
+            f"only {cpus} usable CPU(s): real parallel speed-up is physically "
+            "impossible here (sweep numbers above are still recorded)"
+        )
+    if workers >= 4 and cpus >= 4:
+        # The paper's actual claim, reproduced: real sharded execution beats
+        # serial by a real factor at 4 partitions.
+        assert rows["processes"]["speedup_vs_serial"] >= 1.5, (
+            "processes executor did not reach 1.5x over serial: "
+            f"{rows['processes']['speedup_vs_serial']}x"
+        )
+    else:
+        # Smoke configuration (e.g. CI with 2 workers on a shared runner):
+        # timings there are noise-sensitive, so only a sanity bound is
+        # asserted — process dispatch must not be catastrophically slower
+        # than serial.  The numbers themselves are always recorded above.
+        assert rows["processes"]["speedup_vs_serial"] >= 0.75, (
+            "processes executor catastrophically slower than serial: "
+            f"{rows['processes']['speedup_vs_serial']}x"
+        )

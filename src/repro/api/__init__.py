@@ -38,7 +38,7 @@ from repro.api.backends import (
     register_backend,
     unregister_backend,
 )
-from repro.api.config import ConfigError, DSRConfig, PARTITIONERS
+from repro.api.config import ConfigError, DSRConfig, EPOCH_FLUSH_MODES, PARTITIONERS
 from repro.api.query import DIRECTIONS, QueryError, ReachQuery, as_reach_query
 from repro.core.query import QueryResult
 
@@ -48,6 +48,7 @@ __all__ = [
     "ConfigError",
     "DIRECTIONS",
     "DSRConfig",
+    "EPOCH_FLUSH_MODES",
     "PARTITIONERS",
     "QueryError",
     "QueryResult",

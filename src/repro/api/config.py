@@ -23,10 +23,14 @@ import dataclasses
 from dataclasses import dataclass, fields
 from typing import Any, Dict, Mapping, Optional
 
+from repro.cluster.executors import EXECUTOR_NAMES
 from repro.reachability.factory import available_strategies
 
 #: Partitioning strategies understood by ``repro.partition.make_partitioning``.
 PARTITIONERS = ("metis", "min-cut", "mincut", "hash")
+
+#: Maintenance scheduling modes for the epoch-versioned index.
+EPOCH_FLUSH_MODES = ("inline", "background")
 
 
 class ConfigError(ValueError):
@@ -57,8 +61,20 @@ class DSRConfig:
         ``"grail"``, ``"closure"``).
     use_equivalence:
         Enable the equivalence-set optimisation (Section 3.3 of the paper).
+    executor:
+        How cluster phases execute on this machine: ``"serial"`` (default),
+        ``"threads"`` (persistent thread pool) or ``"processes"`` (one
+        long-lived worker process per partition, hydrated once per epoch
+        with its immutable CSR shard — real parallelism).
+    epoch_flush:
+        When batched updates are folded into the index: ``"inline"``
+        (default — before the next query, which therefore waits) or
+        ``"background"`` (a coalescing maintenance thread builds epoch
+        ``N+1`` while queries keep reading epoch ``N``; queries never block
+        on maintenance).
     parallel:
-        Run the simulated slaves on a thread pool.
+        Deprecated alias: ``parallel=True`` with the default executor maps
+        to ``executor="threads"``.
     seed:
         Random seed used by the partitioner.
     enable_backward:
@@ -77,6 +93,8 @@ class DSRConfig:
     seed: int = 0
     enable_backward: bool = False
     local_index_options: Optional[Dict[str, Any]] = None
+    executor: str = "serial"
+    epoch_flush: str = "inline"
 
     def __post_init__(self) -> None:
         _require(
@@ -98,6 +116,16 @@ class DSRConfig:
             self.local_index in available_strategies(),
             f"unknown local index {self.local_index!r}; "
             f"available: {', '.join(available_strategies())}",
+        )
+        _require(
+            self.executor in EXECUTOR_NAMES,
+            f"unknown executor {self.executor!r}; "
+            f"available: {', '.join(EXECUTOR_NAMES)}",
+        )
+        _require(
+            self.epoch_flush in EPOCH_FLUSH_MODES,
+            f"unknown epoch_flush mode {self.epoch_flush!r}; "
+            f"available: {', '.join(EPOCH_FLUSH_MODES)}",
         )
         for flag in ("use_equivalence", "parallel", "enable_backward"):
             _require(
@@ -156,4 +184,4 @@ class DSRConfig:
         return dataclasses.replace(self, **overrides)
 
 
-__all__ = ["ConfigError", "DSRConfig", "PARTITIONERS"]
+__all__ = ["ConfigError", "DSRConfig", "EPOCH_FLUSH_MODES", "PARTITIONERS"]

@@ -7,20 +7,25 @@ wall-clock time each worker spent and accumulates the *maximum* across workers
 — the time the phase would have taken had the workers truly run in parallel on
 separate machines, which is how the paper reports query times.
 
-Workers can optionally be executed on a thread pool (``parallel=True``); since
-the computations are pure Python the speed-up is limited by the GIL, so the
-default runs them sequentially while still reporting the simulated parallel
-time.
+*How* the workers actually execute is delegated to a pluggable
+:class:`~repro.cluster.executors.ExecutorBackend` (``executor=`` — ``serial``,
+``threads`` or ``processes``; see :mod:`repro.cluster.executors`).  Besides
+the simulated-parallel model, every phase also records its **real**
+wall-clock (:attr:`PhaseTiming.real_seconds`), so executor backends can be
+compared honestly: simulated time answers "what would a real cluster do",
+real time answers "what does this machine do".
+
+The legacy ``parallel=True`` flag maps to ``executor="threads"``.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
-from repro.cluster.network import Network
+from repro.cluster.executors import ExecutorBackend, make_executor
+from repro.cluster.network import Network, NetworkStats
 
 
 @dataclass
@@ -29,6 +34,8 @@ class PhaseTiming:
 
     name: str
     per_worker_seconds: Dict[int, float] = field(default_factory=dict)
+    #: Real elapsed wall-clock of the whole phase, dispatch included.
+    real_seconds: float = 0.0
 
     @property
     def parallel_seconds(self) -> float:
@@ -43,22 +50,58 @@ class PhaseTiming:
 
 @dataclass
 class ClusterStats:
-    """Aggregated execution statistics for a query or a build."""
+    """Aggregated execution statistics for a query or a build.
+
+    ``phases`` holds the itemised records of work charged directly to this
+    stats object (an index build, one query).  Work *absorbed* from other
+    stats objects — every served query folds its private record into the
+    cluster's cumulative stats — is accumulated into the ``absorbed_*``
+    aggregates instead of extending the list, so a long-lived service's
+    cumulative record stays O(1) in memory no matter how many queries it
+    serves (per-query phase detail lives in each ``QueryResult``).
+    """
 
     phases: List[PhaseTiming] = field(default_factory=list)
+    absorbed_parallel_seconds: float = 0.0
+    absorbed_total_seconds: float = 0.0
+    absorbed_real_seconds: float = 0.0
+    absorbed_phases: int = 0
 
     @property
     def parallel_seconds(self) -> float:
-        return sum(phase.parallel_seconds for phase in self.phases)
+        return (
+            sum(phase.parallel_seconds for phase in self.phases)
+            + self.absorbed_parallel_seconds
+        )
 
     @property
     def total_seconds(self) -> float:
-        return sum(phase.total_seconds for phase in self.phases)
+        return (
+            sum(phase.total_seconds for phase in self.phases)
+            + self.absorbed_total_seconds
+        )
+
+    @property
+    def real_seconds(self) -> float:
+        """Real elapsed wall-clock summed across phases."""
+        return (
+            sum(phase.real_seconds for phase in self.phases)
+            + self.absorbed_real_seconds
+        )
+
+    def absorb(self, other: "ClusterStats") -> None:
+        """Fold another record's totals into this one (no list growth)."""
+        self.absorbed_parallel_seconds += other.parallel_seconds
+        self.absorbed_total_seconds += other.total_seconds
+        self.absorbed_real_seconds += other.real_seconds
+        self.absorbed_phases += len(other.phases) + other.absorbed_phases
 
     def as_dict(self) -> Dict[str, Any]:
         return {
             "parallel_seconds": self.parallel_seconds,
             "total_seconds": self.total_seconds,
+            "real_seconds": self.real_seconds,
+            "absorbed_phases": self.absorbed_phases,
             "phases": {
                 phase.name: round(phase.parallel_seconds, 6) for phase in self.phases
             },
@@ -70,11 +113,22 @@ class SimulatedCluster:
 
     MASTER_RANK = -1
 
-    def __init__(self, num_workers: int, parallel: bool = False) -> None:
+    def __init__(
+        self,
+        num_workers: int,
+        parallel: bool = False,
+        executor: Union[str, ExecutorBackend, None] = None,
+    ) -> None:
         if num_workers < 1:
             raise ValueError("a cluster needs at least one worker")
         self.num_workers = num_workers
-        self.parallel = parallel
+        if executor is None:
+            executor = "threads" if parallel else "serial"
+        if isinstance(executor, str):
+            executor = make_executor(executor)
+        executor.start(num_workers)
+        self.executor: ExecutorBackend = executor
+        self.parallel = parallel or executor.name == "threads"
         self.network = Network()
         self.stats = ClusterStats()
 
@@ -86,34 +140,70 @@ class SimulatedCluster:
         name: str,
         worker_fn: Callable[[int], Any],
         workers: Optional[List[int]] = None,
+        stats: Optional[ClusterStats] = None,
     ) -> Dict[int, Any]:
         """Run ``worker_fn(rank)`` on every worker (or the given subset).
 
         Returns ``{rank: result}`` and records per-worker timings under the
-        phase ``name``.
+        phase ``name``.  ``stats`` selects where the timing record goes:
+        callers that may run concurrently (queries) pass their own private
+        :class:`ClusterStats`; by default the record lands in the cluster's
+        cumulative :attr:`stats`.
         """
         ranks = list(range(self.num_workers)) if workers is None else list(workers)
+        fns = {rank: (lambda r=rank: worker_fn(r)) for rank in ranks}
         timing = PhaseTiming(name=name)
+        start = time.perf_counter()
+        raw = self.executor.run_phase(fns)
+        timing.real_seconds = time.perf_counter() - start
         results: Dict[int, Any] = {}
-
-        def timed(rank: int) -> Any:
-            start = time.perf_counter()
-            try:
-                return worker_fn(rank)
-            finally:
-                timing.per_worker_seconds[rank] = time.perf_counter() - start
-
-        if self.parallel and len(ranks) > 1:
-            with ThreadPoolExecutor(max_workers=len(ranks)) as pool:
-                futures = {rank: pool.submit(timed, rank) for rank in ranks}
-                for rank, future in futures.items():
-                    results[rank] = future.result()
-        else:
-            for rank in ranks:
-                results[rank] = timed(rank)
-
-        self.stats.phases.append(timing)
+        for rank in ranks:
+            result, seconds = raw[rank]
+            results[rank] = result
+            timing.per_worker_seconds[rank] = seconds
+        (stats if stats is not None else self.stats).phases.append(timing)
         return results
+
+    def run_shard_phase(
+        self,
+        name: str,
+        task: str,
+        payloads: Dict[int, Any],
+        epoch: Optional[int] = None,
+        stats: Optional[ClusterStats] = None,
+    ) -> Dict[int, Any]:
+        """Run a registered shard task against the hydrated epoch shards.
+
+        ``payloads`` maps rank → task payload; only listed ranks execute.
+        Raises :class:`~repro.cluster.executors.StaleEpochError` when a
+        worker no longer holds ``epoch`` (callers re-read the current epoch
+        and retry).
+        """
+        timing = PhaseTiming(name=name)
+        start = time.perf_counter()
+        raw = self.executor.run_shard_phase(task, epoch, payloads)
+        timing.real_seconds = time.perf_counter() - start
+        results: Dict[int, Any] = {}
+        for rank, (result, seconds) in raw.items():
+            results[rank] = result
+            timing.per_worker_seconds[rank] = seconds
+        (stats if stats is not None else self.stats).phases.append(timing)
+        return results
+
+    def hydrate_shards(
+        self,
+        epoch: int,
+        blobs: Dict[int, Any],
+        loader: str,
+        retire_below: Optional[int] = None,
+    ) -> None:
+        """Install per-rank shard blobs for ``epoch`` on the workers."""
+        self.executor.hydrate_all(epoch, blobs, loader, retire_below=retire_below)
+
+    @property
+    def wants_sharded_queries(self) -> bool:
+        """True when queries should run through hydrated shard tasks."""
+        return self.executor.wants_sharded_queries
 
     def run_master(self, name: str, master_fn: Callable[[], Any]) -> Any:
         """Run a master-side computation as its own timed phase."""
@@ -122,7 +212,9 @@ class SimulatedCluster:
         try:
             return master_fn()
         finally:
-            timing.per_worker_seconds[self.MASTER_RANK] = time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            timing.per_worker_seconds[self.MASTER_RANK] = elapsed
+            timing.real_seconds = elapsed
             self.stats.phases.append(timing)
 
     # ------------------------------------------------------------------ #
@@ -145,8 +237,24 @@ class SimulatedCluster:
         self.stats = ClusterStats()
         self.network.reset_stats()
 
+    def absorb(self, stats: ClusterStats, network_stats: NetworkStats) -> None:
+        """Fold a private per-query stats record into the cumulative totals.
+
+        Queries execute against their own :class:`ClusterStats` and
+        :class:`~repro.cluster.network.Network` so concurrent queries never
+        interleave phase or message records; their exact counters are merged
+        back here (the network counters under the network's lock, the
+        timings as O(1) aggregates so the cumulative record never grows).
+        """
+        self.stats.absorb(stats)
+        self.network.absorb(network_stats)
+
     def snapshot(self) -> Dict[str, Any]:
         """Combined execution + communication statistics."""
         combined = self.stats.as_dict()
         combined.update(self.network.stats.as_dict())
         return combined
+
+    def close(self) -> None:
+        """Shut down the executor backend (worker processes, thread pools)."""
+        self.executor.close()

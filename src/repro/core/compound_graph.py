@@ -47,6 +47,21 @@ from repro.reachability.base import ReachabilityIndex
 from repro.reachability.factory import make_reachability_index
 
 
+@dataclass(frozen=True)
+class _CondensedView:
+    """One immutable (dag, component-map, strategy index) triple.
+
+    :class:`CondensedReachability` publishes a complete view through a single
+    attribute assignment so a :meth:`CondensedReachability.rebuild` racing a
+    concurrent reader can never expose a new DAG with an old component map —
+    readers grab the view once and work against that consistent triple.
+    """
+
+    dag: DiGraph
+    vertex_to_component: Dict[int, int]
+    index: ReachabilityIndex
+
+
 class CondensedReachability:
     """Set-reachability over the SCC-condensed view of a graph.
 
@@ -61,38 +76,50 @@ class CondensedReachability:
         self.rebuild()
 
     def rebuild(self) -> None:
-        self.dag, self.vertex_to_component = condense(self.graph)
+        dag, vertex_to_component = condense(self.graph)
         # Pre-warm the DAG's CSR snapshot: the traversal strategies would
         # otherwise build it lazily on the first query, charging one-off
         # construction cost to query latency instead of build time.  (The
         # label/closure indexes reach it anyway through their own internal
         # condensation, so this is never wasted work.)
-        self.dag.csr()
-        self._index: ReachabilityIndex = make_reachability_index(
-            self.strategy, self.dag, **self._kwargs
-        )
+        dag.csr()
+        index = make_reachability_index(self.strategy, dag, **self._kwargs)
+        # Single atomic publication of the complete rebuilt view.
+        self._view = _CondensedView(dag, vertex_to_component, index)
+
+    # Legacy attribute access (read-only snapshots of the current view).
+    @property
+    def dag(self) -> DiGraph:
+        return self._view.dag
+
+    @property
+    def vertex_to_component(self) -> Dict[int, int]:
+        return self._view.vertex_to_component
 
     # -- queries -------------------------------------------------------- #
     def reachable(self, source: int, target: int) -> bool:
-        if source not in self.vertex_to_component or target not in self.vertex_to_component:
+        view = self._view
+        if source not in view.vertex_to_component or target not in view.vertex_to_component:
             return False
-        return self._index.reachable(
-            self.vertex_to_component[source], self.vertex_to_component[target]
+        return view.index.reachable(
+            view.vertex_to_component[source], view.vertex_to_component[target]
         )
 
     def set_reachability(
         self, sources: Iterable[int], targets: Iterable[int]
     ) -> Dict[int, Set[int]]:
+        view = self._view
+        vertex_to_component = view.vertex_to_component
         sources = list(sources)
         targets = list(targets)
-        known_sources = [s for s in sources if s in self.vertex_to_component]
-        known_targets = [t for t in targets if t in self.vertex_to_component]
-        source_comps = {s: self.vertex_to_component[s] for s in known_sources}
+        known_sources = [s for s in sources if s in vertex_to_component]
+        known_targets = [t for t in targets if t in vertex_to_component]
+        source_comps = {s: vertex_to_component[s] for s in known_sources}
         target_comps: Dict[int, List[int]] = {}
         for target in known_targets:
-            target_comps.setdefault(self.vertex_to_component[target], []).append(target)
+            target_comps.setdefault(vertex_to_component[target], []).append(target)
 
-        comp_result = self._index.set_reachability(
+        comp_result = view.index.set_reachability(
             set(source_comps.values()), set(target_comps)
         )
         result: Dict[int, Set[int]] = {source: set() for source in sources}
@@ -107,11 +134,11 @@ class CondensedReachability:
     # -- stats ---------------------------------------------------------- #
     @property
     def dag_num_edges(self) -> int:
-        return self.dag.num_edges
+        return self._view.dag.num_edges
 
     @property
     def dag_num_vertices(self) -> int:
-        return self.dag.num_vertices
+        return self._view.dag.num_vertices
 
 
 @dataclass

@@ -121,6 +121,8 @@ class DSREngine:
                 else None
             ),
             enable_backward=config.enable_backward,
+            executor=config.executor,
+            epoch_flush=config.epoch_flush,
         )
         engine.config = config
         return engine
@@ -137,6 +139,8 @@ class DSREngine:
         partitioning: Optional[GraphPartitioning],
         local_index_options: Optional[dict],
         enable_backward: bool,
+        executor: str = "serial",
+        epoch_flush: str = "inline",
     ) -> None:
         self.graph = graph
         #: Registry name under which this engine satisfies the Backend protocol.
@@ -150,7 +154,18 @@ class DSREngine:
             self.partitioning = make_partitioning(
                 graph, num_partitions, strategy=partitioner, seed=seed
             )
-        self.cluster = SimulatedCluster(self.partitioning.num_partitions, parallel=parallel)
+        # The legacy parallel=True flag maps to the threads executor unless a
+        # specific executor was chosen explicitly.
+        effective_executor = (
+            executor if executor != "serial" else ("threads" if parallel else "serial")
+        )
+        #: How batched updates fold into the index ("inline" | "background").
+        self.epoch_flush = epoch_flush
+        self.cluster = SimulatedCluster(
+            self.partitioning.num_partitions,
+            parallel=parallel,
+            executor=effective_executor,
+        )
         self.index = DSRIndex(
             self.partitioning,
             use_equivalence=use_equivalence,
@@ -196,14 +211,17 @@ class DSREngine:
         # The mirror index runs on the *same* simulated cluster as the forward
         # index: the paper's deployment keeps both directions on one set of
         # slaves, and sharing the cluster means backward queries report their
-        # communication statistics through the same counters as forward ones
-        # (the executor resets those counters at the start of each query).
+        # communication statistics through the same counters as forward ones.
+        # Worker shards stay exclusive to the forward index (shards are keyed
+        # by (rank, epoch) on the workers), so backward queries evaluate on
+        # the in-process path.
         self._reverse_index = DSRIndex(
             reverse_partitioning,
             use_equivalence=self._use_equivalence,
             local_strategy=self._local_index,
             strategy_kwargs=self._local_index_options,
             cluster=self.cluster,
+            shard_hydration=False,
         )
         self._reverse_index.build()
         self._reverse_executor = DistributedQueryExecutor(self._reverse_index, self.cluster)
@@ -246,12 +264,20 @@ class DSREngine:
             result = QueryResult(pairs=set())
             self.last_query_result = result
             return result
-        # Any batched incremental updates must be folded into the index before
-        # answering, so query results always reflect every applied update.
-        if self._maintainer is not None and self._maintainer.has_pending_changes:
-            self._maintainer.flush()
-        if self._reverse_maintainer is not None and self._reverse_maintainer.has_pending_changes:
-            self._reverse_maintainer.flush()
+        # Inline epoch mode: batched incremental updates are folded into the
+        # index before answering, so query results always reflect every
+        # applied update (and the query waits on that maintenance).
+        # Background epoch mode: never flush on the query path — the query
+        # reads the currently published epoch (consistent, possibly one flush
+        # behind) while the maintenance thread builds the next one.
+        if self.epoch_flush == "inline":
+            if self._maintainer is not None and self._maintainer.has_pending_changes:
+                self._maintainer.flush()
+            if (
+                self._reverse_maintainer is not None
+                and self._reverse_maintainer.has_pending_changes
+            ):
+                self._reverse_maintainer.flush()
 
         use_backward = query.direction == "backward" or (
             query.direction == "auto"
@@ -319,11 +345,24 @@ class DSREngine:
     # ------------------------------------------------------------------ #
     # incremental updates
     # ------------------------------------------------------------------ #
+    def _schedule_maintenance(self) -> None:
+        """In background mode, kick the coalescing epoch-flush worker(s)."""
+        if self.epoch_flush != "background":
+            return
+        if self._maintainer is not None and self._maintainer.has_pending_changes:
+            self._maintainer.request_background_flush()
+        if (
+            self._reverse_maintainer is not None
+            and self._reverse_maintainer.has_pending_changes
+        ):
+            self._reverse_maintainer.request_background_flush()
+
     def insert_edge(self, u: int, v: int) -> UpdateResult:
         self._require_built()
         result = self._maintainer.insert_edge(u, v)
         if self._reverse_maintainer is not None:
             self._reverse_maintainer.insert_edge(v, u)
+        self._schedule_maintenance()
         return result
 
     def delete_edge(self, u: int, v: int) -> UpdateResult:
@@ -331,6 +370,7 @@ class DSREngine:
         result = self._maintainer.delete_edge(u, v)
         if self._reverse_maintainer is not None:
             self._reverse_maintainer.delete_edge(v, u)
+        self._schedule_maintenance()
         return result
 
     def insert_vertex(
@@ -342,27 +382,57 @@ class DSREngine:
             self._reverse_maintainer.insert_vertex(
                 new_vertex, self.partitioning.partition_of(new_vertex)
             )
+        # No-op unless the insert raced an in-flight flush and had to mark
+        # its partition dirty (see IncrementalMaintainer.insert_vertex).
+        self._schedule_maintenance()
         return new_vertex
 
     def delete_vertex(self, vertex: int) -> UpdateResult:
         self._require_built()
         if self._reverse_maintainer is not None:
             self._reverse_maintainer.delete_vertex(vertex)
-        return self._maintainer.delete_vertex(vertex)
+        result = self._maintainer.delete_vertex(vertex)
+        self._schedule_maintenance()
+        return result
 
     def flush_updates(self):
         """Fold any batched incremental updates into the index now.
 
-        Updates are otherwise folded in automatically before the next query;
-        calling this explicitly is useful when measuring maintenance cost
-        (Figure 6) or before serialising index statistics.
+        In ``epoch_flush="inline"`` mode updates are otherwise folded in
+        automatically before the next query; in ``"background"`` mode the
+        maintenance thread does it off the hot path.  Calling this explicitly
+        is useful when measuring maintenance cost (Figure 6) or before
+        serialising index statistics.  Synchronous: the new epoch is
+        published when it returns.
         """
         self._require_built()
-        return self._maintainer.flush()
+        result = self._maintainer.flush()
+        if self._reverse_maintainer is not None:
+            # Unconditional (not gated on has_pending_changes): an in-flight
+            # background reverse flush drains the dirty set before it
+            # publishes, and flush() on a clean maintainer still serialises
+            # on its flush lock — so when this returns, no reverse epoch
+            # publication can be pending either.
+            self._reverse_maintainer.flush()
+        return result
+
+    def wait_for_maintenance(self, timeout: Optional[float] = None) -> bool:
+        """Block until no background epoch flush is pending (False on timeout)."""
+        done = True
+        if self._maintainer is not None:
+            done = self._maintainer.wait_for_flushes(timeout) and done
+        if self._reverse_maintainer is not None:
+            done = self._reverse_maintainer.wait_for_flushes(timeout) and done
+        return done
 
     @property
     def has_pending_updates(self) -> bool:
         return self._maintainer is not None and self._maintainer.has_pending_changes
+
+    @property
+    def epoch(self) -> int:
+        """The currently published index epoch (-1 before build)."""
+        return self.index.epoch
 
     @property
     def maintainer(self) -> Optional[IncrementalMaintainer]:
@@ -373,6 +443,27 @@ class DSREngine:
         :meth:`IncrementalMaintainer.add_update_listener`.
         """
         return self._maintainer
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release executor resources (worker processes, thread pools).
+
+        Safe to call more than once; the engine must not be queried after.
+        The reverse index shares the forward cluster, so one close suffices.
+        """
+        if self._maintainer is not None:
+            self._maintainer.wait_for_flushes(timeout=5.0)
+        if self._reverse_maintainer is not None:
+            self._reverse_maintainer.wait_for_flushes(timeout=5.0)
+        self.cluster.close()
+
+    def __enter__(self) -> "DSREngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -1,4 +1,4 @@
-"""The distributed DSR index (Section 3.3.1).
+"""The distributed DSR index (Section 3.3.1), epoch-versioned.
 
 :class:`DSRIndex` orchestrates the index build over a simulated cluster:
 
@@ -10,15 +10,28 @@
    the remote summaries and the static cut, condenses it and builds the chosen
    local reachability strategy over the condensation.
 
+Epoch versioning
+----------------
+The built structures — local graphs, summaries, compound graphs — are grouped
+into one immutable-by-contract :class:`EpochState` and published through a
+single attribute swap.  Queries capture :meth:`DSRIndex.current_state` once at
+entry and evaluate everything against that state, so a maintenance flush that
+is busy building epoch ``N+1`` (see :mod:`repro.core.updates`) never exposes a
+half-merged view: readers see epoch ``N`` until the one-pointer swap, then
+``N+1``.  When the cluster runs on a sharded executor (``processes``), the
+worker processes are hydrated with the new epoch's CSR shards *before* the
+swap, keyed by epoch, and keep the previous epoch alive for in-flight queries.
+
 The index also exposes the size statistics reported in Tables 2 and 4.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
 
-from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.cluster import ClusterStats, SimulatedCluster
 from repro.core.boundary_graph import BoundaryGraphStats, boundary_graph_stats
 from repro.core.compound_graph import CompoundGraph, build_compound_graph
 from repro.core.equivalence import ClassIdAllocator
@@ -61,6 +74,31 @@ class IndexBuildReport:
         }
 
 
+@dataclass
+class EpochState:
+    """One consistent, published version of every per-partition structure.
+
+    A state is immutable by contract once published: maintenance builds a
+    *new* state and swaps it in, it never edits a published one (the single
+    sanctioned exception is the provably answer-preserving in-place edits for
+    non-structural updates, e.g. an edge insert inside an existing SCC).
+    """
+
+    epoch: int
+    local_graphs: Dict[int, DiGraph]
+    summaries: Dict[int, PartitionSummary]
+    compound_graphs: Dict[int, CompoundGraph]
+    #: Per-partition boundary vertices (``I_i ∪ O_i``) as of this epoch, so
+    #: query-time boundary/interior classification reads the same version as
+    #: the compound graphs instead of the live (possibly newer) cut.
+    boundary_sets: Dict[int, Set[int]] = field(default_factory=dict)
+    #: Vertex → partition assignment as of this epoch.  Queries split and
+    #: route against this snapshot, so a racing vertex deletion on the live
+    #: partitioning can never crash or tear a lock-free read (the one
+    #: sanctioned in-place edit: an isolated-vertex insert registers here).
+    assignment: Dict[int, int] = field(default_factory=dict)
+
+
 class DSRIndex:
     """Precomputed index structures for distributed set reachability."""
 
@@ -72,6 +110,7 @@ class DSRIndex:
         summary_strategy: str = "msbfs",
         strategy_kwargs: Optional[dict] = None,
         cluster: Optional[SimulatedCluster] = None,
+        shard_hydration: bool = True,
     ) -> None:
         self.partitioning = partitioning
         self.use_equivalence = use_equivalence
@@ -79,16 +118,20 @@ class DSRIndex:
         self.summary_strategy = summary_strategy
         self.strategy_kwargs = strategy_kwargs or {}
         self.cluster = cluster or SimulatedCluster(partitioning.num_partitions)
+        #: Whether this index ships worker shards to a sharded executor.
+        #: Exactly one index per cluster may hydrate (shards are keyed by
+        #: (rank, epoch) on the workers): an engine's optional reverse index
+        #: shares the forward cluster and must opt out, so its queries run on
+        #: the always-available in-process path instead.
+        self.shard_hydration = shard_hydration
 
-        self.local_graphs: Dict[int, DiGraph] = {}
-        self.summaries: Dict[int, PartitionSummary] = {}
-        self.compound_graphs: Dict[int, CompoundGraph] = {}
         self.allocator: Optional[ClassIdAllocator] = None
         self.build_report: Optional[IndexBuildReport] = None
-        self._built = False
+        self._state: Optional[EpochState] = None
+        self._publish_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
-    # construction
+    # epoch state access
     # ------------------------------------------------------------------ #
     @property
     def num_partitions(self) -> int:
@@ -96,18 +139,49 @@ class DSRIndex:
 
     @property
     def is_built(self) -> bool:
-        return self._built
+        return self._state is not None
 
+    @property
+    def epoch(self) -> int:
+        """The currently published epoch (-1 before the first build)."""
+        state = self._state
+        return state.epoch if state is not None else -1
+
+    def current_state(self) -> EpochState:
+        """The published epoch state (capture once per query)."""
+        state = self._state
+        if state is None:
+            raise RuntimeError("index not built")
+        return state
+
+    # Legacy dict attributes now delegate to the published epoch state so
+    # existing read paths (and the sanctioned in-place non-structural edits)
+    # keep working unchanged.
+    @property
+    def local_graphs(self) -> Dict[int, DiGraph]:
+        return self.current_state().local_graphs
+
+    @property
+    def summaries(self) -> Dict[int, PartitionSummary]:
+        return self.current_state().summaries
+
+    @property
+    def compound_graphs(self) -> Dict[int, CompoundGraph]:
+        return self.current_state().compound_graphs
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
     def _first_virtual_id(self) -> int:
         graph = self.partitioning.graph
         highest = max(graph.vertices(), default=-1)
         return highest + 1
 
     def build(self) -> IndexBuildReport:
-        """Run the three-phase distributed index build."""
+        """Run the three-phase distributed index build (publishes epoch 0)."""
         self.cluster.reset_stats()
         self.allocator = ClassIdAllocator(self._first_virtual_id())
-        self.local_graphs = {
+        local_graphs = {
             pid: self.partitioning.local_subgraph(pid)
             for pid in range(self.num_partitions)
         }
@@ -116,7 +190,7 @@ class DSRIndex:
         def summarise(rank: int) -> PartitionSummary:
             return build_partition_summary(
                 partition_id=rank,
-                local_graph=self.local_graphs[rank],
+                local_graph=local_graphs[rank],
                 in_boundaries=self.partitioning.in_boundaries(rank),
                 out_boundaries=self.partitioning.out_boundaries(rank),
                 allocator=self.allocator,
@@ -124,22 +198,10 @@ class DSRIndex:
                 local_index_name=self.summary_strategy,
             )
 
-        self.summaries = self.cluster.run_phase("summarise", summarise)
+        summaries = self.cluster.run_phase("summarise", summarise)
 
         # Phase 2: broadcast summaries (all-to-all exchange).
-        summary_bytes = 0
-        for source_rank, summary in self.summaries.items():
-            for dest_rank in range(self.num_partitions):
-                if dest_rank == source_rank:
-                    continue
-                message = self.cluster.network.send(
-                    source_rank, dest_rank, summary, tag="summary"
-                )
-                summary_bytes += message.size_bytes
-        self.cluster.complete_round()
-        # Drain the inboxes (every slave now has every summary).
-        for rank in range(self.num_partitions):
-            self.cluster.deliver(rank)
+        summary_bytes = self._broadcast(summaries, tag="summary")
 
         # Phase 3: every slave assembles and condenses its compound graph.
         cut_edges = self.partitioning.cut_edges()
@@ -147,35 +209,234 @@ class DSRIndex:
         def assemble(rank: int) -> CompoundGraph:
             return build_compound_graph(
                 partition_id=rank,
-                local_graph=self.local_graphs[rank],
-                summaries=self.summaries,
+                local_graph=local_graphs[rank],
+                summaries=summaries,
                 cut_edges=cut_edges,
                 local_strategy=self.local_strategy,
                 strategy_kwargs=self.strategy_kwargs,
             )
 
-        self.compound_graphs = self.cluster.run_phase("assemble", assemble)
-        self._built = True
+        compound_graphs = self.cluster.run_phase("assemble", assemble)
+        self.publish(
+            EpochState(
+                epoch=0,
+                local_graphs=local_graphs,
+                summaries=summaries,
+                compound_graphs=compound_graphs,
+                boundary_sets={
+                    pid: self.partitioning.in_boundaries(pid)
+                    | self.partitioning.out_boundaries(pid)
+                    for pid in range(self.num_partitions)
+                },
+                assignment=dict(self.partitioning.assignment),
+            )
+        )
 
         self.build_report = IndexBuildReport(
             build_seconds=self.cluster.stats.total_seconds,
             parallel_build_seconds=self.cluster.stats.parallel_seconds,
             summary_bytes=summary_bytes,
             per_partition_original_edges={
-                pid: cg.original_num_edges() for pid, cg in self.compound_graphs.items()
+                pid: cg.original_num_edges() for pid, cg in compound_graphs.items()
             },
             per_partition_dag_edges={
-                pid: cg.dag_num_edges() for pid, cg in self.compound_graphs.items()
+                pid: cg.dag_num_edges() for pid, cg in compound_graphs.items()
             },
             per_partition_bytes={
-                pid: cg.estimated_bytes() for pid, cg in self.compound_graphs.items()
+                pid: cg.estimated_bytes() for pid, cg in compound_graphs.items()
             },
         )
         return self.build_report
 
+    def _broadcast(
+        self, summaries: Dict[int, PartitionSummary], tag: str, only: Optional[Iterable[int]] = None
+    ) -> int:
+        """All-to-all summary exchange with byte accounting (one round)."""
+        summary_bytes = 0
+        source_ranks = sorted(summaries) if only is None else sorted(only)
+        for source_rank in source_ranks:
+            for dest_rank in range(self.num_partitions):
+                if dest_rank == source_rank:
+                    continue
+                message = self.cluster.network.send(
+                    source_rank, dest_rank, summaries[source_rank], tag=tag
+                )
+                summary_bytes += message.size_bytes
+        self.cluster.complete_round()
+        # Drain the inboxes (every slave now has every refreshed summary).
+        for rank in range(self.num_partitions):
+            self.cluster.deliver(rank)
+        return summary_bytes
+
+    # ------------------------------------------------------------------ #
+    # epoch construction and publication
+    # ------------------------------------------------------------------ #
+    def build_epoch_state(
+        self,
+        dirty: Set[int],
+        mutation_lock: Optional[threading.RLock] = None,
+    ) -> EpochState:
+        """Build the next epoch's state off the hot path (no publication).
+
+        The *snapshot* part — re-deriving the cut, boundaries and a private
+        copy of every partition's local subgraph from the live data graph —
+        runs under ``mutation_lock`` (the maintainer's update lock) so it can
+        never race a concurrent graph mutation; the *heavy* part (summaries,
+        compound graphs, condensations) runs unlocked, which is what lets
+        queries keep being answered from the current epoch while this builds.
+
+        Known tradeoff: the snapshot copies *all* partitions' graphs, not
+        just the dirty ones, so updates stall for an O(V+E) copy per flush.
+        Sharing clean partitions with the published state is not an option —
+        a sanctioned in-place edit (same-SCC edge insert) could mutate a
+        shared graph while the unlocked heavy phase iterates it.  The copy
+        is a small fraction of the heavy phase it feeds, and queries are
+        never stalled either way.
+        """
+        current = self.current_state()
+        dirty = set(dirty)
+        lock = mutation_lock if mutation_lock is not None else threading.RLock()
+        with lock:
+            # Snapshot phase: recompute the cut from the mutated graph, then
+            # freeze everything the heavy phase will read.
+            self.partitioning._cut_edges = [
+                (u, v)
+                for u, v in self.partitioning.graph.edges()
+                if self.partitioning.assignment[u] != self.partitioning.assignment[v]
+            ]
+            cut_edges = self.partitioning.cut_edges()
+            # Every partition's local graph is copied under the lock — clean
+            # ones included.  Sharing a clean partition's DiGraph with the
+            # published state would let a concurrent in-place edge edit
+            # mutate it while the unlocked heavy phase below iterates it.
+            local_graphs = {
+                pid: (
+                    self.partitioning.local_subgraph(pid)
+                    if pid in dirty
+                    else current.local_graphs[pid].copy()
+                )
+                for pid in range(self.num_partitions)
+            }
+            assignment = dict(self.partitioning.assignment)
+            boundary_sets = dict(current.boundary_sets)
+            boundaries: Dict[int, Tuple[Set[int], Set[int]]] = {}
+            for pid in dirty:
+                boundaries[pid] = (
+                    self.partitioning.in_boundaries(pid),
+                    self.partitioning.out_boundaries(pid),
+                )
+                boundary_sets[pid] = boundaries[pid][0] | boundaries[pid][1]
+
+        # Heavy phase (no locks held): summarise dirty partitions...
+        # Timings go to a private record folded into the cumulative totals
+        # as O(1) aggregates (same as queries): a long-lived service under a
+        # steady update stream must not grow the phase list per flush.
+        flush_stats = ClusterStats()
+        summaries = dict(current.summaries)
+
+        def summarise(rank: int) -> PartitionSummary:
+            return build_partition_summary(
+                partition_id=rank,
+                local_graph=local_graphs[rank],
+                in_boundaries=boundaries[rank][0],
+                out_boundaries=boundaries[rank][1],
+                allocator=self.allocator,
+                use_equivalence=self.use_equivalence,
+                local_index_name=self.summary_strategy,
+            )
+
+        if dirty:
+            refreshed = self.cluster.run_phase(
+                "summarise-epoch", summarise, workers=sorted(dirty), stats=flush_stats
+            )
+            summaries.update(refreshed)
+            self._broadcast(summaries, tag="summary-update", only=sorted(dirty))
+
+        # ... then reassemble every compound graph against the new summaries.
+        def assemble(rank: int) -> CompoundGraph:
+            return build_compound_graph(
+                partition_id=rank,
+                local_graph=local_graphs[rank],
+                summaries=summaries,
+                cut_edges=cut_edges,
+                local_strategy=self.local_strategy,
+                strategy_kwargs=self.strategy_kwargs,
+            )
+
+        compound_graphs = self.cluster.run_phase(
+            "assemble-epoch", assemble, stats=flush_stats
+        )
+        self.cluster.stats.absorb(flush_stats)
+        return EpochState(
+            epoch=current.epoch + 1,
+            local_graphs=local_graphs,
+            summaries=summaries,
+            compound_graphs=compound_graphs,
+            boundary_sets=boundary_sets,
+            assignment=assignment,
+        )
+
+    def publish(self, state: EpochState) -> None:
+        """Atomically swap ``state`` in as the current epoch.
+
+        Sharded executors are hydrated with the new epoch's worker shards
+        *before* the swap: a query that captured the previous epoch keeps
+        its shards (workers retain two epochs), a query arriving after the
+        swap finds the new epoch already worker-resident.
+        """
+        with self._publish_lock:
+            self._hydrate_shards(state)
+            self._state = state
+
+    @property
+    def uses_sharded_queries(self) -> bool:
+        """True when queries against this index run through worker shards."""
+        return self.shard_hydration and self.cluster.wants_sharded_queries
+
+    def _hydrate_shards(self, state: EpochState) -> None:
+        if not self.uses_sharded_queries:
+            return
+        from repro.core.shard_exec import DSR_SHARD_LOADER, build_shard_blob
+
+        blobs = {
+            rank: build_shard_blob(
+                rank, state.epoch, state.compound_graphs[rank], state.summaries[rank]
+            )
+            for rank in range(self.num_partitions)
+        }
+        self.cluster.hydrate_shards(
+            state.epoch,
+            blobs,
+            DSR_SHARD_LOADER,
+            retire_below=max(0, state.epoch - 1),
+        )
+
+    def rehydrate_partition(self, partition_id: int) -> None:
+        """Refresh one rank's worker shard for the *current* epoch.
+
+        Used after the sanctioned in-place non-structural edits (e.g. an
+        isolated-vertex insert) so sharded workers learn the new vertex
+        without waiting for a full epoch flush.
+        """
+        if not self.uses_sharded_queries or not self.is_built:
+            return
+        from repro.core.shard_exec import DSR_SHARD_LOADER, build_shard_blob
+
+        state = self.current_state()
+        blob = build_shard_blob(
+            partition_id,
+            state.epoch,
+            state.compound_graphs[partition_id],
+            state.summaries[partition_id],
+        )
+        self.cluster.hydrate_shards(state.epoch, {partition_id: blob}, DSR_SHARD_LOADER)
+
+    # ------------------------------------------------------------------ #
+    # legacy eager-maintenance entry points (now epoch-publishing)
+    # ------------------------------------------------------------------ #
     def rebuild_summary(self, partition_id: int) -> PartitionSummary:
         """Recompute one partition's summary from its current local subgraph."""
-        if not self._built:
+        if not self.is_built:
             raise RuntimeError("index must be built before incremental updates")
         return build_partition_summary(
             partition_id=partition_id,
@@ -189,47 +450,21 @@ class DSRIndex:
 
     def broadcast_summaries(self, partition_ids) -> None:
         """Re-broadcast refreshed summaries to every other slave (one round)."""
-        for partition_id in partition_ids:
-            for dest_rank in range(self.num_partitions):
-                if dest_rank != partition_id:
-                    self.cluster.network.send(
-                        partition_id,
-                        dest_rank,
-                        self.summaries[partition_id],
-                        tag="summary-update",
-                    )
-        self.cluster.complete_round()
-        for rank in range(self.num_partitions):
-            self.cluster.deliver(rank)
+        self._broadcast(self.summaries, tag="summary-update", only=partition_ids)
 
     def rebuild_partition(self, partition_id: int) -> None:
         """Recompute one partition's summary and refresh every compound graph.
 
         This is the eager form of incremental maintenance
-        (:mod:`repro.core.updates` batches it): only the affected partition
-        recomputes its boundary reachability; the other partitions merely
-        re-merge the new summary into their compound graphs.
+        (:mod:`repro.core.updates` batches it): built as a full next-epoch
+        state and atomically published, so concurrent readers never observe
+        the intermediate steps.
         """
-        self.local_graphs[partition_id] = self.partitioning.local_subgraph(partition_id)
-        self.summaries[partition_id] = self.rebuild_summary(partition_id)
-        self.broadcast_summaries([partition_id])
-        self.refresh_compound_graphs()
+        self.publish(self.build_epoch_state({partition_id}))
 
     def refresh_compound_graphs(self) -> None:
         """Re-assemble every compound graph from the current summaries."""
-        cut_edges = self.partitioning.cut_edges()
-
-        def assemble(rank: int) -> CompoundGraph:
-            return build_compound_graph(
-                partition_id=rank,
-                local_graph=self.local_graphs[rank],
-                summaries=self.summaries,
-                cut_edges=cut_edges,
-                local_strategy=self.local_strategy,
-                strategy_kwargs=self.strategy_kwargs,
-            )
-
-        self.compound_graphs = self.cluster.run_phase("reassemble", assemble)
+        self.publish(self.build_epoch_state(set()))
 
     # ------------------------------------------------------------------ #
     # statistics
@@ -241,9 +476,14 @@ class DSRIndex:
         )
 
     def total_boundary_entries(self) -> Tuple[int, int]:
-        """Total forward/backward entry handles across all partitions."""
-        forward = sum(len(s.forward_handles()) for s in self.summaries.values())
-        backward = sum(len(s.backward_handles()) for s in self.summaries.values())
+        """Total forward/backward entry handles across all partitions.
+
+        Reads one consistent epoch state (a single capture), so the numbers
+        are never mixed across a concurrent epoch swap.
+        """
+        summaries = self.current_state().summaries
+        forward = sum(len(s.forward_handles()) for s in summaries.values())
+        backward = sum(len(s.backward_handles()) for s in summaries.values())
         return forward, backward
 
     def index_sizes(self) -> Dict[str, object]:

@@ -24,6 +24,24 @@ The executor follows the paper's three-step protocol:
   targets, emitting ``(s, t)`` pairs.
 
 Single-pair queries (Algorithm 1) are the special case ``|S| = |T| = 1``.
+
+Concurrency and epochs
+----------------------
+A query captures the index's published :class:`~repro.core.index.EpochState`
+**once** at entry and evaluates all three steps against it, so a maintenance
+flush that swaps in epoch ``N+1`` mid-query cannot tear the answer: every
+query is consistent with exactly one epoch (reported as
+:attr:`QueryResult.epoch`).  Each query also runs over its own private
+:class:`~repro.cluster.network.Network` and timing record — concurrent
+queries never interleave inboxes or phase timings — and folds its exact
+counters into the cluster's cumulative statistics when done.
+
+On a sharded executor (``executor="processes"``) the two local steps run as
+registered shard tasks inside the worker processes that were hydrated with
+this epoch's CSR shards; if a worker already retired the captured epoch (the
+query raced two consecutive flushes), the query transparently re-captures the
+newest epoch and retries, falling back to the in-process path as a last
+resort.
 """
 
 from __future__ import annotations
@@ -32,8 +50,13 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.cluster.cluster import SimulatedCluster
-from repro.core.index import DSRIndex
+from repro.cluster.cluster import ClusterStats, SimulatedCluster
+from repro.cluster.executors import StaleEpochError
+from repro.cluster.network import Network
+from repro.core.index import DSRIndex, EpochState
+
+#: How many times a sharded query re-captures the epoch before falling back.
+_MAX_STALE_RETRIES = 2
 
 
 @dataclass
@@ -47,6 +70,10 @@ class QueryResult:
     bytes_sent: int = 0
     rounds: int = 0
     per_phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Real elapsed wall-clock of the distributed phases (dispatch included).
+    real_seconds: float = 0.0
+    #: The index epoch this answer is consistent with (-1 when not applicable).
+    epoch: int = -1
 
     @property
     def num_pairs(self) -> int:
@@ -70,9 +97,11 @@ class QueryResult:
             "num_pairs": self.num_pairs,
             "parallel_seconds": self.parallel_seconds,
             "total_seconds": self.total_seconds,
+            "real_seconds": self.real_seconds,
             "messages_sent": self.messages_sent,
             "bytes_sent": self.bytes_sent,
             "rounds": self.rounds,
+            "epoch": self.epoch,
         }
 
 
@@ -93,68 +122,44 @@ class DistributedQueryExecutor:
         source_set = set(sources)
         target_set = set(targets)
         self._validate(source_set | target_set)
-        self.cluster.reset_stats()
 
-        partitioning = self.index.partitioning
-        per_partition = partitioning.split_query(source_set, target_set)
-        sources_of = {pid: subquery[0] for pid, subquery in per_partition.items()}
-        targets_of = {pid: subquery[1] for pid, subquery in per_partition.items()}
+        use_shards = self.index.uses_sharded_queries
+        attempts = _MAX_STALE_RETRIES if use_shards else 0
+        while True:
+            # Capture one consistent epoch; everything below reads only it.
+            state = self.index.current_state()
+            net = Network()
+            stats = ClusterStats()
+            try:
+                pairs = self._execute(
+                    state, source_set, target_set, net, stats, sharded=use_shards
+                )
+                break
+            except StaleEpochError:
+                # The captured epoch was retired under this query (it raced
+                # two consecutive flushes).  Re-capture and retry; after the
+                # retry budget, run in-process against the parent's state,
+                # which is always available.
+                if attempts <= 0:
+                    use_shards = False
+                    continue
+                attempts -= 1
 
-        # With the equivalence optimisation, targets that are boundary vertices
-        # of their home partition are real vertices of every compound graph and
-        # are resolved directly at the source's slave; only interior targets
-        # need the handle exchange.  Without the optimisation the messages
-        # carry real boundary members, so every remote target is resolved at
-        # its home slave (the paper's original Algorithm 2).
-        boundary_targets_of: Dict[int, Set[int]] = {}
-        interior_targets_of: Dict[int, Set[int]] = {}
-        for pid, partition_targets in targets_of.items():
-            if self.index.use_equivalence:
-                boundary = partitioning.in_boundaries(pid) | partitioning.out_boundaries(pid)
-                boundary_targets_of[pid] = partition_targets & boundary
-                interior_targets_of[pid] = partition_targets - boundary
-            else:
-                boundary_targets_of[pid] = set()
-                interior_targets_of[pid] = set(partition_targets)
-
-        pairs: Set[Tuple[int, int]] = set()
-
-        # ----- Step 1: local evaluation at every slave --------------------- #
-        def step1(rank: int):
-            return self._local_step(
-                rank,
-                sources_of.get(rank, set()),
-                targets_of.get(rank, set()),
-                boundary_targets_of,
-                interior_targets_of,
-            )
-
-        step1_results = self.cluster.run_phase("local", step1)
-        for rank, (local_pairs, outgoing) in step1_results.items():
-            pairs |= local_pairs
-            for destination, payload in outgoing.items():
-                self.cluster.send(rank, destination, payload, tag="handles")
-
-        # ----- Step 2: the single round of message exchange ---------------- #
-        self.cluster.complete_round()
-
-        # ----- Step 3: resolve received handles at the target slaves ------- #
-        def step3(rank: int):
-            return self._remote_step(rank, interior_targets_of.get(rank, set()))
-
-        step3_results = self.cluster.run_phase("remote", step3)
-        for remote_pairs in step3_results.values():
-            pairs |= remote_pairs
-
-        snapshot = self.cluster.snapshot()
+        # Fold the exact per-query counters into the cluster totals.
+        self.cluster.absorb(stats, net.stats)
+        snapshot = net.stats
         return QueryResult(
             pairs=pairs,
-            parallel_seconds=snapshot["parallel_seconds"],
-            total_seconds=snapshot["total_seconds"],
-            messages_sent=snapshot["messages_sent"],
-            bytes_sent=snapshot["bytes_sent"],
-            rounds=snapshot["rounds"],
-            per_phase_seconds=snapshot["phases"],
+            parallel_seconds=stats.parallel_seconds,
+            total_seconds=stats.total_seconds,
+            real_seconds=stats.real_seconds,
+            messages_sent=snapshot.messages_sent,
+            bytes_sent=snapshot.bytes_sent,
+            rounds=snapshot.rounds,
+            per_phase_seconds={
+                phase.name: round(phase.parallel_seconds, 6) for phase in stats.phases
+            },
+            epoch=state.epoch,
         )
 
     def reachable(self, source: int, target: int) -> bool:
@@ -163,10 +168,161 @@ class DistributedQueryExecutor:
         return (source, target) in result.pairs
 
     # ------------------------------------------------------------------ #
-    # per-slave steps
+    # the three-step protocol over one captured epoch
+    # ------------------------------------------------------------------ #
+    def _split(
+        self, state: EpochState, source_set: Set[int], target_set: Set[int]
+    ) -> Tuple[Dict[int, Set[int]], Dict[int, Set[int]], Dict[int, Set[int]], Dict[int, Set[int]]]:
+        """Partition the query and classify targets as boundary/interior.
+
+        Routing reads the captured epoch's ``assignment`` snapshot, never the
+        live partitioning: a vertex deletion racing a lock-free query cannot
+        crash the split — the query keeps answering from its epoch, where
+        the vertex still exists.  Vertices unknown to the epoch (not yet
+        indexed) contribute no pairs, matching the worker shards.
+        """
+        assignment = state.assignment
+        sources_of: Dict[int, Set[int]] = {}
+        targets_of: Dict[int, Set[int]] = {}
+        for source in source_set:
+            pid = assignment.get(source)
+            if pid is not None:
+                sources_of.setdefault(pid, set()).add(source)
+        for target in target_set:
+            pid = assignment.get(target)
+            if pid is not None:
+                targets_of.setdefault(pid, set()).add(target)
+        for pid in set(sources_of) | set(targets_of):
+            sources_of.setdefault(pid, set())
+            targets_of.setdefault(pid, set())
+
+        # With the equivalence optimisation, targets that are boundary vertices
+        # of their home partition are real vertices of every compound graph and
+        # are resolved directly at the source's slave; only interior targets
+        # need the handle exchange.  Without the optimisation the messages
+        # carry real boundary members, so every remote target is resolved at
+        # its home slave (the paper's original Algorithm 2).  Boundary sets
+        # are read from the captured epoch, not the live cut.
+        boundary_targets_of: Dict[int, Set[int]] = {}
+        interior_targets_of: Dict[int, Set[int]] = {}
+        for pid, partition_targets in targets_of.items():
+            if self.index.use_equivalence:
+                boundary = state.boundary_sets.get(pid, set())
+                boundary_targets_of[pid] = partition_targets & boundary
+                interior_targets_of[pid] = partition_targets - boundary
+            else:
+                boundary_targets_of[pid] = set()
+                interior_targets_of[pid] = set(partition_targets)
+        return sources_of, targets_of, boundary_targets_of, interior_targets_of
+
+    def _execute(
+        self,
+        state: EpochState,
+        source_set: Set[int],
+        target_set: Set[int],
+        net: Network,
+        stats: ClusterStats,
+        sharded: bool,
+    ) -> Set[Tuple[int, int]]:
+        sources_of, targets_of, boundary_targets_of, interior_targets_of = self._split(
+            state, source_set, target_set
+        )
+        pairs: Set[Tuple[int, int]] = set()
+
+        # ----- Step 1: local evaluation at every slave --------------------- #
+        if sharded:
+            payloads: Dict[int, Dict[str, object]] = {}
+            for rank, local_sources in sources_of.items():
+                if not local_sources:
+                    continue
+                remote_boundary: Set[int] = set()
+                for pid, boundary_targets in boundary_targets_of.items():
+                    if pid != rank:
+                        remote_boundary |= boundary_targets
+                payloads[rank] = {
+                    "sources": sorted(local_sources),
+                    "targets": sorted(targets_of.get(rank, set()) | remote_boundary),
+                    "interior_pids": sorted(
+                        pid
+                        for pid, interior in interior_targets_of.items()
+                        if pid != rank and interior
+                    ),
+                }
+            step1_results = (
+                self.cluster.run_shard_phase(
+                    "local", "dsr.local_step", payloads, epoch=state.epoch, stats=stats
+                )
+                if payloads
+                else {}
+            )
+        else:
+            def step1(rank: int):
+                return self._local_step(
+                    state,
+                    rank,
+                    sources_of.get(rank, set()),
+                    targets_of.get(rank, set()),
+                    boundary_targets_of,
+                    interior_targets_of,
+                )
+
+            step1_results = self.cluster.run_phase("local", step1, stats=stats)
+
+        for rank, (local_pairs, outgoing) in step1_results.items():
+            pairs |= local_pairs
+            for destination, payload in outgoing.items():
+                net.send(rank, destination, payload, tag="handles")
+
+        # ----- Step 2: the single round of message exchange ---------------- #
+        net.complete_round()
+
+        # ----- Step 3: resolve received handles at the target slaves ------- #
+        if sharded:
+            payloads3: Dict[int, Dict[str, object]] = {}
+            for rank in range(self.index.num_partitions):
+                interior = interior_targets_of.get(rank, set())
+                messages = net.deliver(rank)
+                if not interior or not messages:
+                    continue
+                sources_by_handle = self._invert_messages(messages)
+                if sources_by_handle:
+                    payloads3[rank] = {
+                        "sources_by_handle": {
+                            handle: sorted(handle_sources)
+                            for handle, handle_sources in sources_by_handle.items()
+                        },
+                        "interior_targets": sorted(interior),
+                    }
+            step3_results = (
+                self.cluster.run_shard_phase(
+                    "remote", "dsr.remote_step", payloads3, epoch=state.epoch, stats=stats
+                )
+                if payloads3
+                else {}
+            )
+            for remote_pairs in step3_results.values():
+                pairs |= remote_pairs
+        else:
+            def step3(rank: int):
+                return self._remote_step(
+                    state, rank, interior_targets_of.get(rank, set()), net
+                )
+
+            step3_results = self.cluster.run_phase("remote", step3, stats=stats)
+            for remote_pairs in step3_results.values():
+                pairs |= remote_pairs
+        return pairs
+
+    # ------------------------------------------------------------------ #
+    # per-slave steps (in-process path)
+    #
+    # Kept in deliberate lockstep with the worker-side shard tasks in
+    # repro.core.shard_exec (local_step / remote_step) — change the pair
+    # logic in both places; TestExecutorParity is the tripwire.
     # ------------------------------------------------------------------ #
     def _local_step(
         self,
+        state: EpochState,
         rank: int,
         local_sources: Set[int],
         local_targets: Set[int],
@@ -182,7 +338,7 @@ class DistributedQueryExecutor:
         outgoing: Dict[int, Dict[int, List[int]]] = {}
         if not local_sources:
             return pairs, outgoing
-        compound = self.index.compound_graphs[rank]
+        compound = state.compound_graphs[rank]
 
         # Remote boundary targets are resolvable locally; remote interior
         # targets need handles shipped to their home slave.
@@ -217,24 +373,31 @@ class DistributedQueryExecutor:
                     outgoing.setdefault(pid, {})[source] = hit
         return pairs, outgoing
 
-    def _remote_step(
-        self, rank: int, interior_targets: Set[int]
-    ) -> Set[Tuple[int, int]]:
-        """Step 3 at slave ``rank``: expand received handles, finish locally."""
-        messages = self.cluster.deliver(rank)
-        pairs: Set[Tuple[int, int]] = set()
-        if not interior_targets or not messages:
-            return pairs
-        compound = self.index.compound_graphs[rank]
-        summary = self.index.summaries[rank]
+    @staticmethod
+    def _invert_messages(messages) -> Dict[int, Set[int]]:
+        """Invert ``{source: [handles]}`` payloads into handle → sources.
 
-        # Invert the received payloads into handle -> set of remote sources
-        # (the inverted index I_i(Υ, L) of Algorithm 2, Step 2).
+        This is the inverted index ``I_i(Υ, L)`` of Algorithm 2, Step 2.
+        """
         sources_by_handle: Dict[int, Set[int]] = {}
         for message in messages:
             for source, handles in message.payload.items():
                 for handle in handles:
                     sources_by_handle.setdefault(handle, set()).add(source)
+        return sources_by_handle
+
+    def _remote_step(
+        self, state: EpochState, rank: int, interior_targets: Set[int], net: Network
+    ) -> Set[Tuple[int, int]]:
+        """Step 3 at slave ``rank``: expand received handles, finish locally."""
+        messages = net.deliver(rank)
+        pairs: Set[Tuple[int, int]] = set()
+        if not interior_targets or not messages:
+            return pairs
+        compound = state.compound_graphs[rank]
+        summary = state.summaries[rank]
+
+        sources_by_handle = self._invert_messages(messages)
         if not sources_by_handle:
             return pairs
 
@@ -245,11 +408,11 @@ class DistributedQueryExecutor:
         all_members = {member for members in members_by_handle.values() for member in members}
         reach = compound.local_set_reachability(all_members, interior_targets)
 
-        for handle, sources in sources_by_handle.items():
+        for handle, handle_sources in sources_by_handle.items():
             reached: Set[int] = set()
             for member in members_by_handle[handle]:
                 reached |= reach.get(member, set())
-            for source in sources:
+            for source in handle_sources:
                 for target in reached:
                     pairs.add((source, target))
         return pairs

@@ -1,0 +1,237 @@
+"""Worker-side DSR execution over hydrated CSR shards.
+
+When the cluster runs on the ``processes`` executor, the per-slave steps of
+the one-round query protocol (:mod:`repro.core.query`) execute inside
+long-lived worker processes.  Workers never see the engine's Python object
+graph; instead each is *hydrated once per epoch* with a
+:class:`WorkerShard` — the immutable, self-contained slice of the index that
+slave ``i`` needs to answer its part of any query:
+
+* the CSR snapshot of its **condensed compound graph** (the same DAG the
+  in-process path queries through), shipped via the compact
+  :meth:`repro.graph.csr.CSRGraph.to_bytes` serialisation;
+* the vertex → SCC-component mapping of that condensation;
+* the forward entry handles of every remote partition (so step-1 payloads
+  stay small: the parent names partitions, the worker knows their handles);
+* its own summary's handle → representative expansion table for step 3.
+
+Reachability inside a worker is evaluated directly with the bitset
+multi-source BFS kernel (:mod:`repro.reachability.bitset_msbfs`) over the
+condensation CSR — stateless per query, nothing to keep in sync.
+
+The task functions are registered with the executor registry
+(:mod:`repro.cluster.executors`) under ``dsr.local_step`` / ``dsr.remote_step``
+and must stay pure reads of the shard: one hydrated epoch serves every
+in-flight query of that epoch concurrently.
+
+.. warning::
+   :func:`local_step` / :func:`remote_step` deliberately mirror
+   ``DistributedQueryExecutor._local_step`` / ``_remote_step`` (the
+   in-process path keeps the *configured* local strategy; workers always
+   use the stateless bitset kernel).  Any semantic change to the pair logic
+   in :mod:`repro.core.query` must be applied here too — the cross-executor
+   parity tests (``tests/core/test_epochs.py::TestExecutorParity``) are the
+   tripwire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Set, Tuple
+
+from repro.cluster.executors import register_shard_loader, register_shard_task
+from repro.graph.csr import CSRGraph
+from repro.reachability.bitset_msbfs import set_reachability as _bitset_set_reachability
+
+#: Registry name of the hydration loader used for DSR shards.
+DSR_SHARD_LOADER = "dsr.load_shard"
+LOCAL_STEP_TASK = "dsr.local_step"
+REMOTE_STEP_TASK = "dsr.remote_step"
+
+
+@dataclass
+class WorkerShardBlob:
+    """Picklable hydration payload for one ``(rank, epoch)`` shard."""
+
+    rank: int
+    epoch: int
+    dag_csr_bytes: bytes
+    component_of: Dict[int, int]
+    remote_forward_handles: Dict[int, Tuple[int, ...]]
+    expand_members: Dict[int, Tuple[int, ...]]
+
+
+@dataclass
+class WorkerShard:
+    """The materialised shard a worker queries against (immutable)."""
+
+    rank: int
+    epoch: int
+    dag_csr: CSRGraph
+    component_of: Dict[int, int]
+    remote_forward_handles: Dict[int, Tuple[int, ...]]
+    expand_members: Dict[int, Tuple[int, ...]]
+
+
+def build_shard_blob(rank: int, epoch: int, compound, summary) -> WorkerShardBlob:
+    """Derive the shard blob for one partition from its epoch state.
+
+    ``compound`` is the partition's :class:`~repro.core.compound_graph.
+    CompoundGraph` (its condensed reachability is built if missing) and
+    ``summary`` its :class:`~repro.core.summary.PartitionSummary`.
+    """
+    if compound.reachability is None:
+        compound.build_reachability()
+    reach = compound.reachability
+    expand: Dict[int, Tuple[int, ...]] = {}
+    for cls in list(summary.forward_classes) + list(summary.backward_classes):
+        expand[cls.class_id] = (cls.representative,)
+    return WorkerShardBlob(
+        rank=rank,
+        epoch=epoch,
+        dag_csr_bytes=reach.dag.csr().to_bytes(),
+        component_of=dict(reach.vertex_to_component),
+        remote_forward_handles={
+            pid: tuple(sorted(handles))
+            for pid, handles in compound.remote_forward_handles.items()
+        },
+        expand_members=expand,
+    )
+
+
+@register_shard_loader(DSR_SHARD_LOADER)
+def load_shard(blob: WorkerShardBlob) -> WorkerShard:
+    """Hydrate a blob into the worker's queryable shard (CSR re-inflated)."""
+    return WorkerShard(
+        rank=blob.rank,
+        epoch=blob.epoch,
+        dag_csr=CSRGraph.from_bytes(blob.dag_csr_bytes),
+        component_of=blob.component_of,
+        remote_forward_handles=blob.remote_forward_handles,
+        expand_members=blob.expand_members,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# reachability over the hydrated condensation
+# ---------------------------------------------------------------------- #
+def _shard_set_reachability(
+    shard: WorkerShard, sources: Iterable[int], targets: Iterable[int]
+) -> Dict[int, Set[int]]:
+    """``{source: reachable targets}`` over the shard's condensation CSR.
+
+    Mirrors :meth:`repro.core.compound_graph.CondensedReachability.
+    set_reachability`: translate to component ids, run the batched bitset
+    kernel over the DAG, translate back.  Ids unknown to the shard (e.g. a
+    vertex inserted after this epoch) yield empty results.
+    """
+    sources = list(sources)
+    result: Dict[int, Set[int]] = {source: set() for source in sources}
+    component_of = shard.component_of
+    source_comps = {
+        source: component_of[source] for source in sources if source in component_of
+    }
+    target_comps: Dict[int, List[int]] = {}
+    for target in set(targets):
+        comp = component_of.get(target)
+        if comp is not None:
+            target_comps.setdefault(comp, []).append(target)
+    if not source_comps or not target_comps:
+        return result
+    comp_result = _bitset_set_reachability(
+        shard.dag_csr, set(source_comps.values()), set(target_comps)
+    )
+    for source, comp in source_comps.items():
+        reached: Set[int] = set()
+        for reached_comp in comp_result.get(comp, ()):
+            reached.update(target_comps[reached_comp])
+        result[source] = reached
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# the two per-slave query steps (Algorithms 1 and 2)
+# ---------------------------------------------------------------------- #
+@register_shard_task(LOCAL_STEP_TASK)
+def local_step(shard: WorkerShard, payload: Dict[str, Any]):
+    """Step 1 at this slave: local pairs + handles to ship per partition.
+
+    Payload: ``{"sources": [...], "targets": [...], "interior_pids": [...]}``
+    where ``targets`` already bundles local targets with remote *boundary*
+    targets (resolvable here without communication) and ``interior_pids``
+    names the remote partitions whose interior targets need handle shipping.
+    Returns ``(pairs, outgoing)`` with ``outgoing[pid] = {source: [handles]}``.
+    """
+    pairs: Set[Tuple[int, int]] = set()
+    outgoing: Dict[int, Dict[int, List[int]]] = {}
+    sources = payload["sources"]
+    if not sources:
+        return pairs, outgoing
+    handle_targets = {
+        pid: set(shard.remote_forward_handles.get(pid, ()))
+        for pid in payload["interior_pids"]
+        if pid != shard.rank
+    }
+    all_targets = set(payload["targets"])
+    all_handles: Set[int] = set()
+    for handles in handle_targets.values():
+        all_handles |= handles
+
+    reach = _shard_set_reachability(shard, sources, all_targets | all_handles)
+    for source in sources:
+        reached = reach.get(source, set())
+        for target in reached & all_targets:
+            pairs.add((source, target))
+        if not all_handles:
+            continue
+        reached_handles = reached & all_handles
+        if not reached_handles:
+            continue
+        for pid, handles in handle_targets.items():
+            hit = sorted(reached_handles & handles)
+            if hit:
+                outgoing.setdefault(pid, {})[source] = hit
+    return pairs, outgoing
+
+
+@register_shard_task(REMOTE_STEP_TASK)
+def remote_step(shard: WorkerShard, payload: Dict[str, Any]):
+    """Step 3 at this slave: expand received handles, finish locally.
+
+    Payload: ``{"sources_by_handle": {handle: [sources]},
+    "interior_targets": [...]}`` (the parent has already drained and
+    inverted this slave's inbox).  Returns the resolved ``(s, t)`` pairs.
+    """
+    pairs: Set[Tuple[int, int]] = set()
+    sources_by_handle: Dict[int, List[int]] = payload["sources_by_handle"]
+    interior_targets = payload["interior_targets"]
+    if not interior_targets or not sources_by_handle:
+        return pairs
+
+    members_by_handle = {
+        handle: shard.expand_members.get(handle, (handle,))
+        for handle in sources_by_handle
+    }
+    all_members = {
+        member for members in members_by_handle.values() for member in members
+    }
+    reach = _shard_set_reachability(shard, all_members, interior_targets)
+    for handle, sources in sources_by_handle.items():
+        reached: Set[int] = set()
+        for member in members_by_handle[handle]:
+            reached |= reach.get(member, set())
+        for source in sources:
+            for target in reached:
+                pairs.add((source, target))
+    return pairs
+
+
+__all__ = [
+    "DSR_SHARD_LOADER",
+    "LOCAL_STEP_TASK",
+    "REMOTE_STEP_TASK",
+    "WorkerShard",
+    "WorkerShardBlob",
+    "build_shard_blob",
+    "load_shard",
+]

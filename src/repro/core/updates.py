@@ -1,4 +1,4 @@
-"""Incremental maintenance of the DSR index (Section 3.3.3).
+"""Incremental maintenance of the DSR index (Section 3.3.3), epoch-versioned.
 
 Insertions
 ----------
@@ -19,23 +19,32 @@ recomputed from the stored (uncondensed) local subgraph — the same strategy as
 the paper, whose deletion cost is therefore close to rebuilding that
 partition's boundary information.
 
-Batching
---------
+Batching and epochs
+-------------------
 Recomputing summaries and re-merging compound graphs per *individual* edge
 would be wasteful, so maintenance is deferred: updates mutate the graph and
 record dirty partitions; :meth:`IncrementalMaintainer.flush` performs the
-recomputation once for the whole batch.  The engine flushes automatically
-before the next query, so query answers are always consistent with every
-applied update.
+recomputation once for the whole batch — as a **new epoch**.  The flush asks
+the index for the next :class:`~repro.core.index.EpochState` (built off the
+hot path, with only a brief snapshot section under the mutation lock) and
+atomically publishes it, so a query running concurrently with a flush always
+sees either epoch ``N`` or epoch ``N+1``, never a half-merged view.
+
+:meth:`request_background_flush` runs the same flush on a coalescing daemon
+thread — the engine's ``epoch_flush="background"`` mode — so queries are never
+blocked behind maintenance: they keep reading epoch ``N`` until ``N+1`` swaps
+in.  All mutating entry points take one re-entrant mutation lock, making the
+maintainer safe to drive from a concurrent service.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Set
 
-from repro.core.index import DSRIndex
+from repro.core.index import DSRIndex, EpochState
 
 
 @dataclass
@@ -55,6 +64,8 @@ class FlushResult:
 
     refreshed_partitions: Set[int] = field(default_factory=set)
     seconds: float = 0.0
+    #: The epoch this flush published (the pre-flush epoch if nothing was dirty).
+    epoch: int = -1
 
 
 class IncrementalMaintainer:
@@ -68,6 +79,21 @@ class IncrementalMaintainer:
         self._dirty: Set[int] = set()
         self._update_listeners: List[Callable[[UpdateResult], None]] = []
         self._flush_listeners: List[Callable[[FlushResult], None]] = []
+        #: Serialises graph/partitioning mutations against the flush's
+        #: snapshot phase (re-entrant: flush's snapshot runs under it too).
+        self._mutation_lock = threading.RLock()
+        #: Serialises whole flushes (one epoch build at a time).
+        self._flush_lock = threading.Lock()
+        # Background-flush machinery (coalescing worker thread).
+        self._bg_lock = threading.Lock()
+        self._bg_thread: Optional[threading.Thread] = None
+        self._bg_requested = False
+        self._bg_idle = threading.Event()
+        self._bg_idle.set()
+        self.background_flush_error: Optional[BaseException] = None
+        #: Test seam: called with the built (unpublished) EpochState right
+        #: before the atomic swap — lets races around the swap be staged.
+        self._before_publish: Optional[Callable[[EpochState], None]] = None
 
     # ------------------------------------------------------------------ #
     # observers
@@ -77,8 +103,9 @@ class IncrementalMaintainer:
 
         The listener runs *before* the batched flush, i.e. at the moment the
         index first diverges from its last consistent state — the right point
-        for a result cache to invalidate (waiting for the flush would leave a
-        window where stale answers could still be served).
+        for an eagerly invalidating result cache (an epoch-invalidating cache
+        subscribes to the flush stream instead and keeps serving the
+        still-published epoch).
         """
         self._update_listeners.append(listener)
 
@@ -105,30 +132,98 @@ class IncrementalMaintainer:
     def has_pending_changes(self) -> bool:
         return bool(self._dirty)
 
+    @property
+    def epoch(self) -> int:
+        """The index's currently published epoch."""
+        return self.index.epoch
+
     def flush(self) -> FlushResult:
-        """Recompute dirty summaries and re-merge all compound graphs once."""
+        """Build the next epoch from the dirty partitions and swap it in.
+
+        The heavy recomputation (summaries, compound graphs, condensations)
+        runs without holding the mutation lock; queries keep reading the
+        current epoch throughout and flip to the new one at the atomic
+        publish.  Safe to call from any thread; concurrent flushes serialise.
+        """
         start = time.perf_counter()
-        result = FlushResult(refreshed_partitions=set(self._dirty))
-        if not self._dirty:
-            result.seconds = time.perf_counter() - start
-            return result
-        self._refresh_cut()
-        for partition_id in sorted(self._dirty):
-            self.index.local_graphs[partition_id] = self.partitioning.local_subgraph(
-                partition_id
+        with self._flush_lock:
+            with self._mutation_lock:
+                dirty = set(self._dirty)
+                self._dirty.clear()
+            if not dirty:
+                return FlushResult(
+                    refreshed_partitions=set(),
+                    seconds=time.perf_counter() - start,
+                    epoch=self.index.epoch,
+                )
+            try:
+                state = self.index.build_epoch_state(
+                    dirty, mutation_lock=self._mutation_lock
+                )
+                if self._before_publish is not None:
+                    self._before_publish(state)
+                self.index.publish(state)
+            except BaseException:
+                # The batch was not applied: put the dirt back so the next
+                # flush retries it rather than silently dropping maintenance.
+                with self._mutation_lock:
+                    self._dirty.update(dirty)
+                raise
+            result = FlushResult(
+                refreshed_partitions=dirty,
+                seconds=time.perf_counter() - start,
+                epoch=state.epoch,
             )
-            self.index.summaries[partition_id] = self.index.rebuild_summary(partition_id)
-        self.index.broadcast_summaries(sorted(self._dirty))
-        self.index.refresh_compound_graphs()
-        self._dirty.clear()
-        result.seconds = time.perf_counter() - start
         for listener in self._flush_listeners:
             listener(result)
         return result
 
+    # ------------------------------------------------------------------ #
+    # background (off-hot-path) flushing
+    # ------------------------------------------------------------------ #
+    def request_background_flush(self) -> None:
+        """Schedule a flush on the coalescing background worker.
+
+        Multiple requests while a flush is running fold into one follow-up
+        flush; the worker exits when no request is pending.  Errors are kept
+        in :attr:`background_flush_error` — surfaced through
+        ``DSRService.stats()`` — and the dirty set is restored by
+        :meth:`flush`, so the next request (cleared below) retries the whole
+        batch.
+        """
+        with self._bg_lock:
+            self.background_flush_error = None
+            self._bg_requested = True
+            if self._bg_thread is None or not self._bg_thread.is_alive():
+                self._bg_idle.clear()
+                self._bg_thread = threading.Thread(
+                    target=self._background_loop, name="dsr-epoch-flush", daemon=True
+                )
+                self._bg_thread.start()
+
+    def _background_loop(self) -> None:
+        while True:
+            with self._bg_lock:
+                if not self._bg_requested:
+                    self._bg_thread = None
+                    self._bg_idle.set()
+                    return
+                self._bg_requested = False
+            try:
+                self.flush()
+            except BaseException as exc:  # pragma: no cover - defensive
+                self.background_flush_error = exc
+
+    def wait_for_flushes(self, timeout: Optional[float] = None) -> bool:
+        """Block until no background flush is pending (False on timeout)."""
+        return self._bg_idle.wait(timeout)
+
     def _mark_dirty(self, partition_ids) -> None:
         self._dirty.update(partition_ids)
-        if self.auto_flush:
+
+    def _after_update(self, marked: bool) -> None:
+        """Run the auto-flush *outside* the mutation lock (deadlock-free)."""
+        if marked and self.auto_flush:
             self.flush()
 
     # ------------------------------------------------------------------ #
@@ -137,91 +232,97 @@ class IncrementalMaintainer:
     def insert_edge(self, u: int, v: int) -> UpdateResult:
         """Insert edge ``(u, v)``; endpoints must already exist."""
         start = time.perf_counter()
-        for vertex in (u, v):
-            if not self.graph.has_vertex(vertex):
-                raise ValueError(f"vertex {vertex} does not exist; add it first")
-        pid_u = self.partitioning.partition_of(u)
-        pid_v = self.partitioning.partition_of(v)
+        marked = False
+        with self._mutation_lock:
+            for vertex in (u, v):
+                if not self.graph.has_vertex(vertex):
+                    raise ValueError(f"vertex {vertex} does not exist; add it first")
+            pid_u = self.partitioning.partition_of(u)
+            pid_v = self.partitioning.partition_of(v)
 
-        if not self.graph.add_edge(u, v):
-            return self._notify(
-                UpdateResult("insert-edge", set(), False, time.perf_counter() - start)
-            )
-
-        if pid_u == pid_v:
-            # Keep the per-partition graphs in sync immediately (cheap).
-            self.index.local_graphs[pid_u].add_edge(u, v)
-            compound = self.index.compound_graphs.get(pid_u)
-            if compound is not None:
-                compound.graph.add_edge(u, v)
-            same_scc = False
-            if (
-                pid_u not in self._dirty
-                and compound is not None
-                and compound.reachability is not None
-            ):
-                components = compound.reachability.vertex_to_component
-                same_scc = (
-                    components.get(u) is not None
-                    and components.get(u) == components.get(v)
+            if not self.graph.add_edge(u, v):
+                result = UpdateResult(
+                    "insert-edge", set(), False, time.perf_counter() - start
                 )
-            if same_scc:
-                # Both endpoints are already mutually reachable: no summary or
-                # condensation change is possible (Section 3.3.3).
-                return self._notify(
-                    UpdateResult("insert-edge", {pid_u}, False, time.perf_counter() - start)
-                )
-            self._mark_dirty({pid_u})
-            return self._notify(
-                UpdateResult(
+            elif pid_u == pid_v:
+                # Keep the per-partition graphs in sync immediately (cheap).
+                self.index.local_graphs[pid_u].add_edge(u, v)
+                compound = self.index.compound_graphs.get(pid_u)
+                if compound is not None:
+                    compound.graph.add_edge(u, v)
+                same_scc = False
+                if (
+                    pid_u not in self._dirty
+                    and compound is not None
+                    and compound.reachability is not None
+                ):
+                    components = compound.reachability.vertex_to_component
+                    same_scc = (
+                        components.get(u) is not None
+                        and components.get(u) == components.get(v)
+                    )
+                if same_scc:
+                    # Both endpoints are already mutually reachable: no summary
+                    # or condensation change is possible (Section 3.3.3).
+                    result = UpdateResult(
+                        "insert-edge", {pid_u}, False, time.perf_counter() - start
+                    )
+                else:
+                    self._mark_dirty({pid_u})
+                    marked = True
+                    result = UpdateResult(
+                        "insert-edge",
+                        {pid_u},
+                        True,
+                        time.perf_counter() - start,
+                        flushed=self.auto_flush,
+                    )
+            else:
+                # Cut edge: boundary sets of both incident partitions change.
+                self._mark_dirty({pid_u, pid_v})
+                marked = True
+                result = UpdateResult(
                     "insert-edge",
-                    {pid_u},
+                    {pid_u, pid_v},
                     True,
                     time.perf_counter() - start,
                     flushed=self.auto_flush,
                 )
-            )
-
-        # Cut edge: boundary sets of both incident partitions may change.
-        self._mark_dirty({pid_u, pid_v})
-        return self._notify(
-            UpdateResult(
-                "insert-edge",
-                {pid_u, pid_v},
-                True,
-                time.perf_counter() - start,
-                flushed=self.auto_flush,
-            )
-        )
+        self._after_update(marked)
+        return self._notify(result)
 
     def delete_edge(self, u: int, v: int) -> UpdateResult:
         """Delete edge ``(u, v)`` if present."""
         start = time.perf_counter()
-        if not self.graph.has_edge(u, v):
-            return self._notify(
-                UpdateResult("delete-edge", set(), False, time.perf_counter() - start)
-            )
-        pid_u = self.partitioning.partition_of(u)
-        pid_v = self.partitioning.partition_of(v)
-        self.graph.remove_edge(u, v)
-        if pid_u == pid_v:
-            self.index.local_graphs[pid_u].remove_edge(u, v)
-            compound = self.index.compound_graphs.get(pid_u)
-            if compound is not None:
-                compound.graph.remove_edge(u, v)
-            affected = {pid_u}
-        else:
-            affected = {pid_u, pid_v}
-        self._mark_dirty(affected)
-        return self._notify(
-            UpdateResult(
-                "delete-edge",
-                affected,
-                True,
-                time.perf_counter() - start,
-                flushed=self.auto_flush,
-            )
-        )
+        marked = False
+        with self._mutation_lock:
+            if not self.graph.has_edge(u, v):
+                result = UpdateResult(
+                    "delete-edge", set(), False, time.perf_counter() - start
+                )
+            else:
+                pid_u = self.partitioning.partition_of(u)
+                pid_v = self.partitioning.partition_of(v)
+                self.graph.remove_edge(u, v)
+                if pid_u == pid_v:
+                    self.index.local_graphs[pid_u].remove_edge(u, v)
+                    compound = self.index.compound_graphs.get(pid_u)
+                    if compound is not None:
+                        compound.graph.remove_edge(u, v)
+                    affected = {pid_u}
+                else:
+                    affected = {pid_u, pid_v}
+                self._mark_dirty(affected)
+                marked = True
+                result = UpdateResult(
+                    "delete-edge",
+                    affected,
+                    True,
+                    time.perf_counter() - start,
+                    flushed=self.auto_flush,
+                )
+        self._after_update(marked)
+        return self._notify(result)
 
     # ------------------------------------------------------------------ #
     # vertex updates
@@ -230,27 +331,48 @@ class IncrementalMaintainer:
         self, vertex: Optional[int] = None, partition_id: Optional[int] = None
     ) -> int:
         """Insert an isolated vertex and assign it to a partition."""
-        if vertex is not None and self.graph.has_vertex(vertex):
-            # Re-inserting must not silently reassign the vertex's partition:
-            # the old partition would keep its edges while the new one claims
-            # the vertex, corrupting every later dirty-marking decision.
-            raise ValueError(f"vertex {vertex} already exists")
-        new_vertex = self.graph.add_vertex(vertex)
-        if partition_id is None:
-            sizes = [
-                (len(self.partitioning.vertices_of(pid)), pid)
-                for pid in range(self.partitioning.num_partitions)
-            ]
-            partition_id = min(sizes)[1]
-        self.partitioning.assignment[new_vertex] = partition_id
-        self.partitioning.vertices_of(partition_id).add(new_vertex)
-        if self.index.is_built:
-            self.index.local_graphs[partition_id].add_vertex(new_vertex)
-            compound = self.index.compound_graphs[partition_id]
-            compound.graph.add_vertex(new_vertex)
-            compound.local_vertices.add(new_vertex)
-            if compound.reachability is not None:
-                compound.reachability.rebuild()
+        with self._mutation_lock:
+            if vertex is not None and self.graph.has_vertex(vertex):
+                # Re-inserting must not silently reassign the vertex's
+                # partition: the old partition would keep its edges while the
+                # new one claims the vertex, corrupting every later
+                # dirty-marking decision.
+                raise ValueError(f"vertex {vertex} already exists")
+            new_vertex = self.graph.add_vertex(vertex)
+            if partition_id is None:
+                sizes = [
+                    (len(self.partitioning.vertices_of(pid)), pid)
+                    for pid in range(self.partitioning.num_partitions)
+                ]
+                partition_id = min(sizes)[1]
+            self.partitioning.assignment[new_vertex] = partition_id
+            self.partitioning.vertices_of(partition_id).add(new_vertex)
+            if self.index.is_built:
+                state = self.index.current_state()
+                state.local_graphs[partition_id].add_vertex(new_vertex)
+                # Queries split against the epoch's assignment snapshot, so
+                # the new vertex must register there too (isolated vertex:
+                # provably answer-preserving, the one sanctioned in-place
+                # edit of a published state).
+                state.assignment[new_vertex] = partition_id
+                compound = state.compound_graphs[partition_id]
+                compound.graph.add_vertex(new_vertex)
+                compound.local_vertices.add(new_vertex)
+                if compound.reachability is not None:
+                    compound.reachability.rebuild()
+                if self._flush_lock.locked():
+                    # A flush is in flight and its snapshot may predate this
+                    # insert — the epoch it publishes would then lack the
+                    # vertex (the in-place edits above touched only the
+                    # *current* state).  Mark the partition dirty so a
+                    # follow-up flush re-derives it from the live graph.
+                    # With no flush in flight this is unnecessary: the next
+                    # snapshot copies the current state/live assignment,
+                    # both of which now contain the vertex.
+                    self._mark_dirty({partition_id})
+        # Sharded workers must learn the new vertex id even though the update
+        # is non-structural (no epoch flush will follow it).
+        self.index.rehydrate_partition(partition_id)
         # An isolated vertex cannot change reachability between existing
         # vertices, so the update is reported as non-structural.
         self._notify(UpdateResult("insert-vertex", {partition_id}, False, 0.0))
@@ -259,35 +381,25 @@ class IncrementalMaintainer:
     def delete_vertex(self, vertex: int) -> UpdateResult:
         """Delete a vertex together with all incident edges."""
         start = time.perf_counter()
-        pid = self.partitioning.partition_of(vertex)
-        touched = {pid}
-        for neighbour in set(self.graph.successors(vertex)) | set(
-            self.graph.predecessors(vertex)
-        ):
-            touched.add(self.partitioning.partition_of(neighbour))
-        self.graph.remove_vertex(vertex)
-        self.partitioning.vertices_of(pid).discard(vertex)
-        del self.partitioning.assignment[vertex]
-        # Removing a vertex can change the local structure of every touched
-        # partition, so recompute them from the partitioning at flush time.
-        self._mark_dirty(touched)
-        return self._notify(
-            UpdateResult(
+        with self._mutation_lock:
+            pid = self.partitioning.partition_of(vertex)
+            touched = {pid}
+            for neighbour in set(self.graph.successors(vertex)) | set(
+                self.graph.predecessors(vertex)
+            ):
+                touched.add(self.partitioning.partition_of(neighbour))
+            self.graph.remove_vertex(vertex)
+            self.partitioning.vertices_of(pid).discard(vertex)
+            del self.partitioning.assignment[vertex]
+            # Removing a vertex can change the local structure of every
+            # touched partition, so recompute them at flush time.
+            self._mark_dirty(touched)
+            result = UpdateResult(
                 "delete-vertex",
                 touched,
                 True,
                 time.perf_counter() - start,
                 flushed=self.auto_flush,
             )
-        )
-
-    # ------------------------------------------------------------------ #
-    # helpers
-    # ------------------------------------------------------------------ #
-    def _refresh_cut(self) -> None:
-        """Recompute the cached cut after the underlying graph changed."""
-        self.partitioning._cut_edges = [
-            (a, b)
-            for a, b in self.graph.edges()
-            if self.partitioning.assignment[a] != self.partitioning.assignment[b]
-        ]
+        self._after_update(True)
+        return self._notify(result)

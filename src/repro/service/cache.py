@@ -9,19 +9,29 @@ Staleness under updates
 -----------------------
 The cache registers itself on the engine's
 :class:`~repro.core.updates.IncrementalMaintainer` via
-:meth:`ResultCache.attach`:
+:meth:`ResultCache.attach`, in one of two modes matching the engine's
+``epoch_flush`` mode:
 
-* every applied update is observed *immediately* (before the batched flush),
-  and any **structural** update — one that marks partitions dirty — clears
-  the cache.  Invalidation cannot wait for the flush: the engine only folds
-  pending updates into the index right before its next query, so a cache that
-  invalidated at flush time would happily serve stale answers in between.
+* ``invalidate_on="update"`` (for ``epoch_flush="inline"`` engines): every
+  applied update is observed *immediately* (before the batched flush), and
+  any **structural** update — one that marks partitions dirty — clears the
+  cache.  Invalidation cannot wait for the flush here: an inline engine only
+  folds pending updates into the index right before its next query, so a
+  cache that invalidated at flush time would happily serve stale answers in
+  between.
+* ``invalidate_on="flush"`` (for ``epoch_flush="background"`` engines):
+  structural updates do **not** clear the cache — the engine keeps serving
+  the published epoch ``N`` until the background flush swaps in ``N+1``, so
+  epoch-``N`` entries stay exactly right until that swap.  The flush
+  listener invalidates at the swap.  Entries are additionally tagged with
+  the epoch they were computed at, and lookups carry the caller's current
+  epoch: an entry from another epoch is rejected (and evicted) even if a
+  flush listener ever fired late — invalidation is *by epoch*, not by
+  update.
 * **non-structural** updates (inserting an edge inside an existing SCC,
   re-inserting a present edge, deleting an absent edge, adding an isolated
   vertex) provably cannot change any reachable pair, so cached entries
-  survive them — this is the precise part of the invalidation.
-* flushes are also observed, which covers maintainers driven directly (not
-  through the engine) and keeps a per-flush counter for introspection.
+  survive them in both modes — this is the precise part of the invalidation.
 
 Whole-cache invalidation (rather than per-partition) is the *correct*
 granularity for reachability: refreshing partition ``p`` can change the
@@ -54,6 +64,7 @@ class CacheStats:
     expirations: int = 0
     invalidations: int = 0
     flushes_observed: int = 0
+    epoch_rejections: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -70,6 +81,7 @@ class CacheStats:
             "expirations": self.expirations,
             "invalidations": self.invalidations,
             "flushes_observed": self.flushes_observed,
+            "epoch_rejections": self.epoch_rejections,
         }
 
 
@@ -77,6 +89,8 @@ class CacheStats:
 class _Entry:
     pairs: FrozenSet[Tuple[int, int]]
     stored_at: float = 0.0
+    #: Index epoch the answer was computed at (-1 when untagged).
+    epoch: int = -1
 
 
 class ResultCache:
@@ -99,6 +113,7 @@ class ResultCache:
         self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
         self._lock = threading.RLock()
         self._maintainers: list = []
+        self._invalidate_on = "update"
 
     # ------------------------------------------------------------------ #
     # key handling
@@ -112,9 +127,18 @@ class ResultCache:
     # lookup / store
     # ------------------------------------------------------------------ #
     def get(
-        self, sources: Iterable[int], targets: Iterable[int]
+        self,
+        sources: Iterable[int],
+        targets: Iterable[int],
+        epoch: Optional[int] = None,
     ) -> Optional[Set[Tuple[int, int]]]:
-        """Return the cached answer or ``None`` (counts a hit/miss)."""
+        """Return the cached answer or ``None`` (counts a hit/miss).
+
+        With ``epoch`` given, an entry tagged with a *different* epoch is
+        rejected and evicted — the epoch-precise half of invalidation-by-
+        epoch (untagged entries are rejected too: they cannot prove their
+        version).
+        """
         key = self.make_key(sources, targets)
         with self._lock:
             entry = self._entries.get(key)
@@ -129,6 +153,11 @@ class ResultCache:
                 self.stats.expirations += 1
                 self.stats.misses += 1
                 return None
+            if epoch is not None and entry.epoch != epoch:
+                del self._entries[key]
+                self.stats.epoch_rejections += 1
+                self.stats.misses += 1
+                return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
             return set(entry.pairs)
@@ -138,12 +167,13 @@ class ResultCache:
         sources: Iterable[int],
         targets: Iterable[int],
         pairs: Iterable[Tuple[int, int]],
+        epoch: int = -1,
     ) -> None:
-        """Store the exact answer of ``S ⇝ T``."""
+        """Store the exact answer of ``S ⇝ T`` (tagged with its epoch)."""
         key = self.make_key(sources, targets)
         with self._lock:
             self._entries[key] = _Entry(
-                pairs=frozenset(pairs), stored_at=self._clock()
+                pairs=frozenset(pairs), stored_at=self._clock(), epoch=epoch
             )
             self._entries.move_to_end(key)
             self.stats.insertions += 1
@@ -167,8 +197,20 @@ class ResultCache:
                 self.stats.invalidations += 1
             return dropped
 
-    def attach(self, maintainer: IncrementalMaintainer) -> None:
-        """Subscribe to a maintainer's update/flush stream."""
+    def attach(
+        self, maintainer: IncrementalMaintainer, invalidate_on: str = "update"
+    ) -> None:
+        """Subscribe to a maintainer's update/flush stream.
+
+        ``invalidate_on="update"`` clears on every structural update (inline
+        engines); ``"flush"`` clears only at the epoch swap (background
+        engines, where the published epoch stays correct until the swap).
+        """
+        if invalidate_on not in ("update", "flush"):
+            raise ValueError(
+                f"invalidate_on must be 'update' or 'flush', got {invalidate_on!r}"
+            )
+        self._invalidate_on = invalidate_on
         maintainer.add_update_listener(self._on_update)
         maintainer.add_flush_listener(self._on_flush)
         self._maintainers.append(maintainer)
@@ -181,6 +223,10 @@ class ResultCache:
         self._maintainers.clear()
 
     def _on_update(self, result: UpdateResult) -> None:
+        if self._invalidate_on == "flush":
+            # Epoch mode: the published epoch is still the one every entry
+            # was computed at — entries stay valid until the swap.
+            return
         if result.structural_change:
             self.invalidate_all()
 

@@ -48,6 +48,11 @@ class QueryPlan:
     estimated_cost: float
     reason: str
     split_axis: str = "none"  # "none" | "sources" | "targets"
+    #: The index epoch whose statistics informed this plan (-1 pre-build).
+    #: Planning never takes the engine lock: the cost model reads one
+    #: published epoch state, so a concurrent background flush can at worst
+    #: make a plan one epoch stale — never torn.
+    epoch: int = -1
 
     @property
     def num_batches(self) -> int:
@@ -135,12 +140,14 @@ class QueryPlanner:
         max_batch_pairs = query.max_batch_pairs or self.max_batch_pairs
         source_list = sorted(set(query.sources))
         target_list = sorted(set(query.targets))
+        plan_epoch = self.engine.index.epoch
         if not source_list or not target_list:
             return QueryPlan(
                 direction="forward",
                 batches=(),
                 estimated_cost=0.0,
                 reason="empty source or target set",
+                epoch=plan_epoch,
             )
 
         backward_available = self.engine.enable_backward and self.engine.is_built
@@ -177,6 +184,7 @@ class QueryPlanner:
             estimated_cost=cost,
             reason=reason,
             split_axis=split_axis,
+            epoch=plan_epoch,
         )
 
     def _split(

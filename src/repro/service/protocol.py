@@ -114,7 +114,14 @@ class StatsRequest:
 
 @dataclass(frozen=True)
 class SnapshotRequest:
-    """Ask the service for the cluster's last execution snapshot."""
+    """Ask the service for the cluster's *cumulative* execution snapshot.
+
+    Counters cover everything since the index build (builds, maintenance
+    flushes and every query — concurrent queries fold their exact counters
+    in).  For per-query communication numbers read the per-response
+    ``messages_sent`` / ``bytes_sent`` fields of :class:`QueryResponse`
+    instead.
+    """
 
 
 # ---------------------------------------------------------------------- #
@@ -131,6 +138,8 @@ class QueryResponse:
     latency_seconds: float = 0.0
     messages_sent: int = 0
     bytes_sent: int = 0
+    #: Index epoch the answer is consistent with (-1 when unknown/legacy).
+    epoch: int = -1
 
     def __post_init__(self) -> None:
         object.__setattr__(

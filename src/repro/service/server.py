@@ -14,12 +14,19 @@ batch, single-caller object — into a long-lived service:
   cache hit rate, and the simulated cluster's message/byte counters for the
   queries that actually hit the engine.
 
-The engine and its simulated cluster are single-threaded by construction
-(shared compound graphs, global stats counters), so the service serialises
-engine access behind one lock; concurrency pays off for cache hits, protocol
-handling and admission control, which all run outside that lock.  Cached
-answers are stored *while the engine lock is still held*, so an interleaved
-update can never re-insert a result computed against the pre-update graph.
+Locking depends on the engine's ``epoch_flush`` mode.  An **inline** engine
+folds pending updates into the index on the query path, so the service
+serialises engine access behind one lock (concurrency still pays off for
+cache hits, protocol handling and admission control); cached answers are
+stored *while the engine lock is still held*, so an interleaved update can
+never re-insert a result computed against the pre-update graph.  A
+**background** engine is epoch-versioned: queries capture one published
+:class:`~repro.core.index.EpochState` and never flush, so the service runs
+them *without* the engine lock — reads never block on maintenance or on each
+other; only updates serialise.  Cache entries are then tagged with their
+epoch and lookups reject entries from any other epoch, which is what makes
+the lock-free path safe (a result computed just before an epoch swap can be
+stored after it, but can never be *served* after it).
 
 :class:`DSRSocketServer` exposes the same service over a local TCP socket
 speaking the newline-delimited JSON framing of
@@ -165,6 +172,11 @@ class DSRService:
         if not engine.is_built:
             engine.build_index()
         self.engine = engine
+        #: True when the engine maintains epochs in the background: queries
+        #: run lock-free against the published epoch and never flush.
+        self._background_epochs = (
+            getattr(engine, "epoch_flush", "inline") == "background"
+        )
         self.planner = QueryPlanner(engine, max_batch_pairs=max_batch_pairs)
         self.metrics = ServiceMetrics()
         self.cache: Optional[ResultCache] = None
@@ -172,9 +184,14 @@ class DSRService:
             self.cache = ResultCache(
                 capacity=cache_capacity, ttl_seconds=cache_ttl_seconds
             )
-            # Precise staleness protection: every structural update applied
-            # through the engine clears the cache the moment it is recorded.
-            self.cache.attach(engine.maintainer)
+            # Staleness protection matches the maintenance mode: inline
+            # engines clear the cache the moment a structural update is
+            # recorded; background engines invalidate at the epoch swap (and
+            # every entry is epoch-tagged, so lookups are version-checked).
+            self.cache.attach(
+                engine.maintainer,
+                invalidate_on="flush" if self._background_epochs else "update",
+            )
 
         self._engine_lock = threading.Lock()
         self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue_depth)
@@ -264,8 +281,11 @@ class DSRService:
             )
 
         use_cache = self.cache is not None and request.use_cache
+        lookup_epoch = self.engine.epoch if self._background_epochs else None
         if use_cache:
-            cached = self.cache.get(request.sources, request.targets)
+            cached = self.cache.get(
+                request.sources, request.targets, epoch=lookup_epoch
+            )
             if cached is not None:
                 latency = time.perf_counter() - start
                 self.metrics.increment("cache_hits")
@@ -276,25 +296,23 @@ class DSRService:
                     direction=plan.direction,
                     num_batches=0,
                     latency_seconds=latency,
+                    epoch=lookup_epoch if lookup_epoch is not None else -1,
                 )
 
-        messages = 0
-        byte_count = 0
-        with self._engine_lock:
-            results = []
-            for batch_sources, batch_targets in plan.batches:
-                result = self.engine.run(
-                    ReachQuery(batch_sources, batch_targets, direction=plan.direction)
-                )
-                results.append(result.pairs)
-                messages += result.messages_sent
-                byte_count += result.bytes_sent
-            pairs = self.planner.merge(results)
-            if use_cache:
-                # Store under the lock: an update cannot interleave between
-                # computing the answer and caching it, so entries always
-                # reflect the current graph.
-                self.cache.put(request.sources, request.targets, pairs)
+        if self._background_epochs:
+            pairs, epoch, messages, byte_count = self._run_batches_lock_free(
+                plan, use_cache, request
+            )
+        else:
+            with self._engine_lock:
+                results, epochs, messages, byte_count = self._run_plan_batches(plan)
+                epoch = max(epochs)
+                pairs = self.planner.merge(results)
+                if use_cache:
+                    # Store under the lock: an update cannot interleave
+                    # between computing the answer and caching it, so entries
+                    # always reflect the current graph.
+                    self.cache.put(request.sources, request.targets, pairs)
         self.metrics.increment("messages_sent", messages)
         self.metrics.increment("bytes_sent", byte_count)
         latency = time.perf_counter() - start
@@ -307,7 +325,60 @@ class DSRService:
             latency_seconds=latency,
             messages_sent=messages,
             bytes_sent=byte_count,
+            epoch=epoch,
         )
+
+    def _run_plan_batches(self, plan):
+        """Run every batch of a plan, accumulating the shared accounting.
+
+        Returns ``(per_batch_pair_sets, epochs_observed, messages, bytes)``.
+        """
+        results, epochs = [], set()
+        messages = byte_count = 0
+        for batch_sources, batch_targets in plan.batches:
+            result = self.engine.run(
+                ReachQuery(batch_sources, batch_targets, direction=plan.direction)
+            )
+            results.append(result.pairs)
+            epochs.add(result.epoch)
+            messages += result.messages_sent
+            byte_count += result.bytes_sent
+        return results, epochs, messages, byte_count
+
+    def _run_batches_lock_free(self, plan, use_cache: bool, request: ReachQuery):
+        """Run a plan's batches without the engine lock (background engines).
+
+        Every batch independently captures the published epoch, so a flush
+        swapping epochs mid-plan could hand different batches different
+        versions; the whole plan is retried until every batch agrees on one
+        epoch (epoch swaps are rare — a retry is the exception, not the
+        rule), falling back to briefly serialising against updates.  The
+        merged answer is therefore always consistent with a single epoch.
+        """
+        for _ in range(3):
+            results, epochs, messages, byte_count = self._run_plan_batches(plan)
+            if len(epochs) == 1:
+                break
+        else:
+            # Keep updates out while re-running so the epoch cannot move:
+            # updates take the engine lock, flush_updates() waits out any
+            # in-flight forward *and* reverse flush, and with the dirty sets
+            # drained a queued background flush publishes nothing new.
+            with self._engine_lock:
+                self.engine.flush_updates()
+                results, epochs, messages, byte_count = self._run_plan_batches(plan)
+        epoch = epochs.pop()
+        pairs = self.planner.merge(results)
+        if use_cache and plan.direction == "forward":
+            # No lock needed: the entry is tagged with the epoch it was
+            # computed at, and lookups reject entries from any other epoch —
+            # a result stored after a swap can never be served after it.
+            # Backward results are deliberately not cached here: their epoch
+            # counter belongs to the *reverse* index, which flushes on its
+            # own coalescing thread, so tagging them with it could collide
+            # numerically with a different forward epoch at lookup time.
+            self.cache.put(request.sources, request.targets, pairs, epoch=epoch)
+        return pairs, epoch, messages, byte_count
 
     def _handle_update(self, request: UpdateRequest, start: float) -> UpdateResponse:
         self.metrics.increment("updates")
@@ -347,6 +418,15 @@ class DSRService:
         combined = self.metrics.as_dict()
         combined["queue_depth"] = self.queue_depth
         combined["workers"] = len(self._workers)
+        combined["epoch"] = self.engine.epoch
+        combined["epoch_flush"] = getattr(self.engine, "epoch_flush", "inline")
+        combined["executor"] = self.engine.cluster.executor.name
+        maintainer = self.engine.maintainer
+        error = maintainer.background_flush_error if maintainer is not None else None
+        combined["maintenance_error"] = repr(error) if error is not None else None
+        combined["pending_maintenance"] = (
+            maintainer.has_pending_changes if maintainer is not None else False
+        )
         if self.cache is not None:
             combined["cache"] = self.cache.stats.as_dict()
             combined["cache_entries"] = len(self.cache)
@@ -362,6 +442,9 @@ class DSRService:
                 self._queue.put(None)
         for worker in self._workers:
             worker.join(timeout=5.0)
+        if self._background_epochs:
+            # Let an in-flight epoch build finish so nothing runs after close.
+            self.engine.wait_for_maintenance(timeout=5.0)
         if self.cache is not None:
             self.cache.detach()
 

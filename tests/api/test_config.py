@@ -40,6 +40,10 @@ class TestValidation:
             {"seed": "seven"},
             {"local_index_options": ["not", "a", "mapping"]},
             {"local_index_options": {1: "non-string-key"}},
+            {"executor": "gpu"},
+            {"executor": 3},
+            {"epoch_flush": "eventually"},
+            {"epoch_flush": True},
         ],
         ids=lambda overrides: repr(overrides),
     )
@@ -62,6 +66,18 @@ class TestValidation:
         with pytest.raises(ConfigError):
             config.replace(num_partitions=0)
 
+    def test_every_executor_and_epoch_flush_mode_accepted(self):
+        for executor in ("serial", "threads", "processes"):
+            for epoch_flush in ("inline", "background"):
+                config = DSRConfig(executor=executor, epoch_flush=epoch_flush)
+                assert config.executor == executor
+                assert config.epoch_flush == epoch_flush
+
+    def test_defaults_preserve_legacy_behaviour(self):
+        config = DSRConfig()
+        assert config.executor == "serial"
+        assert config.epoch_flush == "inline"
+
 
 class TestRoundTrip:
     @pytest.mark.parametrize(
@@ -71,8 +87,15 @@ class TestRoundTrip:
             DSRConfig(backend="giraphpp-eq", num_partitions=7, partitioner="hash"),
             DSRConfig(local_index="grail", local_index_options={"num_intervals": 3}),
             DSRConfig(enable_backward=True, parallel=True, seed=99),
+            DSRConfig(executor="processes", epoch_flush="background"),
         ],
-        ids=["default", "giraphpp-eq", "with-options", "backward-parallel"],
+        ids=[
+            "default",
+            "giraphpp-eq",
+            "with-options",
+            "backward-parallel",
+            "sharded-background",
+        ],
     )
     def test_from_dict_inverts_to_dict(self, config):
         assert DSRConfig.from_dict(config.to_dict()) == config

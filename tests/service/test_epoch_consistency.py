@@ -1,0 +1,223 @@
+"""Service-level epoch consistency: lock-free reads, epoch-tagged caching.
+
+A service over an ``epoch_flush="background"`` engine must (a) answer queries
+while maintenance is mid-flush — reads never block on the write path — and
+(b) never serve a cache entry computed at a different epoch than the one the
+request observes.
+
+The engine's executor defaults to ``serial`` but honours
+``REPRO_TEST_EXECUTORS`` (first entry), so the CI ``process-executor`` job
+runs this whole module against real sharded process workers.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.api import DSRConfig, open_engine
+
+SERVICE_EXECUTOR = os.environ.get("REPRO_TEST_EXECUTORS", "serial").split(",")[0].strip()
+from repro.graph.digraph import DiGraph
+from repro.service.protocol import QueryRequest, UpdateRequest
+from repro.service.server import DSRService
+
+
+def _bridge_graph():
+    graph = DiGraph.from_edges(
+        [(1, 10), (1, 11), (1, 12), (10, 20), (11, 21), (12, 22)]
+    )
+    graph.add_vertex(0)
+    return graph
+
+
+FULL_ANSWER = {(0, 20), (0, 21), (0, 22)}
+
+
+def _background_service(**kwargs):
+    engine = open_engine(
+        _bridge_graph(),
+        DSRConfig(
+            num_partitions=3,
+            partitioner="hash",
+            epoch_flush="background",
+            executor=SERVICE_EXECUTOR,
+        ),
+    )
+    return DSRService(engine, num_workers=2, **kwargs)
+
+
+def _query():
+    return QueryRequest(sources=(0,), targets=(20, 21, 22))
+
+
+class TestLockFreeReads:
+    def test_query_mid_flush_returns_published_epoch_without_blocking(self):
+        with _background_service() as service:
+            assert service.handle(_query()).pair_set == set()
+            entered = threading.Event()
+            hold = threading.Event()
+
+            def stall(state):
+                entered.set()
+                assert hold.wait(timeout=10)
+
+            service.engine.maintainer._before_publish = stall
+            try:
+                service.handle(UpdateRequest("insert-edge", 0, 1))
+                assert entered.wait(timeout=10), "background flush never started"
+
+                # Maintenance is mid-flush and *stalled*; the query must
+                # still complete (against epoch 0) — this deadlocks if the
+                # read path ever waits on the flush.
+                response = service.handle(_query())
+                assert response.epoch == 0
+                assert response.pair_set == set()
+            finally:
+                hold.set()
+                service.engine.maintainer._before_publish = None
+            assert service.engine.wait_for_maintenance(timeout=10)
+            response = service.handle(_query())
+            assert response.epoch == 1
+            assert response.pair_set == FULL_ANSWER
+
+    def test_hammer_queries_against_updates_are_never_torn(self):
+        with _background_service() as service:
+            errors = []
+            stop = threading.Event()
+
+            def querier():
+                try:
+                    while not stop.is_set():
+                        response = service.handle(_query())
+                        assert response.pair_set in (set(), FULL_ANSWER), (
+                            f"torn answer at epoch {response.epoch}: "
+                            f"{response.pair_set}"
+                        )
+                except BaseException as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=querier) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            try:
+                for _ in range(5):
+                    service.handle(UpdateRequest("insert-edge", 0, 1))
+                    service.engine.wait_for_maintenance(timeout=10)
+                    service.handle(UpdateRequest("delete-edge", 0, 1))
+                    service.engine.wait_for_maintenance(timeout=10)
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=10)
+            assert not errors, errors[0]
+
+    def test_stats_expose_epoch_and_mode(self):
+        with _background_service() as service:
+            stats = service.stats()
+            assert stats["epoch"] == 0
+            assert stats["epoch_flush"] == "background"
+            assert stats["executor"] == SERVICE_EXECUTOR
+            assert stats["maintenance_error"] is None
+
+
+class TestEpochTaggedCache:
+    def test_cache_entry_survives_update_until_swap(self):
+        """Background mode: the published epoch stays valid until the swap,
+        so (unlike inline mode) a structural update must NOT clear the cache
+        — the stale-but-consistent epoch-N answer is still the right answer
+        for epoch N."""
+        with _background_service() as service:
+            entered = threading.Event()
+            hold = threading.Event()
+            service.handle(_query())  # prime the cache at epoch 0
+            assert len(service.cache) == 1
+
+            def stall(state):
+                entered.set()
+                assert hold.wait(timeout=10)
+
+            service.engine.maintainer._before_publish = stall
+            try:
+                service.handle(UpdateRequest("insert-edge", 0, 1))
+                assert entered.wait(timeout=10)
+                # Mid-flush: the epoch-0 entry is still served (a hit).
+                response = service.handle(_query())
+                assert response.cached is True
+                assert response.pair_set == set()
+            finally:
+                hold.set()
+                service.engine.maintainer._before_publish = None
+            assert service.engine.wait_for_maintenance(timeout=10)
+
+    def test_stale_epoch_entry_rejected_after_swap(self):
+        with _background_service() as service:
+            service.handle(_query())  # cached at epoch 0
+            service.handle(UpdateRequest("insert-edge", 0, 1))
+            assert service.engine.wait_for_maintenance(timeout=10)
+            response = service.handle(_query())
+            # Epoch 1 lookup must never serve the epoch-0 entry.
+            assert response.cached is False
+            assert response.pair_set == FULL_ANSWER
+            assert response.epoch == 1
+            # And the fresh answer is re-cached under epoch 1.
+            assert service.handle(_query()).cached is True
+
+    def test_cache_put_after_swap_cannot_be_served(self):
+        """A result computed at epoch N but stored after the swap to N+1 is
+        version-checked away at lookup time."""
+        with _background_service() as service:
+            cache = service.cache
+            cache.put((0,), (20, 21, 22), set(), epoch=0)  # stale epoch-0 entry
+            service.handle(UpdateRequest("insert-edge", 0, 1))
+            assert service.engine.wait_for_maintenance(timeout=10)
+            response = service.handle(_query())
+            assert response.cached is False
+            assert response.pair_set == FULL_ANSWER
+
+    def test_epoch_rejections_counted(self):
+        with _background_service() as service:
+            service.cache.put((0,), (20, 21, 22), set(), epoch=99)
+            response = service.handle(_query())
+            assert response.cached is False
+            assert service.cache.stats.epoch_rejections >= 1
+
+
+class TestConcurrentSubmission:
+    def test_submitted_futures_resolve_consistently_during_maintenance(self):
+        with _background_service() as service:
+            futures = []
+            for i in range(10):
+                futures.append(service.submit(_query()))
+                if i == 4:
+                    service.submit(UpdateRequest("insert-edge", 0, 1))
+            answers = {frozenset(f.result(timeout=10).pair_set) for f in futures}
+            assert answers <= {frozenset(), frozenset(FULL_ANSWER)}
+            assert service.engine.wait_for_maintenance(timeout=10)
+
+
+class TestInlineModeUnchanged:
+    """The default inline mode keeps its eager invalidation contract."""
+
+    def test_inline_service_still_clears_cache_on_structural_update(self):
+        engine = open_engine(
+            _bridge_graph(), DSRConfig(num_partitions=3, partitioner="hash")
+        )
+        with DSRService(engine, num_workers=1) as service:
+            service.handle(_query())
+            assert len(service.cache) == 1
+            service.handle(UpdateRequest("insert-edge", 0, 1))
+            assert len(service.cache) == 0
+            assert service.handle(_query()).pair_set == FULL_ANSWER
+
+
+class TestAttachValidation:
+    def test_bad_invalidate_on_rejected(self):
+        engine = open_engine(
+            _bridge_graph(), DSRConfig(num_partitions=2, partitioner="hash")
+        )
+        from repro.service.cache import ResultCache
+
+        cache = ResultCache()
+        with pytest.raises(ValueError, match="invalidate_on"):
+            cache.attach(engine.maintainer, invalidate_on="sometimes")
