@@ -6,17 +6,24 @@ because local evaluations share work.
 
 Expected shape (asserted): query time is monotone (within noise) in the query
 size and the answers stay correct for every size.
+
+Each dataset's measured times are merged into ``BENCH_fig5_query_sizes.json``
+at the repository root (one ``data`` key per dataset) — part of the benchmark
+trajectory described in ``docs/BENCHMARKS.md``.
 """
+
+from pathlib import Path
 
 import pytest
 
 from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, run_once
 from repro.bench.datasets import load_dataset
-from repro.bench.reporting import format_series
+from repro.bench.reporting import format_series, write_bench_json
 from repro.bench.workloads import query_size_sweep
 from repro.api import DSRConfig, ReachQuery, open_engine
 from repro.graph.traversal import reachable_pairs
 
+REPO_ROOT = Path(__file__).resolve().parent.parent
 DATASETS = ["livej68", "freebase", "twitter", "lubm"]
 QUERY_SIZES = [10, 50, 100, 200]
 NUM_SLAVES = 5
@@ -50,6 +57,19 @@ def test_query_size_robustness(benchmark, name):
             x_label="|S|x|T|",
             title=f"Figure 5 query sizes — {name}",
         )
+    )
+    write_bench_json(
+        "fig5_query_sizes",
+        {
+            name: {
+                "scale": BENCH_SCALE,
+                "num_slaves": NUM_SLAVES,
+                "sizes": QUERY_SIZES,
+                "parallel_seconds": times,
+            }
+        },
+        directory=REPO_ROOT,
+        merge=True,
     )
     # Larger queries may take longer but never catastrophically so: a 20x
     # larger query set (400x more candidate pairs) must stay within two orders

@@ -1,0 +1,146 @@
+"""Bitset-native query pipeline — packed rows vs. set materialisation.
+
+End-to-end ``engine.run()`` latency on the Figure-5 query-size workload
+(LiveJournal analogue, random ``|S| = |T|`` samples), evaluated twice over
+the *same* engine and index: once with ``representation="sets"`` (the
+original ``Set[int]`` pipeline) and once with ``representation="bits"``
+(packed rows from the kernel through the compound-graph expansion to the
+cross-partition wire).  Exact reachable-pair parity is asserted for every
+query size, plus ground truth on the smallest size.
+
+Expected shape (asserted): the bits pipeline is at least
+``REPRO_BENCH_PIPELINE_MIN_SPEEDUP``x faster over the whole sweep (default
+2x; CI smoke runs relax this).  The measured numbers are recorded to
+``BENCH_query_latency.json`` at the repository root — the first entry of the
+benchmark trajectory described in ``docs/BENCHMARKS.md``.
+
+Environment knobs (for CI smoke tiers):
+
+* ``REPRO_BENCH_PIPELINE_SCALE`` — dataset scale (default 1.0);
+* ``REPRO_BENCH_PIPELINE_SIZES`` — comma-separated ``|S|=|T|`` sizes
+  (default ``100,200,400``);
+* ``REPRO_BENCH_PIPELINE_MIN_SPEEDUP`` — asserted floor (default 2.0).
+"""
+
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.api import DSRConfig, ReachQuery, open_engine
+from repro.bench.datasets import load_dataset
+from repro.bench.reporting import format_series, write_bench_json
+from repro.bench.workloads import query_size_sweep
+from repro.graph.traversal import reachable_pairs
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DATASET = "livej68"
+NUM_SLAVES = 5
+ROUNDS = 3
+
+SCALE = float(os.environ.get("REPRO_BENCH_PIPELINE_SCALE", "1.0"))
+SIZES = [
+    int(size)
+    for size in os.environ.get("REPRO_BENCH_PIPELINE_SIZES", "100,200,400").split(",")
+]
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_PIPELINE_MIN_SPEEDUP", "2.0"))
+
+
+def test_query_pipeline_bits_vs_sets(benchmark):
+    graph = load_dataset(DATASET, scale=SCALE, seed=BENCH_SEED)
+    engine = open_engine(
+        graph,
+        DSRConfig(num_partitions=NUM_SLAVES, local_index="msbfs", seed=BENCH_SEED),
+    )
+    sweep = query_size_sweep(graph, SIZES, seed=BENCH_SEED)
+    queries = {
+        representation: [
+            (size, ReachQuery(tuple(sources), tuple(targets), representation=representation))
+            for size, sources, targets in sweep
+        ]
+        for representation in ("sets", "bits")
+    }
+
+    def run_query(query):
+        start = time.perf_counter()
+        result = engine.run(query)
+        return time.perf_counter() - start, result.pairs
+
+    def measure():
+        # Warm both paths (CSR snapshots, handle masks, member masks).
+        for representation in ("sets", "bits"):
+            for _, query in queries[representation]:
+                run_query(query)
+        timings = {"sets": [], "bits": []}
+        answers = {"sets": [], "bits": []}
+        for representation in ("sets", "bits"):
+            for _, query in queries[representation]:
+                best = float("inf")
+                pairs = None
+                for _ in range(ROUNDS):
+                    seconds, pairs = run_query(query)
+                    best = min(best, seconds)
+                timings[representation].append(best)
+                answers[representation].append(pairs)
+        return timings, answers
+
+    timings, answers = run_once(benchmark, measure)
+
+    # Exact parity at every size; ground truth on the smallest one.
+    for index, (size, _, _) in enumerate(sweep):
+        assert answers["bits"][index] == answers["sets"][index], (
+            f"bits/sets answers diverge at {size}x{size}"
+        )
+    _, sources, targets = sweep[0]
+    assert answers["bits"][0] == reachable_pairs(graph, sources, targets)
+
+    set_seconds = sum(timings["sets"])
+    bits_seconds = sum(timings["bits"])
+    speedup = set_seconds / bits_seconds if bits_seconds else float("inf")
+
+    print()
+    print(
+        format_series(
+            {
+                "sets_ms": [round(t * 1000, 3) for t in timings["sets"]],
+                "bits_ms": [round(t * 1000, 3) for t in timings["bits"]],
+                "speedup": [
+                    round(s / b, 2) if b else float("inf")
+                    for s, b in zip(timings["sets"], timings["bits"])
+                ],
+            },
+            x_values=[f"{size}x{size}" for size in SIZES],
+            x_label="|S|x|T|",
+            title=f"Query pipeline bits vs sets — {DATASET} (scale {SCALE})",
+        )
+    )
+    print(f"sweep: sets {set_seconds*1000:.1f}ms  bits {bits_seconds*1000:.1f}ms  "
+          f"speedup {speedup:.2f}x (floor {MIN_SPEEDUP}x)")
+
+    write_bench_json(
+        "query_latency",
+        {
+            "dataset": DATASET,
+            "scale": SCALE,
+            "num_slaves": NUM_SLAVES,
+            "sizes": SIZES,
+            "set_seconds": round(set_seconds, 6),
+            "bits_seconds": round(bits_seconds, 6),
+            "speedup": round(speedup, 3),
+            "per_size": [
+                {
+                    "size": size,
+                    "set_seconds": round(timings["sets"][index], 6),
+                    "bits_seconds": round(timings["bits"][index], 6),
+                    "pairs": len(answers["bits"][index]),
+                }
+                for index, size in enumerate(SIZES)
+            ],
+        },
+        directory=REPO_ROOT,
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"bits pipeline speedup {speedup:.2f}x below the {MIN_SPEEDUP}x floor "
+        f"(sets {set_seconds:.4f}s, bits {bits_seconds:.4f}s)"
+    )

@@ -39,7 +39,13 @@ from repro.api.backends import (
     unregister_backend,
 )
 from repro.api.config import ConfigError, DSRConfig, EPOCH_FLUSH_MODES, PARTITIONERS
-from repro.api.query import DIRECTIONS, QueryError, ReachQuery, as_reach_query
+from repro.api.query import (
+    DIRECTIONS,
+    QUERY_REPRESENTATIONS,
+    QueryError,
+    ReachQuery,
+    as_reach_query,
+)
 from repro.core.query import QueryResult
 
 __all__ = [
@@ -50,6 +56,7 @@ __all__ = [
     "DSRConfig",
     "EPOCH_FLUSH_MODES",
     "PARTITIONERS",
+    "QUERY_REPRESENTATIONS",
     "QueryError",
     "QueryResult",
     "ReachQuery",

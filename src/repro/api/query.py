@@ -17,6 +17,12 @@ from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 #: Processing directions accepted by :class:`ReachQuery`.
 DIRECTIONS = ("auto", "forward", "backward")
 
+#: Evaluation representations accepted by :class:`ReachQuery`.  ``"bits"``
+#: runs the packed-row pipeline, ``"sets"`` the original ``Set[int]`` one,
+#: ``"auto"`` lets the engine/planner choose from the graph's degree
+#: statistics.  Both produce identical answers.
+QUERY_REPRESENTATIONS = ("auto", "bits", "sets")
+
 
 class QueryError(ValueError):
     """Raised when a :class:`ReachQuery` is malformed."""
@@ -40,6 +46,12 @@ class ReachQuery:
     max_batch_pairs:
         Optional per-query override of the planner's batching budget — the
         maximum ``|S| × |T|`` evaluated in a single engine call.
+    representation:
+        The evaluation currency of the DSR pipeline: ``"bits"`` (packed
+        rows), ``"sets"`` (plain Python sets) or ``"auto"`` (the default:
+        the engine/planner decides from the graph's degree statistics).
+        Backends without a packed pipeline ignore it; answers are identical
+        either way.
     """
 
     sources: Tuple[int, ...]
@@ -47,6 +59,7 @@ class ReachQuery:
     direction: str = "auto"
     use_cache: bool = True
     max_batch_pairs: Optional[int] = None
+    representation: str = "auto"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sources", tuple(self.sources))
@@ -55,6 +68,11 @@ class ReachQuery:
             raise QueryError(
                 f"unknown query direction {self.direction!r}; "
                 f"available: {', '.join(DIRECTIONS)}"
+            )
+        if self.representation not in QUERY_REPRESENTATIONS:
+            raise QueryError(
+                f"unknown query representation {self.representation!r}; "
+                f"available: {', '.join(QUERY_REPRESENTATIONS)}"
             )
         if self.max_batch_pairs is not None and (
             not isinstance(self.max_batch_pairs, int)
@@ -95,6 +113,7 @@ class ReachQuery:
             "direction": self.direction,
             "use_cache": self.use_cache,
             "max_batch_pairs": self.max_batch_pairs,
+            "representation": self.representation,
         }
 
     @classmethod
@@ -149,4 +168,10 @@ def as_reach_query(
     )
 
 
-__all__ = ["DIRECTIONS", "QueryError", "ReachQuery", "as_reach_query"]
+__all__ = [
+    "DIRECTIONS",
+    "QUERY_REPRESENTATIONS",
+    "QueryError",
+    "ReachQuery",
+    "as_reach_query",
+]

@@ -1,12 +1,18 @@
-"""Plain-text table formatting for benchmark output.
+"""Plain-text table formatting and ``BENCH_*.json`` trajectory recording.
 
 The ``benchmarks/`` scripts print tables that mirror the paper's layout
 (Table 2, Table 3, ...).  ``format_table`` renders a list of row dictionaries
-with aligned columns; ``format_series`` renders the x/y series behind a figure.
+with aligned columns; ``format_series`` renders the x/y series behind a figure;
+``write_bench_json`` records one benchmark's measured numbers as a
+``BENCH_<slug>.json`` file at the repository root (the benchmark trajectory —
+see ``docs/BENCHMARKS.md`` for the conventions).
 """
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence
 
 
@@ -47,6 +53,44 @@ def format_table(
     for row_cells in cells[1:]:
         lines.append("  ".join(cell.rjust(width) for cell, width in zip(row_cells, widths)))
     return "\n".join(lines)
+
+
+def write_bench_json(
+    slug: str,
+    payload: Mapping[str, object],
+    directory: Optional[Path] = None,
+    merge: bool = False,
+) -> Path:
+    """Record one benchmark's numbers as ``BENCH_<slug>.json``.
+
+    ``directory`` is where the trajectory lives (callers pass the repository
+    root; default: the current working directory).  The payload is written
+    under a standard envelope — ``benchmark`` (the slug), ``created_unix``
+    and ``data`` — so entries from different benchmarks stay comparable
+    across commits.  With ``merge=True`` the new data keys are merged into
+    an existing file's ``data`` (used by per-dataset parametrised benchmarks
+    that each contribute one entry).
+    """
+    directory = Path(directory) if directory is not None else Path.cwd()
+    path = directory / f"BENCH_{slug}.json"
+    data: Dict[str, object] = dict(payload)
+    if merge and path.exists():
+        try:
+            previous = json.loads(path.read_text())
+            merged = dict(previous.get("data", {}))
+            merged.update(data)
+            data = merged
+        except (ValueError, OSError, TypeError, AttributeError):
+            # Corrupt or unreadable trajectory entry (bad JSON, non-mapping
+            # envelope or data): overwrite with this run's numbers.
+            data = dict(payload)
+    envelope = {
+        "benchmark": slug,
+        "created_unix": round(time.time(), 3),
+        "data": data,
+    }
+    path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def format_series(

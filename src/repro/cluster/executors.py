@@ -336,6 +336,12 @@ def _process_worker_main(conn, rank: int, task_modules: Sequence[str]) -> None:
                 conn.send(("ok", result, time.perf_counter() - start))
             else:
                 conn.send(("error", "ProtocolError", f"unknown command {kind!r}"))
+        except StaleEpochError as exc:
+            # A task may declare its shard stale mid-execution (e.g. a
+            # packed payload addressed in a rank numbering the shard no
+            # longer matches); report it like the pre-dispatch epoch check
+            # so callers re-capture and retry instead of failing hard.
+            conn.send(("stale", exc.epoch, list(exc.available)))
         except Exception:
             conn.send(("error", "TaskError", traceback.format_exc()))
 

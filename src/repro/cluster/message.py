@@ -28,6 +28,9 @@ def payload_size(payload: Any) -> int:
         return 8
     if isinstance(payload, str):
         return len(payload) + 1
+    if isinstance(payload, (bytes, bytearray)):
+        # Packed rows ship verbatim: one byte per 8 vertex ranks.
+        return len(payload) + 1
     if isinstance(payload, (list, tuple, set, frozenset)):
         return _CONTAINER_OVERHEAD + sum(payload_size(item) for item in payload)
     if isinstance(payload, dict):

@@ -39,27 +39,40 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
+import weakref
+
 from repro.core.boundary_graph import add_summary_to_graph
+from repro.core.packed_steps import build_member_masks, condensation_rows
 from repro.core.summary import PartitionSummary
 from repro.graph.digraph import DiGraph
 from repro.graph.scc import condense
 from repro.reachability.base import ReachabilityIndex
 from repro.reachability.factory import make_reachability_index
+from repro.reachability.packed import VertexRank, handle_positions
 
 
 @dataclass(frozen=True)
 class _CondensedView:
-    """One immutable (dag, component-map, strategy index) triple.
+    """One immutable condensation view (graph ranks, DAG, masks, strategy).
 
     :class:`CondensedReachability` publishes a complete view through a single
     attribute assignment so a :meth:`CondensedReachability.rebuild` racing a
     concurrent reader can never expose a new DAG with an old component map —
-    readers grab the view once and work against that consistent triple.
+    readers grab the view once and work against that consistent tuple.
+
+    ``vertex_rank`` is the stable per-epoch numbering of the underlying
+    (compound) graph's vertices and ``dag_rank`` the numbering of the
+    condensation's components; ``member_masks[c]`` packs the members of the
+    component at DAG rank ``c`` as one row over ``vertex_rank``, so
+    expanding a reached component to its member vertices is a single OR.
     """
 
     dag: DiGraph
     vertex_to_component: Dict[int, int]
     index: ReachabilityIndex
+    vertex_rank: VertexRank
+    dag_rank: VertexRank
+    member_masks: Tuple[int, ...]
 
 
 class CondensedReachability:
@@ -82,10 +95,20 @@ class CondensedReachability:
         # construction cost to query latency instead of build time.  (The
         # label/closure indexes reach it anyway through their own internal
         # condensation, so this is never wasted work.)
-        dag.csr()
+        dag_csr = dag.csr()
         index = make_reachability_index(self.strategy, dag, **self._kwargs)
+        # Packed-pipeline structures, frozen with the view: the stable
+        # vertex/component rank numberings and the per-component member
+        # masks used to expand component rows to member rows in one OR.
+        vertex_rank = VertexRank.from_csr(self.graph.csr())
+        dag_rank = VertexRank.from_csr(dag_csr)
+        masks = build_member_masks(
+            vertex_rank.ids, vertex_to_component, dag_rank.rank_of, len(dag_rank)
+        )
         # Single atomic publication of the complete rebuilt view.
-        self._view = _CondensedView(dag, vertex_to_component, index)
+        self._view = _CondensedView(
+            dag, vertex_to_component, index, vertex_rank, dag_rank, masks
+        )
 
     # Legacy attribute access (read-only snapshots of the current view).
     @property
@@ -95,6 +118,22 @@ class CondensedReachability:
     @property
     def vertex_to_component(self) -> Dict[int, int]:
         return self._view.vertex_to_component
+
+    @property
+    def vertex_rank(self) -> VertexRank:
+        """The stable per-epoch rank numbering of the graph's vertices."""
+        return self._view.vertex_rank
+
+    def current_view(self) -> _CondensedView:
+        """Capture the published condensation view (one consistent tuple).
+
+        Packed query steps capture the view **once** and derive every rank,
+        mask and row from it: the sanctioned in-place rebuild (an
+        isolated-vertex insert) swaps in a view with a *shifted* rank
+        numbering, and mixing pre-/post-swap reads within one step would
+        AND masks against rows of a different numbering.
+        """
+        return self._view
 
     # -- queries -------------------------------------------------------- #
     def reachable(self, source: int, target: int) -> bool:
@@ -131,6 +170,40 @@ class CondensedReachability:
             result[source] = reached
         return result
 
+    def set_reachability_rows(
+        self,
+        sources: Iterable[int],
+        target_mask: Optional[int] = None,
+        view: Optional[_CondensedView] = None,
+    ) -> Dict[int, int]:
+        """Packed ``{source: row}`` over the graph's :attr:`vertex_rank`.
+
+        The bits-native sibling of :meth:`set_reachability`: sources are
+        translated to DAG components, the strategy returns packed component
+        rows (natively for the bitset MS-BFS / CSR DFS, via the set↔bits
+        bridge otherwise), and every reached component expands to its member
+        vertices with one OR of the precomputed member mask — no per-vertex
+        loops anywhere.  ``target_mask`` (a row over :attr:`vertex_rank`)
+        restricts both the harvest and the expansion; ``None`` returns the
+        full reachable rows.  Sources unknown to the graph get a zero row.
+        ``view`` pins the evaluation to a previously captured
+        :meth:`current_view` so callers that built their masks from it can
+        never race an in-place rebuild.
+        """
+        if view is None:
+            view = self._view
+        return condensation_rows(
+            sources,
+            view.vertex_to_component,
+            lambda comps, dag_mask: view.index.set_reachability_bits(
+                comps, view.dag_rank, dag_mask
+            ),
+            view.member_masks,
+            view.vertex_rank.ids,
+            view.dag_rank.rank_of,
+            target_mask,
+        )
+
     # -- stats ---------------------------------------------------------- #
     @property
     def dag_num_edges(self) -> int:
@@ -155,6 +228,19 @@ class CompoundGraph:
     remote_boundary_vertices: Set[int] = field(default_factory=set)
     # Local strategy evaluated over the condensed compound graph.
     reachability: Optional[CondensedReachability] = None
+    # Packed handle masks, cached per VertexRank *object*: every rebuild —
+    # including the sanctioned *in-place* one after an isolated-vertex
+    # insert, which calls ``reachability.rebuild()`` without going through
+    # this class — installs a fresh rank, so entries keyed by a retired
+    # rank are unreachable (and garbage-collected with it) rather than
+    # cleared-and-restamped, which a racing reader could re-poison.  Handle
+    # *positions* are rank-independent (sorted handle ids) and never stale.
+    _handle_masks: "weakref.WeakKeyDictionary" = field(
+        default_factory=weakref.WeakKeyDictionary, init=False, repr=False
+    )
+    _handle_positions: Dict[int, Dict[int, int]] = field(
+        default_factory=dict, init=False, repr=False
+    )
 
     # ------------------------------------------------------------------ #
     def build_reachability(self, strategy: str = "dfs", **kwargs) -> None:
@@ -168,6 +254,74 @@ class CompoundGraph:
         if self.reachability is None:
             self.build_reachability()
         return self.reachability.set_reachability(sources, targets)
+
+    # -- packed-row pipeline -------------------------------------------- #
+    @property
+    def vertex_rank(self) -> VertexRank:
+        """This compound graph's stable per-epoch vertex-rank numbering."""
+        if self.reachability is None:
+            self.build_reachability()
+        return self.reachability.vertex_rank
+
+    def local_set_reachability_rows(
+        self,
+        sources: Iterable[int],
+        target_mask: Optional[int] = None,
+        view: Optional[_CondensedView] = None,
+    ) -> Dict[int, int]:
+        """Packed-row ``localSetReachability(.)`` over :attr:`vertex_rank`.
+
+        Pass a captured ``view`` (see
+        :meth:`CondensedReachability.current_view`) when the target mask
+        was packed from it, so the rows share its numbering.
+        """
+        if self.reachability is None:
+            self.build_reachability()
+        return self.reachability.set_reachability_rows(sources, target_mask, view)
+
+    def condensation_view(self) -> "_CondensedView":
+        """Capture the condensed view (building the reachability if needed)."""
+        if self.reachability is None:
+            self.build_reachability()
+        return self.reachability.current_view()
+
+    def pack_vertices(self, vertices: Iterable[int]) -> int:
+        """Pack original vertex ids into a row over :attr:`vertex_rank`."""
+        return self.vertex_rank.pack(vertices)
+
+    def handle_mask_of(self, partition_id: int, rank: Optional[VertexRank] = None) -> int:
+        """Partition ``partition_id``'s forward handles as one packed row.
+
+        ``rank`` pins the mask to a captured view's numbering (defaults to
+        the currently published one).  A concurrent in-place rebuild cannot
+        poison the cache: entries are keyed by the rank object itself, and
+        a redundant racing store writes the identical value.
+        """
+        if rank is None:
+            rank = self.vertex_rank
+        per_rank = self._handle_masks.get(rank)
+        if per_rank is None:
+            per_rank = {}
+            self._handle_masks[rank] = per_rank
+        mask = per_rank.get(partition_id)
+        if mask is None:
+            mask = rank.pack(self.forward_handles_of(partition_id))
+            per_rank[partition_id] = mask
+        return mask
+
+    def handle_positions_of(self, partition_id: int) -> Dict[int, int]:
+        """Map a remote partition's handle ids to canonical wire positions.
+
+        Positions index the partition's sorted handle order (see
+        :meth:`repro.core.summary.PartitionSummary.forward_handle_order`),
+        which every slave derives identically from the broadcast summary —
+        this is the numbering packed handle messages are addressed in.
+        """
+        positions = self._handle_positions.get(partition_id)
+        if positions is None:
+            positions = handle_positions(self.forward_handles_of(partition_id))
+            self._handle_positions[partition_id] = positions
+        return positions
 
     # -- size statistics (Table 2) --------------------------------------- #
     def original_num_edges(self) -> int:

@@ -29,7 +29,11 @@ from repro.api.config import DSRConfig
 from repro.api.query import ReachQuery
 from repro.cluster.cluster import SimulatedCluster
 from repro.core.index import DSRIndex, IndexBuildReport
-from repro.core.query import DistributedQueryExecutor, QueryResult
+from repro.core.query import (
+    DistributedQueryExecutor,
+    QueryResult,
+    choose_representation,
+)
 from repro.core.updates import IncrementalMaintainer, UpdateResult
 from repro.graph.digraph import DiGraph
 from repro.partition.partition import GraphPartitioning, make_partitioning
@@ -279,6 +283,7 @@ class DSREngine:
             ):
                 self._reverse_maintainer.flush()
 
+        representation = self._resolve_representation(query)
         use_backward = query.direction == "backward" or (
             query.direction == "auto"
             and self._reverse_executor is not None
@@ -290,12 +295,36 @@ class DSREngine:
                     "backward processing requires enable_backward=True at construction"
                 )
             result = self._reverse_executor.query(
-                query.targets, query.sources
+                query.targets, query.sources, representation=representation
             ).swapped()
         else:
-            result = self._executor.query(query.sources, query.targets)
+            result = self._executor.query(
+                query.sources, query.targets, representation=representation
+            )
         self.last_query_result = result
         return result
+
+    def _resolve_representation(self, query: ReachQuery) -> str:
+        """Resolve ``query.representation`` (``"auto"`` → degree heuristic).
+
+        Reads the data graph's cached CSR degree statistics when a snapshot
+        is live (never *builds* one — resolution must stay lock-free), with
+        the O(1) edge/vertex counters as the fallback; the same
+        :func:`~repro.core.query.choose_representation` heuristic the
+        service planner applies, so both entry points agree.
+        """
+        if query.representation != "auto":
+            return query.representation
+        snapshot = self.graph.csr_if_cached()
+        if snapshot is not None:
+            avg_degree = snapshot.degree_stats()["avg_degree"]
+        elif self.graph.num_vertices:
+            avg_degree = self.graph.num_edges / self.graph.num_vertices
+        else:
+            avg_degree = 0.0
+        return choose_representation(
+            len(query.sources), len(query.targets), avg_degree
+        )
 
     def query(
         self,

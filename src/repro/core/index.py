@@ -98,6 +98,17 @@ class EpochState:
     #: sanctioned in-place edit: an isolated-vertex insert registers here).
     assignment: Dict[int, int] = field(default_factory=dict)
 
+    def vertex_rank(self, partition_id: int):
+        """The stable vertex-rank numbering of one partition's compound graph.
+
+        Every packed row and mask of this epoch — in-process, on the wire,
+        and inside hydrated worker processes — is addressed in this
+        numbering; it is frozen with the compound graph's CSR snapshot, so
+        it cannot drift until the next epoch swaps in a new compound graph
+        (whose snapshot then defines the next numbering).
+        """
+        return self.compound_graphs[partition_id].vertex_rank
+
 
 class DSRIndex:
     """Precomputed index structures for distributed set reachability."""

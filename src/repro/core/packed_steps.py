@@ -1,0 +1,194 @@
+"""The shared core of the bits-native query steps.
+
+The packed pipeline runs in two places — in-process
+(:class:`repro.core.query.DistributedQueryExecutor`) and inside hydrated
+worker processes (:mod:`repro.core.shard_exec`) — that must answer
+identically.  Everything that is a pure function of (vertex rank, reached
+rows, masks) lives here, once, so the two call sites shrink to payload
+plumbing and the lockstep surface cannot drift:
+
+* :func:`build_member_masks` — per-SCC-component member masks (component
+  row → member row in one OR), built at condensation rebuild / shard
+  hydration;
+* :func:`condensation_rows` — the complete packed ``localSetReachability``
+  over a condensation: translate sources and the target mask to DAG ranks,
+  harvest component rows through the strategy kernel, expand them through
+  the member masks;
+* :func:`local_step_groups` — the step-1 core: group sources by reached
+  row, split row hits into answer product groups and per-partition packed
+  handle payloads;
+* :func:`remote_step_groups` — the step-3 core: OR each source's handle
+  rows and regroup by row so overlapping handle answers materialise once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.reachability.packed import (
+    VertexRank,
+    iter_bits,
+    pack_ranks,
+    row_to_bytes,
+)
+
+#: One product-form answer group: every source reaches every target.
+Group = Tuple[List[int], List[int]]
+
+
+def build_member_masks(
+    vertex_ids: Sequence[int],
+    vertex_to_component: Mapping[int, int],
+    component_rank_of: Mapping[int, int],
+    num_components: int,
+) -> Tuple[int, ...]:
+    """``masks[c]``: the members of DAG-rank-``c``'s component as one row.
+
+    ``vertex_ids`` is the epoch's vertex-rank id order.  Member ranks are
+    collected per component first and packed with one ``int.from_bytes``
+    each (see :func:`repro.reachability.packed.pack_ranks`) — O(V + bytes)
+    instead of the O(V·width/64) growing-bigint OR loop.
+    """
+    members_of: List[List[int]] = [[] for _ in range(num_components)]
+    for r, vertex in enumerate(vertex_ids):
+        members_of[component_rank_of[vertex_to_component[vertex]]].append(r)
+    return tuple(pack_ranks(ranks) for ranks in members_of)
+
+
+def condensation_rows(
+    sources: Iterable[int],
+    vertex_to_component: Mapping[int, int],
+    comp_rows_for: Callable[[Iterable[int], Optional[int]], Dict[int, int]],
+    member_masks: Sequence[int],
+    vertex_ids: Sequence[int],
+    component_rank_of: Mapping[int, int],
+    target_mask: Optional[int],
+) -> Dict[int, int]:
+    """Packed ``{source: row}`` over a condensation's member vertex ranks.
+
+    Sources unknown to the condensation get a zero row;
+    ``comp_rows_for(comps, dag_mask)`` returns packed component rows over
+    the DAG ranks (the strategy kernel); each reached component expands to
+    its members with one OR of the precomputed mask, and sources sharing a
+    component row share the expansion.  ``target_mask`` restricts both the
+    harvest and the expansion (``None`` keeps everything).
+    """
+    sources = list(sources)
+    rows: Dict[int, int] = {source: 0 for source in sources}
+    source_comps = {
+        source: vertex_to_component[source]
+        for source in sources
+        if source in vertex_to_component
+    }
+    if not source_comps or target_mask == 0:
+        return rows
+
+    if target_mask is None:
+        dag_mask: Optional[int] = None
+    else:
+        # The mask is small (targets + handles): derive the DAG-level mask
+        # from its set bits rather than scanning every component.
+        dag_mask = 0
+        for r in iter_bits(target_mask):
+            dag_mask |= 1 << component_rank_of[vertex_to_component[vertex_ids[r]]]
+
+    comp_rows = comp_rows_for(set(source_comps.values()), dag_mask)
+    expanded: Dict[int, int] = {}
+    for source, comp in source_comps.items():
+        comp_row = comp_rows.get(comp, 0)
+        row = expanded.get(comp_row)
+        if row is None:
+            row = 0
+            for comp_rank in iter_bits(comp_row):
+                row |= member_masks[comp_rank]
+            if target_mask is not None:
+                row &= target_mask
+            expanded[comp_row] = row
+        rows[source] = row
+    return rows
+
+
+def local_step_groups(
+    vrank: VertexRank,
+    rows: Mapping[int, int],
+    sources: Iterable[int],
+    target_mask: int,
+    all_handle_mask: int,
+    pid_masks: Sequence[Tuple[int, int]],
+    handle_positions_of: Callable[[int], Mapping[int, int]],
+) -> Tuple[List[Group], Dict[int, Dict[bytes, List[int]]]]:
+    """Step-1 core: reached rows → answer groups + packed handle payloads.
+
+    Sources are grouped by their reached row (one SCC → one row), so each
+    distinct row is intersected with the target mask and decoded exactly
+    once; the handles bound for partition ``pid`` are re-packed into
+    ``pid``'s canonical handle positions and keyed by their byte form, with
+    all sources sharing the row appended to one payload entry.
+    """
+    groups: List[Group] = []
+    outgoing: Dict[int, Dict[bytes, List[int]]] = {}
+    ids = vrank.ids
+
+    by_row: Dict[int, List[int]] = {}
+    for source in sources:
+        row = rows.get(source, 0)
+        if row:
+            by_row.setdefault(row, []).append(source)
+
+    for row, row_sources in by_row.items():
+        hits = row & target_mask
+        if hits:
+            groups.append((row_sources, vrank.unpack(hits)))
+        if not all_handle_mask or not row & all_handle_mask:
+            continue
+        for pid, pid_mask in pid_masks:
+            hit = row & pid_mask
+            if not hit:
+                continue
+            positions = handle_positions_of(pid)
+            handle_row = 0
+            for r in iter_bits(hit):
+                handle_row |= 1 << positions[ids[r]]
+            outgoing.setdefault(pid, {}).setdefault(
+                row_to_bytes(handle_row), []
+            ).extend(row_sources)
+    return groups, outgoing
+
+
+def remote_step_groups(
+    vrank: VertexRank,
+    rows: Mapping[int, int],
+    sources_by_handle: Mapping[int, Iterable[int]],
+    members_by_handle: Mapping[int, Tuple[int, ...]],
+) -> List[Group]:
+    """Step-3 core: per-handle member rows → per-source groups.
+
+    Each source's rows (across all handles it reached) are ORed into one
+    row, then sources are regrouped by that row — overlapping handle
+    answers materialise once, and each distinct row decodes once.
+    """
+    row_by_source: Dict[int, int] = {}
+    for handle, handle_sources in sources_by_handle.items():
+        reached_row = 0
+        for member in members_by_handle[handle]:
+            reached_row |= rows.get(member, 0)
+        if not reached_row:
+            continue
+        for source in handle_sources:
+            prev = row_by_source.get(source)
+            row_by_source[source] = (
+                reached_row if prev is None else prev | reached_row
+            )
+    by_row: Dict[int, List[int]] = {}
+    for source, row in row_by_source.items():
+        by_row.setdefault(row, []).append(source)
+    return [(row_sources, vrank.unpack(row)) for row, row_sources in by_row.items()]
+
+
+__all__ = [
+    "Group",
+    "build_member_masks",
+    "condensation_rows",
+    "local_step_groups",
+    "remote_step_groups",
+]

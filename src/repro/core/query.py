@@ -25,6 +25,18 @@ The executor follows the paper's three-step protocol:
 
 Single-pair queries (Algorithm 1) are the special case ``|S| = |T| = 1``.
 
+Representations
+---------------
+Every step runs in one of two *currencies*, chosen per query
+(``representation=``): ``"bits"`` — the default for anything beyond tiny
+queries on near-edgeless graphs — evaluates local reachability as packed
+rows over the epoch's stable vertex-rank numbering
+(:mod:`repro.reachability.packed`), intersects targets and handles with
+big-int ``AND`` masks, ships ``{packed handle bytes: [sources]}`` messages,
+and keeps answers in product form until the master materialises the
+``(s, t)`` tuples once; ``"sets"`` is the original ``Set[int]`` pipeline.
+Both produce identical answers (``tests/core/test_packed_pipeline.py``).
+
 Concurrency and epochs
 ----------------------
 A query captures the index's published :class:`~repro.core.index.EpochState`
@@ -48,15 +60,43 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from itertools import product
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.cluster.cluster import ClusterStats, SimulatedCluster
 from repro.cluster.executors import StaleEpochError
 from repro.cluster.network import Network
 from repro.core.index import DSRIndex, EpochState
+from repro.core.packed_steps import Group, local_step_groups, remote_step_groups
+from repro.reachability.packed import iter_bits, row_from_bytes, row_to_bytes
 
 #: How many times a sharded query re-captures the epoch before falling back.
 _MAX_STALE_RETRIES = 2
+
+#: Representations a query can be evaluated in.
+REPRESENTATIONS = ("bits", "sets")
+
+#: Below this |S|x|T| a sparse graph is cheaper to answer with plain sets
+#: (packed rows pay a fixed mask-construction cost per step).
+_SMALL_QUERY_PAIRS = 4
+_SPARSE_AVG_DEGREE = 1.0
+
+
+def choose_representation(
+    num_sources: int, num_targets: int, avg_degree: float
+) -> str:
+    """Pick the evaluation currency for a query from its size and the graph.
+
+    Packed rows win whenever there is batching to amortise — more than a
+    handful of candidate pairs, or a graph dense enough that reached sets
+    grow large; tiny queries over very sparse graphs stay on the set path,
+    whose early-terminating traversals beat building masks.  Shared by
+    :class:`~repro.core.engine.DSREngine` (``representation="auto"``) and
+    the service planner, so both layers make the same call.
+    """
+    if num_sources * num_targets <= _SMALL_QUERY_PAIRS and avg_degree < _SPARSE_AVG_DEGREE:
+        return "sets"
+    return "bits"
 
 
 @dataclass
@@ -117,8 +157,24 @@ class DistributedQueryExecutor:
     # ------------------------------------------------------------------ #
     # public entry points
     # ------------------------------------------------------------------ #
-    def query(self, sources: Iterable[int], targets: Iterable[int]) -> QueryResult:
-        """Evaluate ``S ⇝ T`` and return every reachable ``(s, t)`` pair."""
+    def query(
+        self,
+        sources: Iterable[int],
+        targets: Iterable[int],
+        representation: str = "bits",
+    ) -> QueryResult:
+        """Evaluate ``S ⇝ T`` and return every reachable ``(s, t)`` pair.
+
+        ``representation`` selects the evaluation currency of the three-step
+        protocol: ``"bits"`` (the default) runs every local step over packed
+        rows and ships packed handle bytes, ``"sets"`` keeps the original
+        ``Set[int]`` materialisation.  Both produce identical pairs.
+        """
+        if representation not in REPRESENTATIONS:
+            raise ValueError(
+                f"unknown representation {representation!r}; "
+                f"available: {', '.join(REPRESENTATIONS)}"
+            )
         source_set = set(sources)
         target_set = set(targets)
         self._validate(source_set | target_set)
@@ -132,7 +188,13 @@ class DistributedQueryExecutor:
             stats = ClusterStats()
             try:
                 pairs = self._execute(
-                    state, source_set, target_set, net, stats, sharded=use_shards
+                    state,
+                    source_set,
+                    target_set,
+                    net,
+                    stats,
+                    sharded=use_shards,
+                    representation=representation,
                 )
                 break
             except StaleEpochError:
@@ -223,11 +285,13 @@ class DistributedQueryExecutor:
         net: Network,
         stats: ClusterStats,
         sharded: bool,
+        representation: str = "bits",
     ) -> Set[Tuple[int, int]]:
         sources_of, targets_of, boundary_targets_of, interior_targets_of = self._split(
             state, source_set, target_set
         )
         pairs: Set[Tuple[int, int]] = set()
+        bits = representation == "bits"
 
         # ----- Step 1: local evaluation at every slave --------------------- #
         if sharded:
@@ -239,15 +303,30 @@ class DistributedQueryExecutor:
                 for pid, boundary_targets in boundary_targets_of.items():
                     if pid != rank:
                         remote_boundary |= boundary_targets
-                payloads[rank] = {
+                step1_targets = targets_of.get(rank, set()) | remote_boundary
+                payload: Dict[str, object] = {
                     "sources": sorted(local_sources),
-                    "targets": sorted(targets_of.get(rank, set()) | remote_boundary),
                     "interior_pids": sorted(
                         pid
                         for pid, interior in interior_targets_of.items()
                         if pid != rank and interior
                     ),
                 }
+                if bits:
+                    # Packed wire form: targets travel as one row over the
+                    # worker's epoch vertex rank (identical on both sides by
+                    # construction — the blob ships the same id order).
+                    # ``num_ranks`` guards the one way the numbering can
+                    # move without an epoch bump (an in-place isolated-
+                    # vertex insert always changes the cardinality): a
+                    # mismatched worker raises StaleEpochError and the
+                    # query re-captures and retries.
+                    vrank = state.vertex_rank(rank)
+                    payload["targets_bits"] = row_to_bytes(vrank.pack(step1_targets))
+                    payload["num_ranks"] = len(vrank)
+                else:
+                    payload["targets"] = sorted(step1_targets)
+                payloads[rank] = payload
             step1_results = (
                 self.cluster.run_shard_phase(
                     "local", "dsr.local_step", payloads, epoch=state.epoch, stats=stats
@@ -256,8 +335,10 @@ class DistributedQueryExecutor:
                 else {}
             )
         else:
+            step_fn = self._local_step_bits if bits else self._local_step
+
             def step1(rank: int):
-                return self._local_step(
+                return step_fn(
                     state,
                     rank,
                     sources_of.get(rank, set()),
@@ -268,8 +349,13 @@ class DistributedQueryExecutor:
 
             step1_results = self.cluster.run_phase("local", step1, stats=stats)
 
-        for rank, (local_pairs, outgoing) in step1_results.items():
-            pairs |= local_pairs
+        for rank, (step1_answer, outgoing) in step1_results.items():
+            if bits:
+                # Product-form groups materialise exactly once, here.
+                for group_sources, group_targets in step1_answer:
+                    pairs.update(product(group_sources, group_targets))
+            else:
+                pairs |= step1_answer
             for destination, payload in outgoing.items():
                 net.send(rank, destination, payload, tag="handles")
 
@@ -284,15 +370,27 @@ class DistributedQueryExecutor:
                 messages = net.deliver(rank)
                 if not interior or not messages:
                     continue
-                sources_by_handle = self._invert_messages(messages)
-                if sources_by_handle:
-                    payloads3[rank] = {
-                        "sources_by_handle": {
-                            handle: sorted(handle_sources)
-                            for handle, handle_sources in sources_by_handle.items()
-                        },
-                        "interior_targets": sorted(interior),
-                    }
+                if bits:
+                    sources_by_handle = self._invert_messages_bits(
+                        messages, state.summaries[rank].forward_handle_order()
+                    )
+                else:
+                    sources_by_handle = self._invert_messages(messages)
+                if not sources_by_handle:
+                    continue
+                payload3: Dict[str, object] = {
+                    "sources_by_handle": {
+                        handle: sorted(handle_sources)
+                        for handle, handle_sources in sources_by_handle.items()
+                    },
+                }
+                if bits:
+                    vrank = state.vertex_rank(rank)
+                    payload3["targets_bits"] = row_to_bytes(vrank.pack(interior))
+                    payload3["num_ranks"] = len(vrank)
+                else:
+                    payload3["interior_targets"] = sorted(interior)
+                payloads3[rank] = payload3
             step3_results = (
                 self.cluster.run_shard_phase(
                     "remote", "dsr.remote_step", payloads3, epoch=state.epoch, stats=stats
@@ -300,17 +398,21 @@ class DistributedQueryExecutor:
                 if payloads3
                 else {}
             )
-            for remote_pairs in step3_results.values():
-                pairs |= remote_pairs
         else:
+            remote_fn = self._remote_step_bits if bits else self._remote_step
+
             def step3(rank: int):
-                return self._remote_step(
+                return remote_fn(
                     state, rank, interior_targets_of.get(rank, set()), net
                 )
 
             step3_results = self.cluster.run_phase("remote", step3, stats=stats)
-            for remote_pairs in step3_results.values():
-                pairs |= remote_pairs
+        for step3_answer in step3_results.values():
+            if bits:
+                for group_sources, group_targets in step3_answer:
+                    pairs.update(product(group_sources, group_targets))
+            else:
+                pairs |= step3_answer
         return pairs
 
     # ------------------------------------------------------------------ #
@@ -373,6 +475,66 @@ class DistributedQueryExecutor:
                     outgoing.setdefault(pid, {})[source] = hit
         return pairs, outgoing
 
+    def _local_step_bits(
+        self,
+        state: EpochState,
+        rank: int,
+        local_sources: Set[int],
+        local_targets: Set[int],
+        boundary_targets_of: Dict[int, Set[int]],
+        interior_targets_of: Dict[int, Set[int]],
+    ) -> Tuple[List[Group], Dict[int, Dict[bytes, List[int]]]]:
+        """Step 1 at slave ``rank``, evaluated entirely over packed rows.
+
+        Targets and handles are packed once into masks over the compound
+        graph's vertex rank; the row-grouping/decoding/packing core is
+        :func:`repro.core.packed_steps.local_step_groups`, shared verbatim
+        with the worker-side shard task.  The result stays in product form
+        — ``(sources, targets)`` groups — and only the master materialises
+        ``(s, t)`` tuples, once; the handles bound for slave ``j`` travel
+        as ``{packed handle bytes: [sources]}`` in ``j``'s canonical handle
+        order.
+        """
+        if not local_sources:
+            return [], {}
+        compound = state.compound_graphs[rank]
+        # One view capture per step: every rank, mask and row below shares
+        # its numbering, so an in-place rebuild racing this query cannot
+        # mix bit positions across the swap.
+        view = compound.condensation_view()
+        vrank = view.vertex_rank
+
+        remote_boundary_targets: Set[int] = set()
+        for pid, boundary_targets in boundary_targets_of.items():
+            if pid != rank:
+                remote_boundary_targets |= boundary_targets
+        interior_pids = [
+            pid
+            for pid, interior_targets in interior_targets_of.items()
+            if pid != rank and interior_targets
+        ]
+
+        target_mask = vrank.pack(local_targets | remote_boundary_targets)
+        pid_masks = [
+            (pid, compound.handle_mask_of(pid, vrank)) for pid in interior_pids
+        ]
+        all_handle_mask = 0
+        for _, pid_mask in pid_masks:
+            all_handle_mask |= pid_mask
+
+        rows = compound.local_set_reachability_rows(
+            local_sources, target_mask | all_handle_mask, view
+        )
+        return local_step_groups(
+            vrank,
+            rows,
+            local_sources,
+            target_mask,
+            all_handle_mask,
+            pid_masks,
+            compound.handle_positions_of,
+        )
+
     @staticmethod
     def _invert_messages(messages) -> Dict[int, Set[int]]:
         """Invert ``{source: [handles]}`` payloads into handle → sources.
@@ -385,6 +547,65 @@ class DistributedQueryExecutor:
                 for handle in handles:
                     sources_by_handle.setdefault(handle, set()).add(source)
         return sources_by_handle
+
+    @staticmethod
+    def _invert_messages_bits(
+        messages, handle_order: Tuple[int, ...]
+    ) -> Dict[int, List[int]]:
+        """Invert packed ``{handle bytes: [sources]}`` payloads to handle → sources.
+
+        ``handle_order`` is the receiving partition's canonical handle
+        numbering; bit ``p`` of a payload row addresses ``handle_order[p]``.
+        The payloads arrive pre-grouped by row (sources of one SCC ship one
+        byte-identical row), so each distinct row decodes exactly once; the
+        source lists are duplicate-free because every source lives in
+        exactly one partition and ships exactly one row per destination.
+        """
+        sources_by_handle: Dict[int, List[int]] = {}
+        for message in messages:
+            for handle_bytes, row_sources in message.payload.items():
+                for position in iter_bits(row_from_bytes(handle_bytes)):
+                    sources_by_handle.setdefault(
+                        handle_order[position], []
+                    ).extend(row_sources)
+        return sources_by_handle
+
+    def _remote_step_bits(
+        self, state: EpochState, rank: int, interior_targets: Set[int], net: Network
+    ) -> List[Group]:
+        """Step 3 at slave ``rank`` over packed rows.
+
+        Received handle bytes are decoded against this partition's canonical
+        handle order and expanded to representative members; the
+        row-ORing/regrouping core is :func:`repro.core.packed_steps.
+        remote_step_groups`, shared verbatim with the worker-side shard
+        task.  Returns product-form ``(sources, targets)`` groups; the
+        master materialises the tuples.
+        """
+        messages = net.deliver(rank)
+        if not interior_targets or not messages:
+            return []
+        compound = state.compound_graphs[rank]
+        summary = state.summaries[rank]
+
+        sources_by_handle = self._invert_messages_bits(
+            messages, summary.forward_handle_order()
+        )
+        if not sources_by_handle:
+            return []
+
+        members_by_handle: Dict[int, Tuple[int, ...]] = {
+            handle: summary.expand_handle(handle) for handle in sources_by_handle
+        }
+        all_members = {
+            member for members in members_by_handle.values() for member in members
+        }
+        # One view capture per step (see _local_step_bits).
+        view = compound.condensation_view()
+        vrank = view.vertex_rank
+        interior_mask = vrank.pack(interior_targets)
+        rows = compound.local_set_reachability_rows(all_members, interior_mask, view)
+        return remote_step_groups(vrank, rows, sources_by_handle, members_by_handle)
 
     def _remote_step(
         self, state: EpochState, rank: int, interior_targets: Set[int], net: Network

@@ -36,12 +36,26 @@ in-flight query of that epoch concurrently.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.cluster.executors import register_shard_loader, register_shard_task
+from repro.cluster.executors import (
+    StaleEpochError,
+    register_shard_loader,
+    register_shard_task,
+)
+from repro.core.packed_steps import (
+    build_member_masks,
+    condensation_rows,
+    local_step_groups,
+    remote_step_groups,
+)
 from repro.graph.csr import CSRGraph
-from repro.reachability.bitset_msbfs import set_reachability as _bitset_set_reachability
+from repro.reachability.bitset_msbfs import (
+    set_reachability as _bitset_set_reachability,
+    set_reachability_rows as _bitset_set_reachability_rows,
+)
+from repro.reachability.packed import VertexRank, handle_positions, row_from_bytes
 
 #: Registry name of the hydration loader used for DSR shards.
 DSR_SHARD_LOADER = "dsr.load_shard"
@@ -59,6 +73,10 @@ class WorkerShardBlob:
     component_of: Dict[int, int]
     remote_forward_handles: Dict[int, Tuple[int, ...]]
     expand_members: Dict[int, Tuple[int, ...]]
+    #: The epoch's vertex-rank id order of this partition's compound graph —
+    #: the numbering every packed mask/row in step payloads is addressed in.
+    #: Shipped verbatim so worker and parent can never disagree on a rank.
+    vertex_ids: Tuple[int, ...] = ()
 
 
 @dataclass
@@ -71,6 +89,24 @@ class WorkerShard:
     component_of: Dict[int, int]
     remote_forward_handles: Dict[int, Tuple[int, ...]]
     expand_members: Dict[int, Tuple[int, ...]]
+    #: Packed-pipeline structures, derived once at hydration.
+    vertex_rank: Optional[VertexRank] = None
+    member_masks: Tuple[int, ...] = ()
+    _handle_positions: Dict[int, Dict[int, int]] = field(default_factory=dict)
+
+    def handle_positions_of(self, pid: int) -> Dict[int, int]:
+        """Handle id → canonical wire position for remote partition ``pid``.
+
+        Derived through the shared
+        :func:`repro.reachability.packed.handle_positions`, so positions
+        agree with every other slave's
+        :meth:`~repro.core.summary.PartitionSummary.forward_handle_order`.
+        """
+        positions = self._handle_positions.get(pid)
+        if positions is None:
+            positions = handle_positions(self.remote_forward_handles.get(pid, ()))
+            self._handle_positions[pid] = positions
+        return positions
 
 
 def build_shard_blob(rank: int, epoch: int, compound, summary) -> WorkerShardBlob:
@@ -83,9 +119,6 @@ def build_shard_blob(rank: int, epoch: int, compound, summary) -> WorkerShardBlo
     if compound.reachability is None:
         compound.build_reachability()
     reach = compound.reachability
-    expand: Dict[int, Tuple[int, ...]] = {}
-    for cls in list(summary.forward_classes) + list(summary.backward_classes):
-        expand[cls.class_id] = (cls.representative,)
     return WorkerShardBlob(
         rank=rank,
         epoch=epoch,
@@ -95,21 +128,55 @@ def build_shard_blob(rank: int, epoch: int, compound, summary) -> WorkerShardBlo
             pid: tuple(sorted(handles))
             for pid, handles in compound.remote_forward_handles.items()
         },
-        expand_members=expand,
+        # The single expansion contract, shared with the in-process path.
+        expand_members=dict(summary.expand_table()),
+        vertex_ids=reach.vertex_rank.ids,
     )
 
 
 @register_shard_loader(DSR_SHARD_LOADER)
 def load_shard(blob: WorkerShardBlob) -> WorkerShard:
-    """Hydrate a blob into the worker's queryable shard (CSR re-inflated)."""
+    """Hydrate a blob into the worker's queryable shard (CSR re-inflated).
+
+    The packed-pipeline structures — the vertex rank and the per-component
+    member masks — are derived here, once per epoch, so every query of the
+    epoch expands component rows with plain ORs.
+    """
+    dag_csr = CSRGraph.from_bytes(blob.dag_csr_bytes)
+    vertex_ids = blob.vertex_ids or tuple(sorted(blob.component_of))
+    vertex_rank = VertexRank(vertex_ids)
+    masks = build_member_masks(
+        vertex_ids,
+        blob.component_of,
+        VertexRank.from_csr(dag_csr).rank_of,
+        dag_csr.num_vertices,
+    )
     return WorkerShard(
         rank=blob.rank,
         epoch=blob.epoch,
-        dag_csr=CSRGraph.from_bytes(blob.dag_csr_bytes),
+        dag_csr=dag_csr,
         component_of=blob.component_of,
         remote_forward_handles=blob.remote_forward_handles,
         expand_members=blob.expand_members,
+        vertex_rank=vertex_rank,
+        member_masks=tuple(masks),
     )
+
+
+def _check_rank_cardinality(shard: WorkerShard, payload: Dict[str, Any]) -> None:
+    """Reject packed payloads addressed in a different rank numbering.
+
+    An in-place isolated-vertex insert shifts the vertex-rank numbering
+    without bumping the epoch (it always changes the cardinality), and
+    :meth:`repro.core.index.DSRIndex.rehydrate_partition` reships this
+    shard under the *same* epoch — so a bits payload packed on the other
+    side of that window must not be decoded here.  Raising
+    :class:`StaleEpochError` routes it into the query's existing
+    re-capture-and-retry path.
+    """
+    expected = payload.get("num_ranks")
+    if expected is not None and expected != len(shard.vertex_rank.ids):
+        raise StaleEpochError(shard.rank, shard.epoch, (shard.epoch,))
 
 
 # ---------------------------------------------------------------------- #
@@ -149,6 +216,30 @@ def _shard_set_reachability(
     return result
 
 
+def _shard_set_reachability_rows(
+    shard: WorkerShard, sources: Iterable[int], target_mask: int
+) -> Dict[int, int]:
+    """Packed ``{source: row}`` over the shard's vertex rank.
+
+    Mirrors :meth:`repro.core.compound_graph.CondensedReachability.
+    set_reachability_rows`: translate the mask to DAG components, run the
+    packed bitset kernel, expand reached components through the hydrated
+    member masks with single ORs.
+    """
+    dag_csr = shard.dag_csr
+    return condensation_rows(
+        sources,
+        shard.component_of,
+        lambda comps, dag_mask: _bitset_set_reachability_rows(
+            dag_csr, comps, dag_mask
+        ),
+        shard.member_masks,
+        shard.vertex_rank.ids,
+        VertexRank.from_csr(dag_csr).rank_of,
+        target_mask,
+    )
+
+
 # ---------------------------------------------------------------------- #
 # the two per-slave query steps (Algorithms 1 and 2)
 # ---------------------------------------------------------------------- #
@@ -156,12 +247,18 @@ def _shard_set_reachability(
 def local_step(shard: WorkerShard, payload: Dict[str, Any]):
     """Step 1 at this slave: local pairs + handles to ship per partition.
 
-    Payload: ``{"sources": [...], "targets": [...], "interior_pids": [...]}``
-    where ``targets`` already bundles local targets with remote *boundary*
-    targets (resolvable here without communication) and ``interior_pids``
-    names the remote partitions whose interior targets need handle shipping.
-    Returns ``(pairs, outgoing)`` with ``outgoing[pid] = {source: [handles]}``.
+    Payload: ``{"sources": [...], "interior_pids": [...]}`` plus the targets
+    in one of two wire forms — ``"targets_bits"`` (packed bytes over this
+    shard's vertex rank; the bits-native pipeline) or ``"targets"`` (sorted
+    id list; the set pipeline).  ``targets`` already bundles local targets
+    with remote *boundary* targets (resolvable here without communication)
+    and ``interior_pids`` names the remote partitions whose interior targets
+    need handle shipping.  Returns ``(pairs, outgoing)`` with
+    ``outgoing[pid] = {source: packed handle bytes}`` in bits form and
+    ``{source: [handles]}`` in set form.
     """
+    if "targets_bits" in payload:
+        return _local_step_bits(shard, payload)
     pairs: Set[Tuple[int, int]] = set()
     outgoing: Dict[int, Dict[int, List[int]]] = {}
     sources = payload["sources"]
@@ -194,18 +291,64 @@ def local_step(shard: WorkerShard, payload: Dict[str, Any]):
     return pairs, outgoing
 
 
+def _local_step_bits(shard: WorkerShard, payload: Dict[str, Any]):
+    """Bits-native step 1: masks in, product groups + packed bytes out.
+
+    The row-grouping/decoding/packing core is the same
+    :func:`repro.core.packed_steps.local_step_groups` the in-process path
+    runs — only the mask plumbing differs.  The answer ships as
+    ``(sources, targets)`` product groups (the parent materialises the
+    tuples once) and the handle traffic as ``{packed handle bytes:
+    [sources]}`` per destination partition.
+    """
+    sources = payload["sources"]
+    if not sources:
+        return [], {}
+    _check_rank_cardinality(shard, payload)
+    vrank = shard.vertex_rank
+    interior_pids = [pid for pid in payload["interior_pids"] if pid != shard.rank]
+
+    target_mask = row_from_bytes(payload["targets_bits"])
+    pid_masks = [
+        (pid, vrank.pack(shard.remote_forward_handles.get(pid, ())))
+        for pid in interior_pids
+    ]
+    all_handle_mask = 0
+    for _, pid_mask in pid_masks:
+        all_handle_mask |= pid_mask
+
+    rows = _shard_set_reachability_rows(
+        shard, sources, target_mask | all_handle_mask
+    )
+    return local_step_groups(
+        vrank,
+        rows,
+        sources,
+        target_mask,
+        all_handle_mask,
+        pid_masks,
+        shard.handle_positions_of,
+    )
+
+
 @register_shard_task(REMOTE_STEP_TASK)
 def remote_step(shard: WorkerShard, payload: Dict[str, Any]):
     """Step 3 at this slave: expand received handles, finish locally.
 
-    Payload: ``{"sources_by_handle": {handle: [sources]},
-    "interior_targets": [...]}`` (the parent has already drained and
-    inverted this slave's inbox).  Returns the resolved ``(s, t)`` pairs.
+    Payload: ``{"sources_by_handle": {handle: [sources]}}`` plus the
+    remaining interior targets as either ``"targets_bits"`` (packed bytes
+    over this shard's vertex rank) or ``"interior_targets"`` (sorted list) —
+    the parent has already drained and inverted this slave's inbox.
+    Returns the resolved ``(s, t)`` pairs.
     """
     pairs: Set[Tuple[int, int]] = set()
     sources_by_handle: Dict[int, List[int]] = payload["sources_by_handle"]
+    if not sources_by_handle:
+        return pairs
+    if "targets_bits" in payload:
+        return _remote_step_bits(shard, payload)
     interior_targets = payload["interior_targets"]
-    if not interior_targets or not sources_by_handle:
+    if not interior_targets:
         return pairs
 
     members_by_handle = {
@@ -224,6 +367,33 @@ def remote_step(shard: WorkerShard, payload: Dict[str, Any]):
             for target in reached:
                 pairs.add((source, target))
     return pairs
+
+
+def _remote_step_bits(shard: WorkerShard, payload: Dict[str, Any]):
+    """Bits-native step 3: expand handles, AND rows against the target mask.
+
+    The row-ORing/regrouping core is the same
+    :func:`repro.core.packed_steps.remote_step_groups` the in-process path
+    runs.  Returns product-form ``(sources, targets)`` groups; the parent
+    materialises the tuples.
+    """
+    sources_by_handle: Dict[int, List[int]] = payload["sources_by_handle"]
+    _check_rank_cardinality(shard, payload)
+    interior_mask = row_from_bytes(payload["targets_bits"])
+    if not interior_mask:
+        return []
+
+    members_by_handle = {
+        handle: shard.expand_members.get(handle, (handle,))
+        for handle in sources_by_handle
+    }
+    all_members = {
+        member for members in members_by_handle.values() for member in members
+    }
+    rows = _shard_set_reachability_rows(shard, all_members, interior_mask)
+    return remote_step_groups(
+        shard.vertex_rank, rows, sources_by_handle, members_by_handle
+    )
 
 
 __all__ = [

@@ -15,7 +15,7 @@ local subgraph yields the compound graph of Definition 6 (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.equivalence import (
     ClassIdAllocator,
@@ -26,6 +26,7 @@ from repro.core.equivalence import (
 from repro.graph.digraph import DiGraph
 from repro.reachability.base import ReachabilityIndex
 from repro.reachability.factory import make_reachability_index
+from repro.reachability.packed import VertexRank
 
 
 @dataclass
@@ -42,6 +43,24 @@ class PartitionSummary:
     class_edges: Set[Tuple[int, int]] = field(default_factory=set)
     # Member-level transitive edges between real boundary vertices.
     member_edges: Set[Tuple[int, int]] = field(default_factory=set)
+    # Lazily built derived caches.  A summary is immutable by contract once
+    # its build returns, but the member→class maps are requested per remote
+    # summary in every boundary/compound-graph assembly and the expansion
+    # table per received handle in query step 3 — memoising them turns
+    # thousands of per-call dict rebuilds into one.  Excluded from equality
+    # (derived state) and rebuilt on the receiving side after pickling.
+    _member_to_forward: Optional[Dict[int, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _member_to_backward: Optional[Dict[int, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _expand_table: Optional[Dict[int, Tuple[int, ...]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _forward_handle_order: Optional[Tuple[int, ...]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ #
     # derived accessors
@@ -56,19 +75,30 @@ class PartitionSummary:
         return set(self.in_boundaries) | set(self.out_boundaries)
 
     def member_to_forward_class(self) -> Dict[int, int]:
-        """Map each classified in-boundary member to its class id."""
-        mapping: Dict[int, int] = {}
-        for cls in self.forward_classes:
-            for member in cls.members:
-                mapping[member] = cls.class_id
-        return mapping
+        """Map each classified in-boundary member to its class id (memoised).
+
+        The returned dict is a shared cache — treat it as read-only.
+        """
+        if self._member_to_forward is None:
+            mapping: Dict[int, int] = {}
+            for cls in self.forward_classes:
+                for member in cls.members:
+                    mapping[member] = cls.class_id
+            self._member_to_forward = mapping
+        return self._member_to_forward
 
     def member_to_backward_class(self) -> Dict[int, int]:
-        mapping: Dict[int, int] = {}
-        for cls in self.backward_classes:
-            for member in cls.members:
-                mapping[member] = cls.class_id
-        return mapping
+        """Map each classified out-boundary member to its class id (memoised).
+
+        The returned dict is a shared cache — treat it as read-only.
+        """
+        if self._member_to_backward is None:
+            mapping: Dict[int, int] = {}
+            for cls in self.backward_classes:
+                for member in cls.members:
+                    mapping[member] = cls.class_id
+            self._member_to_backward = mapping
+        return self._member_to_backward
 
     def forward_handles(self) -> Set[int]:
         """Entry handles other slaves use to address this partition.
@@ -95,15 +125,38 @@ class PartitionSummary:
 
         A class handle expands to its representative (the equivalence
         guarantee makes any member interchangeable for non-boundary targets);
-        a member handle expands to itself.
+        a member handle expands to itself.  The class→representative table
+        is memoised (see :meth:`expand_table`): step 3 expands one handle
+        per received message entry, and a linear class scan per handle does
+        not scale.
         """
-        for cls in self.forward_classes:
-            if cls.class_id == handle:
-                return (cls.representative,)
-        for cls in self.backward_classes:
-            if cls.class_id == handle:
-                return (cls.representative,)
-        return (handle,)
+        return self.expand_table().get(handle, (handle,))
+
+    def expand_table(self) -> Dict[int, Tuple[int, ...]]:
+        """The memoised class-id → expansion-members table (read-only).
+
+        This is the single definition of the handle-expansion contract:
+        :meth:`expand_handle` reads it in-process and
+        :func:`repro.core.shard_exec.build_shard_blob` ships it to worker
+        processes, so the two evaluation paths cannot drift.
+        """
+        if self._expand_table is None:
+            self._expand_table = {
+                cls.class_id: (cls.representative,)
+                for cls in list(self.forward_classes) + list(self.backward_classes)
+            }
+        return self._expand_table
+
+    def forward_handle_order(self) -> Tuple[int, ...]:
+        """The canonical (sorted) forward-handle numbering of this partition.
+
+        Packed cross-partition messages address this partition's handles by
+        *position* in this tuple; every slave derives the same order from
+        the broadcast summary, so the positions agree cluster-wide.
+        """
+        if self._forward_handle_order is None:
+            self._forward_handle_order = tuple(sorted(self.forward_handles()))
+        return self._forward_handle_order
 
     def classes_by_id(self) -> Dict[int, EquivalenceClass]:
         return {
@@ -172,10 +225,17 @@ def build_partition_summary(
     if local_index is None:
         local_index = make_reachability_index(local_index_name, local_graph)
 
+    # All boundary reachability is harvested through packed rows over the
+    # local snapshot's vertex ranks: the kernel covers the B boundary
+    # vertices in ceil(B/W) passes and only touches the *reached* target
+    # bits, instead of probing every (source, boundary) combination.
+    rank = VertexRank.from_csr(local_graph.csr())
+
     if not use_equivalence:
-        rset = local_index.set_reachability(in_boundaries, out_boundaries)
-        for source, reached in rset.items():
-            for target in reached:
+        out_mask = rank.pack(out_boundaries)
+        rows = local_index.set_reachability_bits(in_boundaries, rank, out_mask)
+        for source in in_boundaries:
+            for target in rank.unpack(rows.get(source, 0)):
                 if source != target:
                     summary.member_edges.add((source, target))
         return summary
@@ -196,11 +256,11 @@ def build_partition_summary(
         allocator,
     )
 
-    overlap = in_boundaries & out_boundaries
     # Reachability from every in-boundary to every boundary vertex; this is
     # the same O(|I_j| * |O_j|)-style computation the paper performs, the
     # compression happens in what gets *stored*.
-    rset = local_index.set_reachability(in_boundaries, in_boundaries | out_boundaries)
+    boundary_mask = rank.pack(in_boundaries | out_boundaries)
+    rows = local_index.set_reachability_bits(in_boundaries, rank, boundary_mask)
 
     pure_in = in_boundaries - out_boundaries
     pure_out = out_boundaries - in_boundaries
@@ -208,7 +268,7 @@ def build_partition_summary(
     member_to_backward = summary.member_to_backward_class()
 
     for source in in_boundaries:
-        for target in rset.get(source, set()):
+        for target in rank.unpack(rows.get(source, 0)):
             if source == target:
                 continue
             if source in pure_in and target in pure_out:

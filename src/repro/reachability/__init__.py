@@ -22,8 +22,9 @@ Strategies (Section 3.3 of the paper):
   fully materialised closure; the ground truth used by the test suite.
 """
 
-from repro.reachability import bitset_msbfs
+from repro.reachability import bitset_msbfs, packed
 from repro.reachability.base import ReachabilityIndex
+from repro.reachability.packed import VertexRank
 from repro.reachability.dfs import DFSReachability
 from repro.reachability.factory import available_strategies, make_reachability_index
 from repro.reachability.ferrari import FerrariIndex
@@ -38,7 +39,9 @@ __all__ = [
     "FerrariIndex",
     "GrailIndex",
     "TransitiveClosureIndex",
+    "VertexRank",
     "bitset_msbfs",
+    "packed",
     "make_reachability_index",
     "available_strategies",
 ]

@@ -25,9 +25,10 @@ stay small; 512-bit ints are still cheap to OR/AND in CPython.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.graph.csr import CSRGraph
+from repro.reachability.packed import iter_bits
 
 #: Default number of sources propagated per kernel pass.
 DEFAULT_BATCH_SIZE = 512
@@ -115,6 +116,69 @@ def _run_batch(
         for target, target_index in dense_targets:
             if seen[target_index] & bit:
                 reached.add(target)
+
+
+def set_reachability_rows(
+    csr: CSRGraph,
+    sources: Iterable[int],
+    target_mask: Optional[int] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Dict[int, int]:
+    """Packed ``{source: row}`` over the snapshot's dense vertex numbering.
+
+    Bit ``r`` of a row is set iff dense vertex ``r`` is reachable from the
+    source; ``target_mask`` restricts the rows to the masked dense indices
+    (``None`` keeps every reached vertex).  This is the bits-native sibling
+    of :func:`set_reachability`: the same W-wide frontier propagates once
+    per batch, but the harvest walks only the *reached* target bits —
+    ``O(hits)`` big-int work — instead of probing every (source, target)
+    combination, which is what makes covering all ``B`` boundary vertices
+    cost ``ceil(B/W)`` kernel passes rather than per-source scans.
+
+    Sources are original vertex ids; ids absent from the snapshot yield
+    all-zero rows.  A source covered by the mask always reaches itself.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    source_list = list(sources)
+    rows: Dict[int, int] = {source: 0 for source in source_list}
+    valid_sources = [source for source in source_list if csr.has_vertex(source)]
+    if not valid_sources or target_mask == 0:
+        return rows
+
+    # Per-source rows accumulate as bit marks in bytearrays and become ints
+    # with one from_bytes each at the end — a growing-bigint ``row |= bit``
+    # per hit would cost O(hits · width/64) in reallocation copies.
+    width = (csr.num_vertices + 7) >> 3
+    buffers: Dict[int, bytearray] = {}
+    for start in range(0, len(valid_sources), batch_size):
+        batch = valid_sources[start : start + batch_size]
+        seeds: Dict[int, int] = {}
+        for position, source in enumerate(batch):
+            index = csr.index_of(source)
+            seeds[index] = seeds.get(index, 0) | (1 << position)
+        seen = propagate(csr, seeds)
+        # Harvest: per reached target index, distribute its source bits.
+        if target_mask is None:
+            indices: Iterable[int] = range(csr.num_vertices)
+        else:
+            indices = iter_bits(target_mask)
+        for target_index in indices:
+            bits = seen[target_index]
+            if not bits:
+                continue
+            byte_index = target_index >> 3
+            byte_bit = 1 << (target_index & 7)
+            for position in iter_bits(bits):
+                source = batch[position]
+                buffer = buffers.get(source)
+                if buffer is None:
+                    buffer = bytearray(width)
+                    buffers[source] = buffer
+                buffer[byte_index] |= byte_bit
+    for source, buffer in buffers.items():
+        rows[source] = int.from_bytes(buffer, "little")
+    return rows
 
 
 def reachable(csr: CSRGraph, source: int, target: int) -> bool:

@@ -16,11 +16,12 @@ bitset frontier over its flat adjacency arrays, instead of walking the
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Set
+from typing import Dict, Iterable, Optional, Set
 
 from repro.graph.digraph import DiGraph
 from repro.reachability import bitset_msbfs
 from repro.reachability.base import ReachabilityIndex
+from repro.reachability.packed import VertexRank
 
 
 class MultiSourceBFS(ReachabilityIndex):
@@ -39,4 +40,23 @@ class MultiSourceBFS(ReachabilityIndex):
     ) -> Dict[int, Set[int]]:
         return bitset_msbfs.set_reachability(
             self.graph.csr(), list(sources), targets, batch_size=self.batch_size
+        )
+
+    def set_reachability_bits(
+        self,
+        sources: Iterable[int],
+        rank: VertexRank,
+        target_mask: Optional[int] = None,
+    ) -> Dict[int, int]:
+        """Packed rows straight off the bitset kernel (no set boxing).
+
+        Native only when the caller's rank numbering *is* the snapshot's
+        dense numbering (the epoch pipeline always passes exactly that);
+        a foreign numbering falls back to the generic set↔bits bridge.
+        """
+        csr = self.graph.csr()
+        if rank.ids != csr.ids:
+            return super().set_reachability_bits(sources, rank, target_mask)
+        return bitset_msbfs.set_reachability_rows(
+            csr, list(sources), target_mask, batch_size=self.batch_size
         )

@@ -1,0 +1,150 @@
+"""Packed bitset rows over a stable vertex-rank numbering.
+
+This module defines the *currency* of the bitset-native query pipeline: a
+**packed row** is one arbitrary-width Python ``int`` whose bit ``r`` means
+"the vertex at rank ``r`` is in this set".  Ranks come from a
+:class:`VertexRank` — a stable bijection between vertex ids and bit
+positions, frozen per epoch (it is derived from the deterministic id order
+of a :class:`~repro.graph.csr.CSRGraph` snapshot, so two structurally equal
+graphs always agree on every rank).
+
+Rows replace Python ``Set[int]`` materialisation on the query hot path:
+intersecting a reached row against a precomputed target mask is one big-int
+``AND`` instead of a per-element hash probe, and expanding an SCC component
+to its members is one ``OR`` against a precomputed member mask instead of a
+per-vertex loop.  Rows also serialise to compact little-endian byte strings
+(:func:`row_to_bytes` / :func:`row_from_bytes`) so cross-partition messages
+and process-worker payloads can carry them directly on the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graph.csr import CSRGraph
+
+
+#: Bit positions set in each byte value — the decode loop walks bytes, not
+#: bigint lowest-set-bit chains, so scanning an n-bit row costs O(n/8 + k)
+#: byte-table lookups instead of O(k) arbitrary-width int operations.
+_BYTE_BITS: Tuple[Tuple[int, ...], ...] = tuple(
+    tuple(i for i in range(8) if value >> i & 1) for value in range(256)
+)
+
+
+def iter_bits(row: int) -> Iterator[int]:
+    """Yield the set bit positions of ``row`` in ascending order."""
+    if not row:
+        return
+    offset = 0
+    byte_bits = _BYTE_BITS
+    for byte in row.to_bytes((row.bit_length() + 7) // 8, "little"):
+        if byte:
+            for i in byte_bits[byte]:
+                yield offset + i
+        offset += 8
+
+
+def popcount(row: int) -> int:
+    """Number of set bits in ``row``."""
+    return bin(row).count("1")
+
+
+def handle_positions(handles: Iterable[int]) -> Dict[int, int]:
+    """Handle id → canonical wire position (ascending-id order).
+
+    This is the single definition of how packed handle messages number a
+    partition's forward handles: the sender's compound graph, the hydrated
+    worker shard and the receiving summary all derive positions through
+    this function, so the three views of the wire can never disagree.
+    """
+    return {handle: position for position, handle in enumerate(sorted(handles))}
+
+
+def pack_ranks(ranks: Sequence[int]) -> int:
+    """Pack ascending bit positions into a row via one ``int.from_bytes``.
+
+    Setting bits in a byte buffer and converting once is O(k + width/8);
+    the naive ``row |= 1 << r`` loop reallocates the growing bigint per
+    member — O(k·width/64) — which bites on large SCCs / dense rows.
+    """
+    if not ranks:
+        return 0
+    buffer = bytearray((ranks[-1] >> 3) + 1)
+    for r in ranks:
+        buffer[r >> 3] |= 1 << (r & 7)
+    return int.from_bytes(buffer, "little")
+
+
+def row_to_bytes(row: int) -> bytes:
+    """Serialise a packed row into a minimal little-endian byte string."""
+    return row.to_bytes((row.bit_length() + 7) // 8, "little")
+
+
+def row_from_bytes(data: bytes) -> int:
+    """Inverse of :func:`row_to_bytes`."""
+    return int.from_bytes(data, "little")
+
+
+class VertexRank:
+    """A stable vertex-id ↔ bit-position bijection.
+
+    ``ids[r]`` is the vertex at rank ``r`` and ``rank_of[v]`` the rank of
+    vertex ``v``.  Instances are immutable by contract; one is derived per
+    epoch from each compound graph's CSR snapshot (whose id order is
+    deterministic), so every slave — in-process or a hydrated worker
+    process — numbers the same vertices identically.
+    """
+
+    __slots__ = ("ids", "rank_of", "__weakref__")
+
+    def __init__(self, ids: Sequence[int]) -> None:
+        self.ids: Tuple[int, ...] = tuple(ids)
+        self.rank_of: Dict[int, int] = {vertex: r for r, vertex in enumerate(self.ids)}
+
+    @classmethod
+    def from_csr(cls, csr: "CSRGraph") -> "VertexRank":
+        """The rank numbering of a CSR snapshot (its dense index order)."""
+        rank = cls.__new__(cls)
+        rank.ids = csr.ids
+        # Share the snapshot's own id->index dict: identical mapping, and the
+        # identity lets native kernels skip any rank translation.
+        rank.rank_of = csr._index_of
+        return rank
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self.rank_of
+
+    def pack(self, vertices: Iterable[int]) -> int:
+        """Pack vertex ids into a row (ids unknown to this rank are skipped)."""
+        row = 0
+        rank_of = self.rank_of
+        for vertex in vertices:
+            r = rank_of.get(vertex)
+            if r is not None:
+                row |= 1 << r
+        return row
+
+    def unpack(self, row: int) -> List[int]:
+        """The vertex ids of a row, in ascending rank order."""
+        ids = self.ids
+        return [ids[r] for r in iter_bits(row)]
+
+    def full_mask(self) -> int:
+        """The row with every vertex of this rank set."""
+        return (1 << len(self.ids)) - 1
+
+
+__all__ = [
+    "VertexRank",
+    "handle_positions",
+    "iter_bits",
+    "pack_ranks",
+    "popcount",
+    "row_from_bytes",
+    "row_to_bytes",
+]

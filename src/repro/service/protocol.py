@@ -84,6 +84,7 @@ class QueryRequest(ReachQuery):
             direction=query.direction,
             use_cache=query.use_cache,
             max_batch_pairs=query.max_batch_pairs,
+            representation=query.representation,
         )
 
 

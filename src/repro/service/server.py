@@ -337,7 +337,12 @@ class DSRService:
         messages = byte_count = 0
         for batch_sources, batch_targets in plan.batches:
             result = self.engine.run(
-                ReachQuery(batch_sources, batch_targets, direction=plan.direction)
+                ReachQuery(
+                    batch_sources,
+                    batch_targets,
+                    direction=plan.direction,
+                    representation=plan.representation,
+                )
             )
             results.append(result.pairs)
             epochs.add(result.epoch)

@@ -1,0 +1,327 @@
+"""Bits/sets parity of the full query pipeline.
+
+The packed-row pipeline must answer every query identically to the set
+pipeline — across every executor backend (the matrix honours
+``REPRO_TEST_EXECUTORS``), in both processing directions, through every
+registered backend, and on the handle-expansion edge cases (overlap
+vertices are kept member-level; class handles expand to representatives).
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.api import DSRConfig, ReachQuery, available_backends, open_engine
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+
+EXECUTORS = tuple(
+    name.strip()
+    for name in os.environ.get(
+        "REPRO_TEST_EXECUTORS", "serial,threads,processes"
+    ).split(",")
+    if name.strip()
+)
+
+
+def _random_queries(graph, count, size, seed):
+    rng = random.Random(seed)
+    vertices = sorted(graph.vertices())
+    queries = []
+    for _ in range(count):
+        queries.append(
+            (
+                tuple(rng.sample(vertices, min(size, len(vertices)))),
+                tuple(rng.sample(vertices, min(size, len(vertices)))),
+            )
+        )
+    return queries
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+class TestBitsSetsParityAcrossExecutors:
+    """representation="bits" == representation="sets" on every executor."""
+
+    def test_forward_parity(self, executor):
+        graph = generators.social_graph(220, avg_degree=5, seed=17)
+        engine = open_engine(
+            graph,
+            DSRConfig(num_partitions=4, local_index="msbfs", executor=executor),
+        )
+        try:
+            for sources, targets in _random_queries(graph, 6, 8, seed=23):
+                bits = engine.run(
+                    ReachQuery(sources, targets, representation="bits")
+                )
+                sets = engine.run(
+                    ReachQuery(sources, targets, representation="sets")
+                )
+                assert bits.pairs == sets.pairs
+                assert bits.rounds == sets.rounds == 1
+        finally:
+            engine.close()
+
+    def test_backward_parity(self, executor):
+        graph = generators.social_graph(180, avg_degree=4, seed=29)
+        engine = open_engine(
+            graph,
+            DSRConfig(
+                num_partitions=3,
+                local_index="msbfs",
+                executor=executor,
+                enable_backward=True,
+            ),
+        )
+        try:
+            for sources, targets in _random_queries(graph, 4, 6, seed=31):
+                results = {
+                    (direction, representation): engine.run(
+                        ReachQuery(
+                            sources,
+                            targets,
+                            direction=direction,
+                            representation=representation,
+                        )
+                    ).pairs
+                    for direction in ("forward", "backward")
+                    for representation in ("bits", "sets")
+                }
+                reference = results[("forward", "sets")]
+                for key, pairs in results.items():
+                    assert pairs == reference, f"{key} diverges"
+        finally:
+            engine.close()
+
+    def test_parity_survives_updates(self, executor):
+        graph = generators.social_graph(150, avg_degree=4, seed=37)
+        engine = open_engine(
+            graph,
+            DSRConfig(num_partitions=3, local_index="msbfs", executor=executor),
+        )
+        try:
+            query_args = _random_queries(graph, 3, 10, seed=41)
+            edges = list(graph.edges())[:5]
+            for u, v in edges:
+                engine.delete_edge(u, v)
+            for sources, targets in query_args:
+                bits = engine.run(ReachQuery(sources, targets, representation="bits"))
+                sets = engine.run(ReachQuery(sources, targets, representation="sets"))
+                assert bits.pairs == sets.pairs
+            for u, v in edges:
+                engine.insert_edge(u, v)
+            for sources, targets in query_args:
+                bits = engine.run(ReachQuery(sources, targets, representation="bits"))
+                sets = engine.run(ReachQuery(sources, targets, representation="sets"))
+                assert bits.pairs == sets.pairs
+        finally:
+            engine.close()
+
+
+class TestHandleExpansionEdgeCases:
+    """Overlap vertices stay member-level through the packed wire."""
+
+    def _overlap_graph(self):
+        # Hash partitioning over 3 parts assigns v -> v % 3.  Partition 1
+        # holds {1, 4, 7, 10, 13, 16}: vertex 4 is an in-boundary (0 -> 4),
+        # vertex 7 an *overlap* vertex (in via 2 -> 7, out via 7 -> 5, so it
+        # must stay member-level in the summary), and 13/16 are pure
+        # interior targets reachable only through the handle exchange.
+        # Partition 2 mirrors the shape with interior targets 11/14.
+        return DiGraph.from_edges(
+            [
+                (0, 4), (4, 13), (13, 16),          # into p1, interior chain
+                (2, 7), (7, 5), (7, 13),            # overlap vertex 7
+                (1, 4), (4, 10), (10, 16),          # intra-p1 fan
+                (0, 3), (3, 6), (6, 4),             # intra-p0 path to the cut
+                (5, 8), (8, 11), (11, 14),          # interior chain in p2
+                (9, 0),                             # back-edge into p0
+            ]
+        )
+
+    def test_overlap_and_interior_targets(self):
+        graph = self._overlap_graph()
+        engine = open_engine(
+            graph, DSRConfig(num_partitions=3, partitioner="hash", local_index="msbfs")
+        )
+        vertices = tuple(sorted(graph.vertices()))
+        bits = engine.run(ReachQuery(vertices, vertices, representation="bits"))
+        sets = engine.run(ReachQuery(vertices, vertices, representation="sets"))
+        assert bits.pairs == sets.pairs
+        # Sanity: the workload really exercised the handle exchange.
+        assert bits.messages_sent == sets.messages_sent
+        assert bits.messages_sent > 0
+
+    def test_without_equivalence_member_level_wire(self):
+        graph = self._overlap_graph()
+        engine = open_engine(
+            graph,
+            DSRConfig(
+                num_partitions=3,
+                partitioner="hash",
+                local_index="msbfs",
+                use_equivalence=False,
+            ),
+        )
+        vertices = tuple(sorted(graph.vertices()))
+        bits = engine.run(ReachQuery(vertices, vertices, representation="bits"))
+        sets = engine.run(ReachQuery(vertices, vertices, representation="sets"))
+        assert bits.pairs == sets.pairs
+
+    def test_packed_wire_ships_fewer_bytes(self):
+        graph = generators.social_graph(200, avg_degree=5, seed=43)
+        engine = open_engine(graph, DSRConfig(num_partitions=4, local_index="msbfs"))
+        sources = tuple(sorted(graph.vertices()))[:40]
+        targets = tuple(sorted(graph.vertices()))[-40:]
+        bits = engine.run(ReachQuery(sources, targets, representation="bits"))
+        sets = engine.run(ReachQuery(sources, targets, representation="sets"))
+        assert bits.pairs == sets.pairs
+        if sets.bytes_sent:
+            assert bits.bytes_sent < sets.bytes_sent
+
+
+class TestCrossBackendParity:
+    """Every registered backend answers like the packed DSR pipeline."""
+
+    def test_all_backends_agree_with_bits(self):
+        graph = generators.random_digraph(90, 260, seed=47)
+        partitions = 3
+        queries = _random_queries(graph, 3, 6, seed=53)
+        reference = None
+        dsr = open_engine(
+            graph, DSRConfig(num_partitions=partitions, local_index="msbfs")
+        )
+        reference = [
+            dsr.run(ReachQuery(s, t, representation="bits")).pairs for s, t in queries
+        ]
+        for backend in available_backends():
+            engine = open_engine(
+                graph, DSRConfig(backend=backend, num_partitions=partitions)
+            )
+            for index, (sources, targets) in enumerate(queries):
+                result = engine.run(ReachQuery(sources, targets))
+                assert result.pairs == reference[index], (
+                    f"backend {backend} diverges from packed DSR"
+                )
+
+
+class TestRepresentationPlumbing:
+    def test_reach_query_validates_representation(self):
+        from repro.api.query import QueryError
+
+        with pytest.raises(QueryError):
+            ReachQuery((1,), (2,), representation="packed")
+        query = ReachQuery((1,), (2,), representation="bits")
+        assert query.to_dict()["representation"] == "bits"
+        assert ReachQuery.from_dict(query.to_dict()) == query
+
+    def test_executor_rejects_unknown_representation(self):
+        graph = generators.random_digraph(30, 60, seed=59)
+        engine = open_engine(graph, DSRConfig(num_partitions=2))
+        with pytest.raises(ValueError):
+            engine._executor.query([0], [1], representation="nope")
+
+    def test_planner_resolves_representation(self):
+        from repro.service.planner import QueryPlanner
+
+        graph = generators.social_graph(120, avg_degree=5, seed=61)
+        engine = open_engine(graph, DSRConfig(num_partitions=3))
+        planner = QueryPlanner(engine)
+        vertices = tuple(sorted(graph.vertices()))
+        auto_plan = planner.plan(ReachQuery(vertices[:20], vertices[:20]))
+        assert auto_plan.representation == "bits"
+        forced = planner.plan(
+            ReachQuery(vertices[:20], vertices[:20], representation="sets")
+        )
+        assert forced.representation == "sets"
+
+    def test_engine_auto_picks_sets_for_tiny_sparse(self):
+        # A near-edgeless graph with a single-pair query lands on "sets".
+        graph = DiGraph.from_edges([(0, 1)])
+        for v in range(2, 40):
+            graph.add_vertex(v)
+        engine = open_engine(graph, DSRConfig(num_partitions=2, partitioner="hash"))
+        assert (
+            engine._resolve_representation(ReachQuery((0,), (1,))) == "sets"
+        )
+        assert (
+            engine._resolve_representation(
+                ReachQuery(tuple(range(10)), tuple(range(10, 20)))
+            )
+            == "bits"
+        )
+
+
+class TestInPlaceInsertKeepsMasksFresh:
+    """The sanctioned in-place isolated-vertex insert rebuilds the condensed
+    view without going through ``CompoundGraph.build_reachability``; the
+    packed handle caches must follow the new vertex-rank numbering."""
+
+    def test_bits_query_after_insert_vertex(self):
+        # Spaced ids so an inserted vertex (15) shifts every later rank.
+        edges = [(u, u + 10) for u in range(10, 600, 10)]
+        edges += [(600, 10), (50, 250), (250, 450)]
+        graph = DiGraph.from_edges(edges)
+        engine = open_engine(
+            graph, DSRConfig(num_partitions=3, partitioner="hash", local_index="msbfs")
+        )
+        vertices = tuple(sorted(graph.vertices()))
+        query = ReachQuery(vertices[:20], vertices[-20:], representation="bits")
+        before = engine.run(query).pairs
+        assert before == engine.run(
+            ReachQuery(vertices[:20], vertices[-20:], representation="sets")
+        ).pairs
+        # In-place insert of a non-maximal id: ranks >= rank(15) all shift.
+        engine.insert_vertex(vertex=15)
+        after_bits = engine.run(query).pairs
+        after_sets = engine.run(
+            ReachQuery(vertices[:20], vertices[-20:], representation="sets")
+        ).pairs
+        assert after_bits == after_sets == before
+
+
+class TestRankShiftGuards:
+    """Mid-epoch rank shifts must be detected, not silently mis-decoded."""
+
+    def test_worker_rejects_mismatched_rank_cardinality(self):
+        from repro.cluster.executors import StaleEpochError
+        from repro.core.shard_exec import build_shard_blob, load_shard, local_step
+        from repro.reachability.packed import row_to_bytes
+
+        graph = generators.social_graph(60, avg_degree=4, seed=97)
+        engine = open_engine(graph, DSRConfig(num_partitions=2, local_index="msbfs"))
+        state = engine.index.current_state()
+        shard = load_shard(
+            build_shard_blob(0, 0, state.compound_graphs[0], state.summaries[0])
+        )
+        vrank = state.vertex_rank(0)
+        payload = {
+            "sources": sorted(state.compound_graphs[0].local_vertices)[:3],
+            "interior_pids": [],
+            "targets_bits": row_to_bytes(vrank.full_mask()),
+            "num_ranks": len(vrank) + 1,  # as if packed after an insert
+        }
+        with pytest.raises(StaleEpochError):
+            local_step(shard, payload)
+        payload["num_ranks"] = len(vrank)
+        groups, outgoing = local_step(shard, payload)
+        assert outgoing == {}
+        assert groups  # sources reach at least themselves
+
+    def test_pinned_view_survives_in_place_rebuild(self):
+        # Masks packed from a captured view must evaluate against that same
+        # view even if the condensation is rebuilt in between (the
+        # sanctioned in-place insert path).
+        graph = generators.social_graph(80, avg_degree=4, seed=101)
+        engine = open_engine(graph, DSRConfig(num_partitions=2, local_index="msbfs"))
+        compound = engine.index.current_state().compound_graphs[0]
+        view = compound.condensation_view()
+        vrank = view.vertex_rank
+        sources = sorted(compound.local_vertices)[:5]
+        mask = vrank.full_mask()
+        before = compound.local_set_reachability_rows(sources, mask, view)
+        compound.graph.add_vertex(max(graph.vertices()) + 1)
+        compound.reachability.rebuild()  # installs a new, shifted rank
+        assert compound.vertex_rank is not vrank
+        after = compound.local_set_reachability_rows(sources, mask, view)
+        assert after == before

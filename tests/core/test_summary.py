@@ -141,3 +141,46 @@ class TestBoundaryGraph:
         opt_stats = boundary_graph_stats(0, optimised, partitioning.cut_edges())
         assert opt_stats.num_forward_entries <= plain_stats.num_forward_entries
         assert opt_stats.num_backward_entries <= plain_stats.num_backward_entries
+
+
+class TestSummaryMemoisation:
+    """Derived maps are built once per summary (they used to rebuild per call)."""
+
+    def test_member_to_class_maps_are_memoised(self):
+        graph = generators.random_digraph(60, 180, seed=5)
+        partitioning = make_partitioning(graph, 3, strategy="hash", seed=5)
+        summary = make_summary(partitioning, 0, use_equivalence=True)
+        forward = summary.member_to_forward_class()
+        backward = summary.member_to_backward_class()
+        assert summary.member_to_forward_class() is forward
+        assert summary.member_to_backward_class() is backward
+        # Content still matches a fresh rebuild from the classes.
+        assert forward == {
+            member: cls.class_id
+            for cls in summary.forward_classes
+            for member in cls.members
+        }
+        assert backward == {
+            member: cls.class_id
+            for cls in summary.backward_classes
+            for member in cls.members
+        }
+
+    def test_expand_handle_memoised_table_matches_scan(self):
+        graph = generators.random_digraph(60, 180, seed=6)
+        partitioning = make_partitioning(graph, 3, strategy="hash", seed=6)
+        summary = make_summary(partitioning, 1, use_equivalence=True)
+        for cls in list(summary.forward_classes) + list(summary.backward_classes):
+            assert summary.expand_handle(cls.class_id) == (cls.representative,)
+        # Member handles (e.g. overlap vertices) expand to themselves.
+        for member in summary.overlap:
+            assert summary.expand_handle(member) == (member,)
+        assert summary.expand_handle(123456789) == (123456789,)
+
+    def test_forward_handle_order_is_sorted_and_stable(self):
+        graph = generators.random_digraph(50, 150, seed=7)
+        partitioning = make_partitioning(graph, 3, strategy="hash", seed=7)
+        summary = make_summary(partitioning, 2, use_equivalence=True)
+        order = summary.forward_handle_order()
+        assert order == tuple(sorted(summary.forward_handles()))
+        assert summary.forward_handle_order() is order

@@ -1,0 +1,183 @@
+"""Packed rows: VertexRank, byte serialisation and the bits protocol.
+
+``set_reachability_bits`` must agree exactly with ``set_reachability`` for
+every registered strategy — natively for the traversal kernels (bitset
+MS-BFS, CSR DFS) and through the default set↔bits bridge for the index
+strategies (ferrari, grail, closure).
+"""
+
+import random
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+from repro.reachability import bitset_msbfs, make_reachability_index
+from repro.reachability.packed import (
+    VertexRank,
+    iter_bits,
+    popcount,
+    row_from_bytes,
+    row_to_bytes,
+)
+
+STRATEGIES = ["dfs", "msbfs", "bitset", "ferrari", "grail", "closure"]
+
+
+class TestPackedPrimitives:
+    def test_iter_bits_matches_binary(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            row = rng.getrandbits(rng.randrange(1, 300))
+            expected = [i for i in range(row.bit_length()) if row >> i & 1]
+            assert list(iter_bits(row)) == expected
+            assert popcount(row) == len(expected)
+
+    def test_iter_bits_empty(self):
+        assert list(iter_bits(0)) == []
+
+    def test_row_bytes_round_trip(self):
+        rng = random.Random(5)
+        for _ in range(50):
+            row = rng.getrandbits(rng.randrange(0, 500))
+            assert row_from_bytes(row_to_bytes(row)) == row
+        assert row_to_bytes(0) == b""
+        assert row_from_bytes(b"") == 0
+
+    def test_vertex_rank_pack_unpack(self):
+        rank = VertexRank((5, 9, 11, 40))
+        assert len(rank) == 4
+        assert 9 in rank and 7 not in rank
+        row = rank.pack([40, 5, 7])  # unknown id 7 skipped
+        assert row == 0b1001
+        assert rank.unpack(row) == [5, 40]
+        assert rank.full_mask() == 0b1111
+
+    def test_from_csr_matches_dense_numbering(self):
+        graph = generators.random_digraph(40, 120, seed=2)
+        csr = graph.csr()
+        rank = VertexRank.from_csr(csr)
+        assert rank.ids == csr.ids
+        for vertex in graph.vertices():
+            assert rank.rank_of[vertex] == csr.index_of(vertex)
+
+
+class TestKernelRows:
+    def test_rows_match_set_reachability(self):
+        graph = generators.random_digraph(60, 200, seed=4)
+        csr = graph.csr()
+        rank = VertexRank.from_csr(csr)
+        vertices = sorted(graph.vertices())
+        rng = random.Random(9)
+        sources = rng.sample(vertices, 12)
+        targets = rng.sample(vertices, 15)
+        mask = rank.pack(targets)
+        rows = bitset_msbfs.set_reachability_rows(csr, sources, mask)
+        sets = bitset_msbfs.set_reachability(csr, sources, targets)
+        for source in sources:
+            assert set(rank.unpack(rows[source])) == sets[source]
+
+    def test_rows_full_universe(self):
+        graph = DiGraph.from_edges([(1, 2), (2, 3), (3, 1), (3, 4)])
+        csr = graph.csr()
+        rank = VertexRank.from_csr(csr)
+        rows = bitset_msbfs.set_reachability_rows(csr, [1], None)
+        assert set(rank.unpack(rows[1])) == {1, 2, 3, 4}
+
+    def test_unknown_source_and_empty_mask(self):
+        graph = DiGraph.from_edges([(1, 2)])
+        csr = graph.csr()
+        rows = bitset_msbfs.set_reachability_rows(csr, [99], None)
+        assert rows == {99: 0}
+        rows = bitset_msbfs.set_reachability_rows(csr, [1], 0)
+        assert rows == {1: 0}
+
+    def test_batching_splits_agree(self):
+        graph = generators.random_digraph(50, 160, seed=6)
+        csr = graph.csr()
+        rank = VertexRank.from_csr(csr)
+        sources = sorted(graph.vertices())[:20]
+        mask = rank.full_mask()
+        wide = bitset_msbfs.set_reachability_rows(csr, sources, mask)
+        narrow = bitset_msbfs.set_reachability_rows(csr, sources, mask, batch_size=3)
+        assert wide == narrow
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestProtocolParity:
+    """set_reachability_bits == packed set_reachability for every strategy."""
+
+    def test_bits_match_sets(self, strategy):
+        graph = generators.social_graph(80, avg_degree=4, seed=11)
+        index = make_reachability_index(strategy, graph)
+        rank = VertexRank.from_csr(graph.csr())
+        rng = random.Random(13)
+        vertices = sorted(graph.vertices())
+        sources = rng.sample(vertices, 10)
+        targets = rng.sample(vertices, 12)
+        mask = rank.pack(targets)
+        rows = index.set_reachability_bits(sources, rank, mask)
+        sets = index.set_reachability(sources, targets)
+        for source in sources:
+            assert set(rank.unpack(rows[source])) == sets[source], (
+                f"{strategy}: diverging row for source {source}"
+            )
+
+    def test_no_mask_covers_all_vertices(self, strategy):
+        graph = generators.random_digraph(40, 100, seed=21)
+        index = make_reachability_index(strategy, graph)
+        rank = VertexRank.from_csr(graph.csr())
+        sources = sorted(graph.vertices())[:6]
+        rows = index.set_reachability_bits(sources, rank)
+        sets = index.set_reachability(sources, graph.vertices())
+        for source in sources:
+            assert set(rank.unpack(rows[source])) == sets[source]
+
+    def test_foreign_rank_falls_back_to_bridge(self, strategy):
+        # A rank over a subset universe (not the CSR's dense numbering)
+        # must still produce correct rows via the generic bridge.
+        graph = generators.random_digraph(30, 80, seed=31)
+        index = make_reachability_index(strategy, graph)
+        subset = sorted(graph.vertices())[::2]
+        rank = VertexRank(subset)
+        sources = subset[:5]
+        rows = index.set_reachability_bits(sources, rank, rank.full_mask())
+        sets = index.set_reachability(sources, subset)
+        for source in sources:
+            assert set(rank.unpack(rows[source])) == sets[source]
+
+
+class TestConcurrentDFS:
+    """One DFSReachability instance must stay correct under concurrent use.
+
+    The service layer runs lock-free reads against one engine; the visited
+    buffer is per-thread, so parallel traversals cannot truncate each other.
+    """
+
+    def test_threaded_queries_match_serial(self):
+        import threading
+
+        graph = generators.social_graph(150, avg_degree=4, seed=91)
+        index = make_reachability_index("dfs", graph)
+        rank = VertexRank.from_csr(graph.csr())
+        vertices = sorted(graph.vertices())
+        sources = vertices[:20]
+        mask = rank.full_mask()
+        expected_sets = index.set_reachability(sources, vertices)
+        expected_rows = index.set_reachability_bits(sources, rank, mask)
+
+        failures = []
+
+        def worker():
+            for _ in range(10):
+                if index.set_reachability(sources, vertices) != expected_sets:
+                    failures.append("sets")
+                if index.set_reachability_bits(sources, rank, mask) != expected_rows:
+                    failures.append("bits")
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
