@@ -19,12 +19,17 @@ Environment knobs (for CI smoke tiers):
 * ``REPRO_BENCH_PIPELINE_SCALE`` — dataset scale (default 1.0);
 * ``REPRO_BENCH_PIPELINE_SIZES`` — comma-separated ``|S|=|T|`` sizes
   (default ``100,200,400``);
-* ``REPRO_BENCH_PIPELINE_MIN_SPEEDUP`` — asserted floor (default 2.0).
+* ``REPRO_BENCH_PIPELINE_MIN_SPEEDUP`` — asserted floor (default 2.0);
+* ``REPRO_BENCH_TRACE_OVERHEAD_MAX`` — allowed trace-off/baseline latency
+  ratio in :func:`test_tracing_overhead` (default 1.05; CI smoke relaxes it).
 """
 
+import json
 import os
 import time
 from pathlib import Path
+
+import pytest
 
 from benchmarks.conftest import BENCH_SEED, run_once
 from repro.api import DSRConfig, ReachQuery, open_engine
@@ -143,4 +148,92 @@ def test_query_pipeline_bits_vs_sets(benchmark):
     assert speedup >= MIN_SPEEDUP, (
         f"bits pipeline speedup {speedup:.2f}x below the {MIN_SPEEDUP}x floor "
         f"(sets {set_seconds:.4f}s, bits {bits_seconds:.4f}s)"
+    )
+
+
+TRACE_OVERHEAD_MAX = float(os.environ.get("REPRO_BENCH_TRACE_OVERHEAD_MAX", "1.05"))
+OVERHEAD_PASSES = 8
+
+
+def test_tracing_overhead(benchmark):
+    """Disabled tracing must be free: trace-off latency stays within
+    ``REPRO_BENCH_TRACE_OVERHEAD_MAX`` of the recorded pre-instrumentation
+    baseline in ``BENCH_query_latency.json`` (the observability layer's
+    hot-path cost is one flag check per recording point).  Trace-on latency
+    is measured and printed for inspection, not asserted — collecting spans
+    is allowed to cost something.
+
+    Re-record the baseline by running :func:`test_query_pipeline_bits_vs_sets`
+    on this machine if the hardware changed since it was written.
+    """
+    baseline_path = REPO_ROOT / "BENCH_query_latency.json"
+    if not baseline_path.exists():
+        pytest.skip("no recorded BENCH_query_latency.json baseline")
+    baseline = json.loads(baseline_path.read_text())["data"]
+    if baseline.get("sizes") != SIZES or baseline.get("scale") != SCALE:
+        pytest.skip(
+            "baseline was recorded for a different workload shape "
+            f"(sizes {baseline.get('sizes')} scale {baseline.get('scale')})"
+        )
+
+    graph = load_dataset(DATASET, scale=SCALE, seed=BENCH_SEED)
+    engine = open_engine(
+        graph,
+        DSRConfig(num_partitions=NUM_SLAVES, local_index="msbfs", seed=BENCH_SEED),
+    )
+    sweep = query_size_sweep(graph, SIZES, seed=BENCH_SEED)
+    workload = {
+        traced: [
+            ReachQuery(
+                tuple(sources), tuple(targets), representation="bits", trace=traced
+            )
+            for _, sources, targets in sweep
+        ]
+        for traced in (False, True)
+    }
+
+    def sweep_pass(traced):
+        total = 0.0
+        for query in workload[traced]:
+            best = float("inf")
+            for _ in range(ROUNDS):
+                start = time.perf_counter()
+                engine.run(query)
+                best = min(best, time.perf_counter() - start)
+            total += best
+        return total
+
+    def measure():
+        for traced in (False, True):  # warm both paths
+            for query in workload[traced]:
+                engine.run(query)
+        # The sweep total swings ~15% run-to-run on shared hardware, so a
+        # single pass cannot support a 5% cross-session assertion.  Seek the
+        # floor instead: repeat full passes, keep the per-mode minimum, and
+        # stop early once the trace-off floor is inside the tolerance.
+        timings = {False: float("inf"), True: float("inf")}
+        for _ in range(OVERHEAD_PASSES):
+            for traced in (False, True):
+                timings[traced] = min(timings[traced], sweep_pass(traced))
+            if timings[False] <= baseline["bits_seconds"] * TRACE_OVERHEAD_MAX:
+                break
+        return timings
+
+    timings = run_once(benchmark, measure)
+    baseline_seconds = baseline["bits_seconds"]
+    off_ratio = timings[False] / baseline_seconds if baseline_seconds else 1.0
+    on_ratio = timings[True] / timings[False] if timings[False] else 1.0
+
+    print()
+    print(
+        f"tracing overhead — baseline {baseline_seconds*1000:.1f}ms, "
+        f"trace-off {timings[False]*1000:.1f}ms ({off_ratio:.3f}x, "
+        f"max {TRACE_OVERHEAD_MAX}x), trace-on {timings[True]*1000:.1f}ms "
+        f"({on_ratio:.3f}x of trace-off)"
+    )
+
+    assert off_ratio <= TRACE_OVERHEAD_MAX, (
+        f"trace-off run is {off_ratio:.3f}x the recorded baseline "
+        f"(allowed {TRACE_OVERHEAD_MAX}x) — instrumentation leaked onto the "
+        f"disabled hot path, or the baseline needs re-recording"
     )

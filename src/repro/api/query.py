@@ -52,6 +52,12 @@ class ReachQuery:
         the engine/planner decides from the graph's degree statistics).
         Backends without a packed pipeline ignore it; answers are identical
         either way.
+    trace:
+        Collect a structured :class:`~repro.obs.trace.QueryTrace` of timed
+        spans (cache lookup, planning, the three DSR steps, per-partition
+        shard-task wall-clock, payload bytes, stale-epoch retries) and attach
+        it to ``QueryResult.trace``.  Off by default — tracing costs a little
+        bookkeeping per step.  Backends without tracing ignore it.
     """
 
     sources: Tuple[int, ...]
@@ -60,10 +66,12 @@ class ReachQuery:
     use_cache: bool = True
     max_batch_pairs: Optional[int] = None
     representation: str = "auto"
+    trace: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sources", tuple(self.sources))
         object.__setattr__(self, "targets", tuple(self.targets))
+        object.__setattr__(self, "trace", bool(self.trace))
         if self.direction not in DIRECTIONS:
             raise QueryError(
                 f"unknown query direction {self.direction!r}; "
@@ -114,6 +122,7 @@ class ReachQuery:
             "use_cache": self.use_cache,
             "max_batch_pairs": self.max_batch_pairs,
             "representation": self.representation,
+            "trace": self.trace,
         }
 
     @classmethod

@@ -16,6 +16,10 @@ The CLI exposes the most common workflows without writing any Python:
 * ``repro-dsr serve <dataset>`` — build an index and run the online query
   service (planner + result cache + concurrent workers), either listening on
   a local socket or driving a built-in mixed workload (``--self-test``).
+* ``repro-dsr stats`` — print the observability registries in Prometheus
+  text form: either scraped from a running server (``--connect HOST:PORT``)
+  or from a built-in demo that runs traced queries and a background epoch
+  flush against a freshly built engine.
 
 Every command accepts ``--scale`` and ``--seed`` so runs are reproducible.
 """
@@ -40,6 +44,7 @@ from repro.service import (
     QueryRequest,
     UpdateRequest,
 )
+from repro.service.server import DSRClient
 from repro.partition.partition import make_partitioning
 from repro.sparql.baseline import VirtuosoLikeEngine
 from repro.sparql.engine import PropertyPathEngine
@@ -136,6 +141,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="drive a built-in mixed query/update workload instead of listening",
     )
     _add_common_arguments(serve)
+
+    stats = subparsers.add_parser(
+        "stats", help="print the observability registries (Prometheus text)"
+    )
+    stats.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="scrape a running `repro-dsr serve` server instead of the demo",
+    )
+    stats.add_argument(
+        "dataset", nargs="?", choices=sorted(DATASETS), default="amazon",
+        help="dataset for the built-in demo (ignored with --connect)",
+    )
+    stats.add_argument("--partitions", type=int, default=4)
+    stats.add_argument(
+        "--executor", choices=["serial", "threads", "processes"], default="serial",
+        help="executor backend the demo engine runs on",
+    )
+    stats.add_argument(
+        "--no-trace", action="store_true",
+        help="skip printing the demo query's span trace",
+    )
+    _add_common_arguments(stats)
+    # The demo is meant to finish in seconds, so default to a small slice.
+    stats.set_defaults(scale=0.2)
 
     return parser
 
@@ -389,6 +418,83 @@ def _serve_self_test(graph, service: DSRService, seed: int) -> int:
     return 0
 
 
+def _command_stats(args: argparse.Namespace) -> int:
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"--connect expects HOST:PORT, got {args.connect!r}", file=sys.stderr)
+            return 2
+        with DSRClient(host, int(port)) as client:
+            response = client.metrics()
+        if isinstance(response, ErrorResponse):
+            print(f"metrics request failed: {response.message}", file=sys.stderr)
+            return 1
+        print(response.text, end="")
+        return 0
+
+    # Built-in demo: traced queries + updates + a background epoch flush
+    # against a small engine, then the combined registries.
+    graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    engine = open_engine(
+        graph,
+        DSRConfig(
+            num_partitions=args.partitions,
+            local_index="msbfs",
+            seed=args.seed,
+            executor=args.executor,
+            epoch_flush="background",
+        ),
+    )
+    service = DSRService(engine, num_workers=2)
+    try:
+        sources, targets = random_query(graph, 8, 8, seed=args.seed)
+        response = service.handle(
+            QueryRequest(tuple(sources), tuple(targets), trace=True)
+        )
+        if isinstance(response, ErrorResponse):
+            print(f"demo query failed: {response.message}", file=sys.stderr)
+            return 1
+        # Cross-partition inserts are always structural, so the background
+        # maintainer is guaranteed to run a real flush before the scrape.
+        partition_of = engine.partitioning.partition_of
+        by_partition = {}
+        for vertex in sorted(graph.vertices()):
+            by_partition.setdefault(partition_of(vertex), []).append(vertex)
+        first, second = (by_partition[pid] for pid in sorted(by_partition)[:2])
+        inserted = 0
+        for u in first:
+            for v in second:
+                if inserted >= 3:
+                    break
+                if not graph.has_edge(u, v):
+                    service.handle(UpdateRequest("insert-edge", u, v))
+                    inserted += 1
+            if inserted >= 3:
+                break
+        if not engine.wait_for_maintenance(timeout=30.0):
+            print("background flush did not finish in time", file=sys.stderr)
+            return 1
+        # One more query so post-flush epoch metrics carry a query alongside.
+        service.handle(QueryRequest(tuple(sources), tuple(targets), use_cache=False))
+        if not args.no_trace and response.trace:
+            rows = [
+                {
+                    "span": span["name"],
+                    "ms": round(span["seconds"] * 1000.0, 3),
+                    "attrs": ", ".join(
+                        f"{key}={value}" for key, value in sorted(span["attrs"].items())
+                    ),
+                }
+                for span in response.trace["spans"]
+            ]
+            print(format_table(rows, title="demo query trace"))
+        print(service.metrics_text(), end="")
+        return 0
+    finally:
+        service.close()
+        engine.close()
+
+
 _COMMANDS = {
     "info": _command_info,
     "query": _command_query,
@@ -396,6 +502,7 @@ _COMMANDS = {
     "sparql": _command_sparql,
     "communities": _command_communities,
     "serve": _command_serve,
+    "stats": _command_stats,
 }
 
 

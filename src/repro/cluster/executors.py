@@ -49,6 +49,8 @@ from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
+from repro.obs import runtime as obs_runtime
+
 #: Names accepted by :func:`make_executor` (and ``DSRConfig.executor``).
 EXECUTOR_NAMES = ("serial", "threads", "processes")
 
@@ -197,6 +199,26 @@ def _timed_call(fn: Callable[[], Any]) -> Tuple[Any, float]:
     return result, time.perf_counter() - start
 
 
+def _record_shard_task(task: str, seconds: float) -> None:
+    """Account one shard-task execution in the current process's registry.
+
+    Called identically by the in-process executors and the worker-process
+    loop, so ``dsr_shard_tasks_total`` is comparable across backends (worker
+    deltas are shipped back and absorbed at the master).
+    """
+    registry = obs_runtime.global_registry()
+    if registry.enabled:
+        registry.inc("dsr_shard_tasks_total", task=task)
+        registry.observe("dsr_shard_task_seconds", seconds, task=task)
+
+
+def _record_hydration(seconds: float) -> None:
+    registry = obs_runtime.global_registry()
+    if registry.enabled:
+        registry.inc("dsr_shard_hydrations_total")
+        registry.observe("dsr_shard_hydrate_seconds", seconds)
+
+
 class _InProcessShardStore:
     """Epoch-keyed shard storage shared by the in-process executors."""
 
@@ -236,7 +258,9 @@ class _InProcessExecutor(ExecutorBackend):
         loader: str,
         retire_below: Optional[int] = None,
     ) -> None:
-        self._store.put(rank, epoch, _resolve_loader(loader)(blob), retire_below)
+        shard, seconds = _timed_call(lambda: _resolve_loader(loader)(blob))
+        self._store.put(rank, epoch, shard, retire_below)
+        _record_hydration(seconds)
 
 
 class SerialExecutor(_InProcessExecutor):
@@ -255,6 +279,7 @@ class SerialExecutor(_InProcessExecutor):
         for rank, payload in payloads.items():
             shard = self._store.get(rank, epoch)
             results[rank] = _timed_call(lambda s=shard, p=payload: fn(s, p))
+            _record_shard_task(task, results[rank][1])
         return results
 
 
@@ -292,7 +317,10 @@ class ThreadExecutor(_InProcessExecutor):
             rank: (lambda s=self._store.get(rank, epoch), p=payload: fn(s, p))
             for rank, payload in payloads.items()
         }
-        return self.run_phase(closures)
+        results = self.run_phase(closures)
+        for rank in results:
+            _record_shard_task(task, results[rank][1])
+        return results
 
     def close(self) -> None:
         with self._pool_lock:
@@ -305,8 +333,18 @@ class ThreadExecutor(_InProcessExecutor):
 # process workers
 # ---------------------------------------------------------------------- #
 def _process_worker_main(conn, rank: int, task_modules: Sequence[str]) -> None:
-    """Long-lived worker loop: hydrate shards once, answer shard tasks."""
+    """Long-lived worker loop: hydrate shards once, answer shard tasks.
+
+    Metrics recorded inside the worker (by shard tasks, loaders, or the loop
+    itself) accumulate in the worker's process-local registry and are shipped
+    back as a :class:`~repro.obs.registry.MetricsDelta` piggybacked on each
+    reply; the parent folds them into the master registry — the same
+    merge-at-master pattern as ``Network.absorb()``.
+    """
     _import_task_modules(task_modules)
+    # Drop the fork-inherited copy of the parent's metric state: without this
+    # every worker would ship the parent's pre-fork totals as its own delta.
+    obs_runtime.reset_for_worker()
     shards: Dict[int, Any] = {}
     while True:
         try:
@@ -319,21 +357,25 @@ def _process_worker_main(conn, rank: int, task_modules: Sequence[str]) -> None:
         try:
             if kind == "hydrate":
                 _, epoch, loader_name, blob, retire_below = message
+                start = time.perf_counter()
                 shards[epoch] = _SHARD_LOADERS[loader_name](blob)
+                _record_hydration(time.perf_counter() - start)
                 if retire_below is not None:
                     for old in [e for e in shards if e < retire_below]:
                         del shards[old]
-                conn.send(("ok", None, 0.0))
+                conn.send(("ok", None, 0.0, obs_runtime.collect_worker_delta()))
             elif kind == "task":
                 _, task_name, epoch, payload = message
                 if epoch is not None and epoch not in shards:
-                    conn.send(("stale", epoch, sorted(shards)))
+                    conn.send(("stale", epoch, sorted(shards), obs_runtime.collect_worker_delta()))
                     continue
                 fn = _SHARD_TASKS[task_name]
                 shard = shards.get(epoch)
                 start = time.perf_counter()
                 result = fn(shard, payload)
-                conn.send(("ok", result, time.perf_counter() - start))
+                seconds = time.perf_counter() - start
+                _record_shard_task(task_name, seconds)
+                conn.send(("ok", result, seconds, obs_runtime.collect_worker_delta()))
             else:
                 conn.send(("error", "ProtocolError", f"unknown command {kind!r}"))
         except StaleEpochError as exc:
@@ -341,7 +383,7 @@ def _process_worker_main(conn, rank: int, task_modules: Sequence[str]) -> None:
             # packed payload addressed in a rank numbering the shard no
             # longer matches); report it like the pre-dispatch epoch check
             # so callers re-capture and retry instead of failing hard.
-            conn.send(("stale", exc.epoch, list(exc.available)))
+            conn.send(("stale", exc.epoch, list(exc.available), obs_runtime.collect_worker_delta()))
         except Exception:
             conn.send(("error", "TaskError", traceback.format_exc()))
 
@@ -443,6 +485,10 @@ class ProcessExecutor(ExecutorBackend):
             except (EOFError, OSError) as exc:
                 raise RuntimeError(f"shard worker {rank} died") from exc
         kind = reply[0]
+        if len(reply) > 3 and reply[3] is not None:
+            # Piggybacked worker metrics delta: fold into the master registry
+            # before any control flow so stale replies don't lose metrics.
+            obs_runtime.absorb_delta(reply[3])
         if kind == "ok":
             return reply[1], reply[2]
         if kind == "stale":

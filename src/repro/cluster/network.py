@@ -27,6 +27,9 @@ class NetworkStats:
     bytes_sent: int = 0
     rounds: int = 0
     per_destination_bytes: Dict[int, int] = field(default_factory=dict)
+    #: Bytes per message tag ("handles", "data"...) — feeds the per-step
+    #: payload byte counts on query traces.
+    per_tag_bytes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def kilobytes_sent(self) -> float:
@@ -41,6 +44,8 @@ class NetworkStats:
             self.per_destination_bytes[destination] = (
                 self.per_destination_bytes.get(destination, 0) + count
             )
+        for tag, count in other.per_tag_bytes.items():
+            self.per_tag_bytes[tag] = self.per_tag_bytes.get(tag, 0) + count
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -78,6 +83,9 @@ class Network:
             self.stats.bytes_sent += message.size_bytes
             self.stats.per_destination_bytes[destination] = (
                 self.stats.per_destination_bytes.get(destination, 0) + message.size_bytes
+            )
+            self.stats.per_tag_bytes[tag] = (
+                self.stats.per_tag_bytes.get(tag, 0) + message.size_bytes
             )
         return message
 

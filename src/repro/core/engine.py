@@ -22,6 +22,7 @@ migration table.
 
 from __future__ import annotations
 
+import time
 import warnings
 from typing import Dict, Iterable, Optional, Set, Tuple
 
@@ -36,6 +37,7 @@ from repro.core.query import (
 )
 from repro.core.updates import IncrementalMaintainer, UpdateResult
 from repro.graph.digraph import DiGraph
+from repro.obs.trace import QueryTrace
 from repro.partition.partition import GraphPartitioning, make_partitioning
 
 _INIT_DEPRECATION = (
@@ -264,8 +266,11 @@ class DSREngine:
         # Trivially empty queries short-circuit before the distributed
         # pipeline (and before folding updates — the empty answer is correct
         # regardless of pending changes).
+        trace = QueryTrace() if query.trace else None
         if query.is_empty:
-            result = QueryResult(pairs=set())
+            result = QueryResult(pairs=set(), trace=trace)
+            if trace is not None:
+                trace.attrs["empty"] = True
             self.last_query_result = result
             return result
         # Inline epoch mode: batched incremental updates are folded into the
@@ -275,6 +280,14 @@ class DSREngine:
         # reads the currently published epoch (consistent, possibly one flush
         # behind) while the maintenance thread builds the next one.
         if self.epoch_flush == "inline":
+            flush_needed = (
+                self._maintainer is not None
+                and self._maintainer.has_pending_changes
+            ) or (
+                self._reverse_maintainer is not None
+                and self._reverse_maintainer.has_pending_changes
+            )
+            flush_start = time.perf_counter() if (trace is not None and flush_needed) else None
             if self._maintainer is not None and self._maintainer.has_pending_changes:
                 self._maintainer.flush()
             if (
@@ -282,6 +295,8 @@ class DSREngine:
                 and self._reverse_maintainer.has_pending_changes
             ):
                 self._reverse_maintainer.flush()
+            if flush_start is not None:
+                trace.add("flush_inline", time.perf_counter() - flush_start)
 
         representation = self._resolve_representation(query)
         use_backward = query.direction == "backward" or (
@@ -289,17 +304,23 @@ class DSREngine:
             and self._reverse_executor is not None
             and len(query.targets) < len(query.sources)
         )
+        if trace is not None:
+            trace.attrs["direction"] = "backward" if use_backward else "forward"
         if use_backward:
             if self._reverse_executor is None:
                 raise RuntimeError(
                     "backward processing requires enable_backward=True at construction"
                 )
             result = self._reverse_executor.query(
-                query.targets, query.sources, representation=representation
+                query.targets, query.sources,
+                representation=representation,
+                trace=trace,
             ).swapped()
         else:
             result = self._executor.query(
-                query.sources, query.targets, representation=representation
+                query.sources, query.targets,
+                representation=representation,
+                trace=trace,
             )
         self.last_query_result = result
         return result

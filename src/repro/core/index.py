@@ -28,10 +28,12 @@ The index also exposes the size statistics reported in Tables 2 and 4.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Set, Tuple
 
 from repro.cluster.cluster import ClusterStats, SimulatedCluster
+from repro.obs.runtime import global_registry
 from repro.core.boundary_graph import BoundaryGraphStats, boundary_graph_stats
 from repro.core.compound_graph import CompoundGraph, build_compound_graph
 from repro.core.equivalence import ClassIdAllocator
@@ -97,6 +99,12 @@ class EpochState:
     #: partitioning can never crash or tear a lock-free read (the one
     #: sanctioned in-place edit: an isolated-vertex insert registers here).
     assignment: Dict[int, int] = field(default_factory=dict)
+    #: How long :meth:`DSRIndex.build_epoch_state` held the mutation lock
+    #: (cut recompute + local-graph copies) building this state.
+    build_snapshot_seconds: float = 0.0
+    #: How long the unlocked heavy part (summaries, compound graphs,
+    #: condensations) of the build took.
+    build_heavy_seconds: float = 0.0
 
     def vertex_rank(self, partition_id: int):
         """The stable vertex-rank numbering of one partition's compound graph.
@@ -140,6 +148,10 @@ class DSRIndex:
         self.build_report: Optional[IndexBuildReport] = None
         self._state: Optional[EpochState] = None
         self._publish_lock = threading.Lock()
+        #: When the serving epoch was published: monotonic clock for ages,
+        #: unix time for exposition.  ``None`` before the first publish.
+        self._published_monotonic: Optional[float] = None
+        self._published_unix: Optional[float] = None
 
     # ------------------------------------------------------------------ #
     # epoch state access
@@ -307,6 +319,7 @@ class DSRIndex:
         current = self.current_state()
         dirty = set(dirty)
         lock = mutation_lock if mutation_lock is not None else threading.RLock()
+        snapshot_start = time.perf_counter()
         with lock:
             # Snapshot phase: recompute the cut from the mutated graph, then
             # freeze everything the heavy phase will read.
@@ -337,6 +350,9 @@ class DSRIndex:
                     self.partitioning.out_boundaries(pid),
                 )
                 boundary_sets[pid] = boundaries[pid][0] | boundaries[pid][1]
+
+        snapshot_seconds = time.perf_counter() - snapshot_start
+        heavy_start = time.perf_counter()
 
         # Heavy phase (no locks held): summarise dirty partitions...
         # Timings go to a private record folded into the cumulative totals
@@ -378,6 +394,11 @@ class DSRIndex:
             "assemble-epoch", assemble, stats=flush_stats
         )
         self.cluster.stats.absorb(flush_stats)
+        heavy_seconds = time.perf_counter() - heavy_start
+        registry = global_registry()
+        if registry.enabled:
+            registry.observe("dsr_flush_snapshot_seconds", snapshot_seconds)
+            registry.observe("dsr_flush_heavy_seconds", heavy_seconds)
         return EpochState(
             epoch=current.epoch + 1,
             local_graphs=local_graphs,
@@ -385,6 +406,8 @@ class DSRIndex:
             compound_graphs=compound_graphs,
             boundary_sets=boundary_sets,
             assignment=assignment,
+            build_snapshot_seconds=snapshot_seconds,
+            build_heavy_seconds=heavy_seconds,
         )
 
     def publish(self, state: EpochState) -> None:
@@ -398,6 +421,27 @@ class DSRIndex:
         with self._publish_lock:
             self._hydrate_shards(state)
             self._state = state
+            self._published_monotonic = time.monotonic()
+            self._published_unix = time.time()
+        registry = global_registry()
+        if registry.enabled:
+            registry.inc("dsr_epochs_published_total")
+            registry.set_gauge("dsr_epoch", state.epoch)
+            registry.set_gauge("dsr_epoch_published_timestamp_seconds", self._published_unix)
+
+    def epoch_age_seconds(self) -> Optional[float]:
+        """Age of the serving epoch (time since its publish), a.k.a. epoch
+        lag — how stale the answers a reader gets right now can be.  ``None``
+        before the first publish."""
+        published = self._published_monotonic
+        if published is None:
+            return None
+        return time.monotonic() - published
+
+    @property
+    def published_at_unix(self) -> Optional[float]:
+        """Unix timestamp of the serving epoch's publish (``None`` pre-build)."""
+        return self._published_unix
 
     @property
     def uses_sharded_queries(self) -> bool:

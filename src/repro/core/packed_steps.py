@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.obs.runtime import global_registry
 from repro.reachability.packed import (
     VertexRank,
     iter_bits,
@@ -129,8 +130,10 @@ def local_step_groups(
     outgoing: Dict[int, Dict[bytes, List[int]]] = {}
     ids = vrank.ids
 
+    num_sources = 0
     by_row: Dict[int, List[int]] = {}
     for source in sources:
+        num_sources += 1
         row = rows.get(source, 0)
         if row:
             by_row.setdefault(row, []).append(source)
@@ -152,6 +155,18 @@ def local_step_groups(
             outgoing.setdefault(pid, {}).setdefault(
                 row_to_bytes(handle_row), []
             ).extend(row_sources)
+    # These totals are a pure function of the inputs, so a serial run and a
+    # sharded process run (whose workers ship deltas back) count identically
+    # — the invariant the delta-shipping exactness tests pin down.
+    registry = global_registry()
+    if registry.enabled:
+        registry.inc("dsr_step_sources_total", num_sources, step="local")
+        registry.inc("dsr_step_groups_total", len(groups), step="local")
+        registry.inc(
+            "dsr_step_handle_bytes_total",
+            sum(len(row_bytes) for per_pid in outgoing.values() for row_bytes in per_pid),
+            step="local",
+        )
     return groups, outgoing
 
 
@@ -167,6 +182,7 @@ def remote_step_groups(
     row, then sources are regrouped by that row — overlapping handle
     answers materialise once, and each distinct row decodes once.
     """
+    num_pairs = 0
     row_by_source: Dict[int, int] = {}
     for handle, handle_sources in sources_by_handle.items():
         reached_row = 0
@@ -175,6 +191,7 @@ def remote_step_groups(
         if not reached_row:
             continue
         for source in handle_sources:
+            num_pairs += 1
             prev = row_by_source.get(source)
             row_by_source[source] = (
                 reached_row if prev is None else prev | reached_row
@@ -182,6 +199,10 @@ def remote_step_groups(
     by_row: Dict[int, List[int]] = {}
     for source, row in row_by_source.items():
         by_row.setdefault(row, []).append(source)
+    registry = global_registry()
+    if registry.enabled:
+        registry.inc("dsr_step_sources_total", num_pairs, step="remote")
+        registry.inc("dsr_step_groups_total", len(by_row), step="remote")
     return [(row_sources, vrank.unpack(row)) for row, row_sources in by_row.items()]
 
 

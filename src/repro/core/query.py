@@ -68,6 +68,8 @@ from repro.cluster.executors import StaleEpochError
 from repro.cluster.network import Network
 from repro.core.index import DSRIndex, EpochState
 from repro.core.packed_steps import Group, local_step_groups, remote_step_groups
+from repro.obs.runtime import global_registry
+from repro.obs.trace import QueryTrace
 from repro.reachability.packed import iter_bits, row_from_bytes, row_to_bytes
 
 #: How many times a sharded query re-captures the epoch before falling back.
@@ -114,6 +116,9 @@ class QueryResult:
     real_seconds: float = 0.0
     #: The index epoch this answer is consistent with (-1 when not applicable).
     epoch: int = -1
+    #: Structured span trace (only when the query asked for one; excluded
+    #: from :meth:`as_dict` — the wire layer serialises it separately).
+    trace: Optional[QueryTrace] = None
 
     @property
     def num_pairs(self) -> int:
@@ -162,6 +167,7 @@ class DistributedQueryExecutor:
         sources: Iterable[int],
         targets: Iterable[int],
         representation: str = "bits",
+        trace: Optional[QueryTrace] = None,
     ) -> QueryResult:
         """Evaluate ``S ⇝ T`` and return every reachable ``(s, t)`` pair.
 
@@ -169,6 +175,11 @@ class DistributedQueryExecutor:
         protocol: ``"bits"`` (the default) runs every local step over packed
         rows and ships packed handle bytes, ``"sets"`` keeps the original
         ``Set[int]`` materialisation.  Both produce identical pairs.
+
+        ``trace`` — when the caller passes a :class:`~repro.obs.trace.
+        QueryTrace`, the three protocol steps, per-partition shard-task
+        wall-clock, payload bytes and stale-epoch retries are recorded as
+        spans, and the trace is attached to :attr:`QueryResult.trace`.
         """
         if representation not in REPRESENTATIONS:
             raise ValueError(
@@ -195,6 +206,7 @@ class DistributedQueryExecutor:
                     stats,
                     sharded=use_shards,
                     representation=representation,
+                    trace=trace,
                 )
                 break
             except StaleEpochError:
@@ -202,6 +214,15 @@ class DistributedQueryExecutor:
                 # two consecutive flushes).  Re-capture and retry; after the
                 # retry budget, run in-process against the parent's state,
                 # which is always available.
+                registry = global_registry()
+                if registry.enabled:
+                    registry.inc("dsr_query_stale_retries_total")
+                if trace is not None:
+                    trace.event(
+                        "stale_epoch_retry",
+                        epoch=state.epoch,
+                        fallback_in_process=attempts <= 0,
+                    )
                 if attempts <= 0:
                     use_shards = False
                     continue
@@ -210,6 +231,19 @@ class DistributedQueryExecutor:
         # Fold the exact per-query counters into the cluster totals.
         self.cluster.absorb(stats, net.stats)
         snapshot = net.stats
+        registry = global_registry()
+        if registry.enabled:
+            registry.inc("dsr_queries_total", representation=representation)
+            registry.inc("dsr_query_pairs_total", len(pairs))
+            registry.inc("dsr_query_messages_total", snapshot.messages_sent)
+            registry.inc("dsr_query_bytes_total", snapshot.bytes_sent)
+            registry.observe(
+                "dsr_query_seconds", stats.real_seconds, representation=representation
+            )
+        if trace is not None:
+            trace.attrs.setdefault("representation", representation)
+            trace.attrs["epoch"] = state.epoch
+            trace.attrs["sharded"] = use_shards
         return QueryResult(
             pairs=pairs,
             parallel_seconds=stats.parallel_seconds,
@@ -222,6 +256,7 @@ class DistributedQueryExecutor:
                 phase.name: round(phase.parallel_seconds, 6) for phase in stats.phases
             },
             epoch=state.epoch,
+            trace=trace,
         )
 
     def reachable(self, source: int, target: int) -> bool:
@@ -286,12 +321,14 @@ class DistributedQueryExecutor:
         stats: ClusterStats,
         sharded: bool,
         representation: str = "bits",
+        trace: Optional[QueryTrace] = None,
     ) -> Set[Tuple[int, int]]:
         sources_of, targets_of, boundary_targets_of, interior_targets_of = self._split(
             state, source_set, target_set
         )
         pairs: Set[Tuple[int, int]] = set()
         bits = representation == "bits"
+        phases_before = len(stats.phases)
 
         # ----- Step 1: local evaluation at every slave --------------------- #
         if sharded:
@@ -349,6 +386,21 @@ class DistributedQueryExecutor:
 
             step1_results = self.cluster.run_phase("local", step1, stats=stats)
 
+        if trace is not None:
+            request_bytes = 0
+            if sharded:
+                for payload in payloads.values():
+                    if bits:
+                        request_bytes += len(payload["targets_bits"])  # type: ignore[arg-type]
+                    else:
+                        request_bytes += 8 * len(payload["targets"])  # type: ignore[arg-type]
+            self._trace_step(
+                trace, stats, phases_before, "step1",
+                sharded=sharded, payload_bytes=request_bytes,
+                partitions=len(step1_results),
+            )
+            phases_before = len(stats.phases)
+
         for rank, (step1_answer, outgoing) in step1_results.items():
             if bits:
                 # Product-form groups materialise exactly once, here.
@@ -361,6 +413,12 @@ class DistributedQueryExecutor:
 
         # ----- Step 2: the single round of message exchange ---------------- #
         net.complete_round()
+        if trace is not None:
+            trace.event(
+                "step2_bridge",
+                messages=net.stats.messages_sent,
+                payload_bytes=net.stats.per_tag_bytes.get("handles", 0),
+            )
 
         # ----- Step 3: resolve received handles at the target slaves ------- #
         if sharded:
@@ -407,6 +465,19 @@ class DistributedQueryExecutor:
                 )
 
             step3_results = self.cluster.run_phase("remote", step3, stats=stats)
+        if trace is not None:
+            request_bytes = 0
+            if sharded:
+                for payload3 in payloads3.values():
+                    if bits:
+                        request_bytes += len(payload3["targets_bits"])  # type: ignore[arg-type]
+                    else:
+                        request_bytes += 8 * len(payload3["interior_targets"])  # type: ignore[arg-type]
+            self._trace_step(
+                trace, stats, phases_before, "step3",
+                sharded=sharded, payload_bytes=request_bytes,
+                partitions=len(step3_results),
+            )
         for step3_answer in step3_results.values():
             if bits:
                 for group_sources, group_targets in step3_answer:
@@ -414,6 +485,31 @@ class DistributedQueryExecutor:
             else:
                 pairs |= step3_answer
         return pairs
+
+    @staticmethod
+    def _trace_step(
+        trace: QueryTrace,
+        stats: ClusterStats,
+        phases_before: int,
+        name: str,
+        **attrs: object,
+    ) -> None:
+        """Record one protocol step plus its per-partition shard spans.
+
+        The cluster appended a :class:`~repro.cluster.cluster.PhaseTiming`
+        per executed phase; its ``per_worker_seconds`` are the workers'
+        *self-measured* compute seconds (IPC excluded), which become one
+        ``<step>.shard`` span per partition.
+        """
+        new_phases = stats.phases[phases_before:]
+        trace.add(
+            name,
+            sum(phase.real_seconds for phase in new_phases),
+            **attrs,
+        )
+        for phase in new_phases:
+            for rank, seconds in sorted(phase.per_worker_seconds.items()):
+                trace.add(f"{name}.shard", seconds, partition=rank)
 
     # ------------------------------------------------------------------ #
     # per-slave steps (in-process path)

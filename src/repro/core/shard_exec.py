@@ -51,6 +51,7 @@ from repro.core.packed_steps import (
     remote_step_groups,
 )
 from repro.graph.csr import CSRGraph
+from repro.obs.runtime import global_registry
 from repro.reachability.bitset_msbfs import (
     set_reachability as _bitset_set_reachability,
     set_reachability_rows as _bitset_set_reachability_rows,
@@ -179,6 +180,25 @@ def _check_rank_cardinality(shard: WorkerShard, payload: Dict[str, Any]) -> None
         raise StaleEpochError(shard.rank, shard.epoch, (shard.epoch,))
 
 
+def _record_payload(step: str, payload: Dict[str, Any]) -> None:
+    """Account the request payload that crossed (or would cross) the IPC
+    boundary for one step: packed target bytes in bits form, an 8-byte-per-id
+    estimate in set form.  Recorded in whichever process runs the task, so
+    worker totals ship back via the executor's delta piggybacking."""
+    registry = global_registry()
+    if not registry.enabled:
+        return
+    bits = payload.get("targets_bits")
+    if bits is not None:
+        nbytes = len(bits)
+        form = "bits"
+    else:
+        targets = payload.get("targets") or payload.get("interior_targets") or ()
+        nbytes = 8 * len(targets)
+        form = "sets"
+    registry.inc("dsr_shard_payload_bytes_total", nbytes, step=step, form=form)
+
+
 # ---------------------------------------------------------------------- #
 # reachability over the hydrated condensation
 # ---------------------------------------------------------------------- #
@@ -257,6 +277,7 @@ def local_step(shard: WorkerShard, payload: Dict[str, Any]):
     ``outgoing[pid] = {source: packed handle bytes}`` in bits form and
     ``{source: [handles]}`` in set form.
     """
+    _record_payload("local", payload)
     if "targets_bits" in payload:
         return _local_step_bits(shard, payload)
     pairs: Set[Tuple[int, int]] = set()
@@ -345,6 +366,7 @@ def remote_step(shard: WorkerShard, payload: Dict[str, Any]):
     sources_by_handle: Dict[int, List[int]] = payload["sources_by_handle"]
     if not sources_by_handle:
         return pairs
+    _record_payload("remote", payload)
     if "targets_bits" in payload:
         return _remote_step_bits(shard, payload)
     interior_targets = payload["interior_targets"]

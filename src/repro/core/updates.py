@@ -42,9 +42,10 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.core.index import DSRIndex, EpochState
+from repro.obs.runtime import global_registry
 
 
 @dataclass
@@ -66,6 +67,10 @@ class FlushResult:
     seconds: float = 0.0
     #: The epoch this flush published (the pre-flush epoch if nothing was dirty).
     epoch: int = -1
+    #: Time the epoch build held the mutation lock (0.0 for no-op flushes).
+    snapshot_seconds: float = 0.0
+    #: Time of the unlocked heavy rebuild (0.0 for no-op flushes).
+    heavy_seconds: float = 0.0
 
 
 class IncrementalMaintainer:
@@ -94,6 +99,15 @@ class IncrementalMaintainer:
         #: Test seam: called with the built (unpublished) EpochState right
         #: before the atomic swap — lets races around the swap be staged.
         self._before_publish: Optional[Callable[[EpochState], None]] = None
+        # Maintenance counters (mirrored into the metrics registry; kept as
+        # plain attributes too so `maintenance_stats()` reads them without
+        # going through the registry's label plumbing).
+        self._flush_count = 0
+        self._noop_flush_count = 0
+        self._bg_request_count = 0
+        self._bg_coalesced_count = 0
+        #: The most recent non-trivial flush (None until one happens).
+        self.last_flush: Optional[FlushResult] = None
 
     # ------------------------------------------------------------------ #
     # observers
@@ -150,7 +164,11 @@ class IncrementalMaintainer:
             with self._mutation_lock:
                 dirty = set(self._dirty)
                 self._dirty.clear()
+            registry = global_registry()
             if not dirty:
+                self._noop_flush_count += 1
+                if registry.enabled:
+                    registry.inc("dsr_flushes_total", outcome="noop")
                 return FlushResult(
                     refreshed_partitions=set(),
                     seconds=time.perf_counter() - start,
@@ -168,12 +186,21 @@ class IncrementalMaintainer:
                 # flush retries it rather than silently dropping maintenance.
                 with self._mutation_lock:
                     self._dirty.update(dirty)
+                if registry.enabled:
+                    registry.inc("dsr_flushes_total", outcome="error")
                 raise
             result = FlushResult(
                 refreshed_partitions=dirty,
                 seconds=time.perf_counter() - start,
                 epoch=state.epoch,
+                snapshot_seconds=state.build_snapshot_seconds,
+                heavy_seconds=state.build_heavy_seconds,
             )
+            self._flush_count += 1
+            self.last_flush = result
+            if registry.enabled:
+                registry.inc("dsr_flushes_total", outcome="published")
+                registry.observe("dsr_flush_seconds", result.seconds)
         for listener in self._flush_listeners:
             listener(result)
         return result
@@ -193,7 +220,18 @@ class IncrementalMaintainer:
         """
         with self._bg_lock:
             self.background_flush_error = None
+            self._bg_request_count += 1
+            if self._bg_requested:
+                # A request while one is already pending folds into the same
+                # upcoming flush — the coalescing the counter makes visible.
+                self._bg_coalesced_count += 1
+                registry = global_registry()
+                if registry.enabled:
+                    registry.inc("dsr_flush_requests_coalesced_total")
             self._bg_requested = True
+            registry = global_registry()
+            if registry.enabled:
+                registry.inc("dsr_flush_requests_total")
             if self._bg_thread is None or not self._bg_thread.is_alive():
                 self._bg_idle.clear()
                 self._bg_thread = threading.Thread(
@@ -217,6 +255,28 @@ class IncrementalMaintainer:
     def wait_for_flushes(self, timeout: Optional[float] = None) -> bool:
         """Block until no background flush is pending (False on timeout)."""
         return self._bg_idle.wait(timeout)
+
+    def maintenance_stats(self) -> Dict[str, Any]:
+        """Epoch/flush instrumentation snapshot for the exposition surface.
+
+        Includes the snapshot-vs-heavy phase split of the last published
+        flush, the publish timestamp, the serving epoch's age (epoch lag) and
+        the background-flush coalescing counters.
+        """
+        last = self.last_flush
+        return {
+            "epoch": self.index.epoch,
+            "epoch_age_seconds": self.index.epoch_age_seconds(),
+            "epoch_published_at": self.index.published_at_unix,
+            "flushes": self._flush_count,
+            "noop_flushes": self._noop_flush_count,
+            "background_requests": self._bg_request_count,
+            "coalesced_requests": self._bg_coalesced_count,
+            "last_flush_seconds": last.seconds if last else None,
+            "last_flush_snapshot_seconds": last.snapshot_seconds if last else None,
+            "last_flush_heavy_seconds": last.heavy_seconds if last else None,
+            "last_flush_epoch": last.epoch if last else None,
+        }
 
     def _mark_dirty(self, partition_ids) -> None:
         self._dirty.update(partition_ids)

@@ -1,0 +1,30 @@
+"""Cross-layer observability: metrics registry, query tracing, exposition.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalog, the trace span
+glossary and the exposition format.
+"""
+
+from repro.obs.registry import DEFAULT_BUCKETS, MetricsDelta, MetricsRegistry
+from repro.obs.runtime import (
+    absorb_delta,
+    collect_worker_delta,
+    global_registry,
+    reset_for_worker,
+    set_global_registry,
+    use_registry,
+)
+from repro.obs.trace import QueryTrace, Span
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsDelta",
+    "MetricsRegistry",
+    "QueryTrace",
+    "Span",
+    "absorb_delta",
+    "collect_worker_delta",
+    "global_registry",
+    "reset_for_worker",
+    "set_global_registry",
+    "use_registry",
+]

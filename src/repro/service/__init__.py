@@ -27,8 +27,11 @@ either.
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.planner import QueryPlan, QueryPlanner
 from repro.service.protocol import (
+    MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
     ErrorResponse,
+    MetricsRequest,
+    MetricsResponse,
     ProtocolError,
     QueryRequest,
     QueryResponse,
@@ -49,6 +52,7 @@ from repro.service.server import (
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MIN_PROTOCOL_VERSION",
     "CacheStats",
     "ResultCache",
     "QueryPlan",
@@ -62,6 +66,8 @@ __all__ = [
     "StatsResponse",
     "SnapshotRequest",
     "SnapshotResponse",
+    "MetricsRequest",
+    "MetricsResponse",
     "ErrorResponse",
     "DSRClient",
     "DSRService",

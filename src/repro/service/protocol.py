@@ -22,15 +22,23 @@ engine:
 * ``UpdateRequest`` — one incremental graph update (or an explicit flush);
 * ``StatsRequest`` — the service's own serving metrics;
 * ``SnapshotRequest`` — the simulated cluster's execution/communication
-  counters (:meth:`SimulatedCluster.snapshot`).
+  counters (:meth:`SimulatedCluster.snapshot`);
+* ``MetricsRequest`` — the combined metrics registries in Prometheus text
+  exposition format (protocol version 3+).
 
 Versioning
 ----------
 Every encoded frame carries a ``version`` tag (:data:`PROTOCOL_VERSION`).
-:func:`decode` rejects frames whose version differs from this peer's with a
-clear :class:`ProtocolError`, so the wire format can evolve without silent
-misinterpretation.  Frames without a ``version`` tag (hand-rolled payloads,
-pre-versioning peers) are accepted and treated as the current version.
+Since version 3 the protocol negotiates per-frame: :func:`decode` accepts any
+version in ``[MIN_PROTOCOL_VERSION, PROTOCOL_VERSION]`` (and reports the
+frame's version through :func:`wire_version` / :func:`recv_message_versioned`
+so a server can answer at the client's version), while :func:`encode` takes a
+target ``version`` and strips fields the older peer does not know
+(:data:`_VERSION_GATED_FIELDS`).  Frames outside the supported range are
+rejected with a clear :class:`ProtocolError`, so the wire format can evolve
+without silent misinterpretation.  Frames without a ``version`` tag
+(hand-rolled payloads, pre-versioning peers) are accepted and treated as the
+current version.
 """
 
 from __future__ import annotations
@@ -42,11 +50,18 @@ import json
 
 from repro.api.query import ReachQuery
 
-#: Version of the wire format emitted by :func:`encode`.  Bump whenever the
-#: shape or meaning of a message changes incompatibly.  Version 1 was the
+#: Version of the wire format emitted by :func:`encode` by default.  Bump
+#: whenever the shape or meaning of a message changes.  Version 1 was the
 #: unversioned pre-``repro.api`` format; version 2 serialises
-#: :class:`~repro.api.query.ReachQuery` as the query message.
-PROTOCOL_VERSION = 2
+#: :class:`~repro.api.query.ReachQuery` as the query message; version 3 adds
+#: the optional ``trace`` fields on query messages and the ``metrics``
+#: exposition request.
+PROTOCOL_VERSION = 3
+
+#: Oldest peer version this side still understands.  Version-2 peers simply
+#: never see the version-3 additions (all of which are optional fields or new
+#: message kinds).
+MIN_PROTOCOL_VERSION = 2
 
 #: Update operations accepted by :class:`UpdateRequest`.
 UPDATE_OPS = ("insert-edge", "delete-edge", "insert-vertex", "delete-vertex", "flush")
@@ -85,6 +100,7 @@ class QueryRequest(ReachQuery):
             use_cache=query.use_cache,
             max_batch_pairs=query.max_batch_pairs,
             representation=query.representation,
+            trace=query.trace,
         )
 
 
@@ -125,6 +141,16 @@ class SnapshotRequest:
     """
 
 
+@dataclass(frozen=True)
+class MetricsRequest:
+    """Ask the service for its metrics in Prometheus text exposition format.
+
+    Protocol version 3+.  The reply combines the service's own serving
+    registry with the process-global engine registry (see
+    :mod:`repro.obs`), ready to be scraped or dumped to a terminal.
+    """
+
+
 # ---------------------------------------------------------------------- #
 # responses
 # ---------------------------------------------------------------------- #
@@ -141,11 +167,24 @@ class QueryResponse:
     bytes_sent: int = 0
     #: Index epoch the answer is consistent with (-1 when unknown/legacy).
     epoch: int = -1
+    #: Structured per-query trace as a JSON-safe dict
+    #: (:meth:`repro.obs.trace.QueryTrace.to_dict`) when the query asked for
+    #: one, else ``None``.  Protocol version 3+; stripped for older peers.
+    trace: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "pairs", tuple(sorted(tuple(pair) for pair in self.pairs))
         )
+
+    @property
+    def query_trace(self):
+        """The trace rebuilt as a :class:`~repro.obs.trace.QueryTrace`."""
+        if self.trace is None:
+            return None
+        from repro.obs.trace import QueryTrace
+
+        return QueryTrace.from_dict(self.trace)
 
     @property
     def pair_set(self) -> set:
@@ -183,6 +222,13 @@ class SnapshotResponse:
 
 
 @dataclass(frozen=True)
+class MetricsResponse:
+    """Prometheus-style text exposition of the service's metrics registries."""
+
+    text: str = ""
+
+
+@dataclass(frozen=True)
 class ErrorResponse:
     """Reported instead of a normal response when a request fails."""
 
@@ -195,25 +241,64 @@ _MESSAGE_TYPES = {
     "update": UpdateRequest,
     "stats": StatsRequest,
     "snapshot": SnapshotRequest,
+    "metrics": MetricsRequest,
     "query-result": QueryResponse,
     "update-result": UpdateResponse,
     "stats-result": StatsResponse,
     "snapshot-result": SnapshotResponse,
+    "metrics-result": MetricsResponse,
     "error": ErrorResponse,
 }
 _KIND_OF = {cls: kind for kind, cls in _MESSAGE_TYPES.items()}
 
+#: First protocol version that knows each message kind.  Kinds absent here
+#: exist since the first versioned protocol.
+_KIND_MIN_VERSION = {
+    "metrics": 3,
+    "metrics-result": 3,
+}
+
+#: Per-kind fields that only exist from a given protocol version on.
+#: :func:`encode` strips them when targeting an older peer; :func:`decode`
+#: tolerates their absence (they are all optional with defaults).
+_VERSION_GATED_FIELDS = {
+    "query": {"trace": 3},
+    "query-result": {"trace": 3},
+}
+
 #: Message types the service accepts as requests.  ``ReachQuery`` covers both
 #: the wire-form :class:`QueryRequest` and plain API queries submitted
 #: in-process.
-REQUEST_TYPES = (ReachQuery, UpdateRequest, StatsRequest, SnapshotRequest)
+REQUEST_TYPES = (
+    ReachQuery,
+    UpdateRequest,
+    StatsRequest,
+    SnapshotRequest,
+    MetricsRequest,
+)
 
 
 # ---------------------------------------------------------------------- #
 # JSON encoding
 # ---------------------------------------------------------------------- #
-def encode(message: Any) -> Dict[str, Any]:
-    """Encode a protocol message into a JSON-safe tagged dict."""
+def _check_target_version(version: int) -> None:
+    if not isinstance(version, int) or isinstance(version, bool) or not (
+        MIN_PROTOCOL_VERSION <= version <= PROTOCOL_VERSION
+    ):
+        raise ProtocolError(
+            f"cannot encode for protocol version {version!r}; this side "
+            f"speaks versions {MIN_PROTOCOL_VERSION}..{PROTOCOL_VERSION}"
+        )
+
+
+def encode(message: Any, version: int = PROTOCOL_VERSION) -> Dict[str, Any]:
+    """Encode a protocol message into a JSON-safe tagged dict.
+
+    ``version`` selects the wire version to emit (a server answering an
+    older client passes the client's version).  Fields the target version
+    does not know are stripped; message kinds it does not know raise.
+    """
+    _check_target_version(version)
     if type(message) is ReachQuery:
         # A plain API query is a valid query message: promote it to its wire
         # form so the kind lookup and round-tripping stay uniform.
@@ -221,30 +306,61 @@ def encode(message: Any) -> Dict[str, Any]:
     kind = _KIND_OF.get(type(message))
     if kind is None:
         raise ProtocolError(f"not a protocol message: {type(message).__name__}")
+    if version < _KIND_MIN_VERSION.get(kind, MIN_PROTOCOL_VERSION):
+        raise ProtocolError(
+            f"message kind {kind!r} requires protocol version "
+            f"{_KIND_MIN_VERSION[kind]}, encoding for version {version}"
+        )
     payload = asdict(message)
+    for name, min_version in _VERSION_GATED_FIELDS.get(kind, {}).items():
+        if version < min_version:
+            payload.pop(name, None)
     payload["kind"] = kind
-    payload["version"] = PROTOCOL_VERSION
+    payload["version"] = version
     return payload
+
+
+def wire_version(payload: Dict[str, Any]) -> int:
+    """The protocol version a tagged dict was encoded at.
+
+    Frames without a ``version`` tag are treated as the current version.
+    Raises :class:`ProtocolError` for versions outside the supported range.
+    """
+    version = payload.get("version", PROTOCOL_VERSION) if isinstance(
+        payload, dict
+    ) else PROTOCOL_VERSION
+    if (
+        not isinstance(version, int)
+        or isinstance(version, bool)
+        or not (MIN_PROTOCOL_VERSION <= version <= PROTOCOL_VERSION)
+    ):
+        raise ProtocolError(
+            f"protocol version mismatch: peer speaks version {version!r}, "
+            f"this side speaks versions "
+            f"{MIN_PROTOCOL_VERSION}..{PROTOCOL_VERSION}"
+        )
+    return version
 
 
 def decode(payload: Dict[str, Any]) -> Any:
     """Decode a tagged dict (as produced by :func:`encode`) into a message.
 
-    Frames carrying a ``version`` different from :data:`PROTOCOL_VERSION`
-    are rejected; frames without one are treated as the current version.
+    Frames carrying a ``version`` outside
+    ``[MIN_PROTOCOL_VERSION, PROTOCOL_VERSION]`` are rejected; frames
+    without one are treated as the current version.
     """
     if not isinstance(payload, dict) or "kind" not in payload:
         raise ProtocolError("message payload must be a dict with a 'kind' tag")
-    version = payload.get("version", PROTOCOL_VERSION)
-    if version != PROTOCOL_VERSION:
-        raise ProtocolError(
-            f"protocol version mismatch: peer speaks version {version!r}, "
-            f"this side speaks version {PROTOCOL_VERSION}"
-        )
+    version = wire_version(payload)
     kind = payload["kind"]
     cls = _MESSAGE_TYPES.get(kind)
     if cls is None:
         raise ProtocolError(f"unknown message kind {kind!r}")
+    if version < _KIND_MIN_VERSION.get(kind, MIN_PROTOCOL_VERSION):
+        raise ProtocolError(
+            f"message kind {kind!r} requires protocol version "
+            f"{_KIND_MIN_VERSION[kind]}, frame claims version {version}"
+        )
     known = {f.name for f in fields(cls)}
     kwargs = {name: value for name, value in payload.items() if name in known}
     try:
@@ -253,58 +369,80 @@ def decode(payload: Dict[str, Any]) -> Any:
         raise ProtocolError(f"malformed {kind!r} message: {exc}") from exc
 
 
-def dumps(message: Any) -> str:
+def dumps(message: Any, version: int = PROTOCOL_VERSION) -> str:
     """Serialise one message to a single JSON line (no trailing newline)."""
-    return json.dumps(encode(message), separators=(",", ":"))
+    return json.dumps(encode(message, version=version), separators=(",", ":"))
 
 
 def loads(line: str) -> Any:
     """Parse one JSON line back into a protocol message."""
+    return loads_versioned(line)[0]
+
+
+def loads_versioned(line: str) -> Tuple[Any, int]:
+    """Parse one JSON line into ``(message, wire_version)``."""
     try:
         payload = json.loads(line)
     except json.JSONDecodeError as exc:
         raise ProtocolError(f"invalid JSON frame: {exc}") from exc
-    return decode(payload)
+    message = decode(payload)
+    return message, wire_version(payload)
 
 
 # ---------------------------------------------------------------------- #
 # stream framing (newline-delimited JSON)
 # ---------------------------------------------------------------------- #
-def send_message(stream, message: Any) -> None:
+def send_message(stream, message: Any, version: int = PROTOCOL_VERSION) -> None:
     """Write one message to a text-mode file-like stream and flush."""
-    stream.write(dumps(message) + "\n")
+    stream.write(dumps(message, version=version) + "\n")
     stream.flush()
 
 
 def recv_message(stream) -> Optional[Any]:
     """Read one message from a text-mode stream; ``None`` at end of stream."""
+    framed = recv_message_versioned(stream)
+    return None if framed is None else framed[0]
+
+
+def recv_message_versioned(stream) -> Optional[Tuple[Any, int]]:
+    """Read one message plus the wire version its frame was encoded at.
+
+    Servers use the version to answer each client at the version it spoke
+    (:func:`send_message` with ``version=...``).  ``None`` at end of stream.
+    """
     line = stream.readline()
     if not line:
         return None
     line = line.strip()
     if not line:
         return None
-    return loads(line)
+    return loads_versioned(line)
 
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MIN_PROTOCOL_VERSION",
     "UPDATE_OPS",
     "ProtocolError",
     "QueryRequest",
     "UpdateRequest",
     "StatsRequest",
     "SnapshotRequest",
+    "MetricsRequest",
     "QueryResponse",
     "UpdateResponse",
     "StatsResponse",
     "SnapshotResponse",
+    "MetricsResponse",
     "ErrorResponse",
     "REQUEST_TYPES",
     "encode",
     "decode",
+    "wire_version",
     "dumps",
     "loads",
+    "loads_versioned",
     "send_message",
     "recv_message",
+    "recv_message_versioned",
 ]

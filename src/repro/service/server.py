@@ -46,10 +46,16 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api.query import ReachQuery
 from repro.core.engine import DSREngine
+from repro.obs.registry import MetricsRegistry
+from repro.obs.runtime import global_registry
+from repro.obs.trace import QueryTrace
 from repro.service.cache import ResultCache
 from repro.service.planner import QueryPlanner
 from repro.service.protocol import (
     ErrorResponse,
+    MetricsRequest,
+    MetricsResponse,
+    PROTOCOL_VERSION,
     ProtocolError,
     QueryRequest,
     QueryResponse,
@@ -61,6 +67,7 @@ from repro.service.protocol import (
     UpdateRequest,
     UpdateResponse,
     recv_message,
+    recv_message_versioned,
     send_message,
 )
 
@@ -77,10 +84,20 @@ class ServiceMetrics:
 
     Latency samples are kept in a bounded sliding window per request kind
     (``max_samples``), so a long-lived server computes percentiles over
-    recent traffic instead of growing without bound.
+    recent traffic instead of growing without bound — :meth:`percentile`
+    stays an exact order statistic over that window.
+
+    Every recording is mirrored into a per-service
+    :class:`~repro.obs.registry.MetricsRegistry` (``self.registry``) as
+    ``dsr_service_*`` counters/histograms, which is what the Prometheus
+    text exposition (:meth:`DSRService.metrics_text`) serves.  The registry
+    is per-instance, not the process-global one, so concurrent services
+    (and tests) never bleed counters into each other.
     """
 
-    def __init__(self, max_samples: int = 8192) -> None:
+    def __init__(
+        self, max_samples: int = 8192, registry: Optional[MetricsRegistry] = None
+    ) -> None:
         self._lock = threading.Lock()
         self._max_samples = max_samples
         self._latencies: Dict[str, "deque"] = {}
@@ -94,6 +111,7 @@ class ServiceMetrics:
             "messages_sent": 0,
             "bytes_sent": 0,
         }
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._started_at = time.perf_counter()
 
     def record(self, kind: str, latency_seconds: float) -> None:
@@ -102,10 +120,13 @@ class ServiceMetrics:
                 kind, deque(maxlen=self._max_samples)
             ).append(latency_seconds)
             self._counters[f"{kind}_count"] = self._counters.get(f"{kind}_count", 0) + 1
+        self.registry.inc("dsr_service_requests_total", kind=kind)
+        self.registry.observe("dsr_service_request_seconds", latency_seconds, kind=kind)
 
     def increment(self, counter: str, amount: int = 1) -> None:
         with self._lock:
             self._counters[counter] = self._counters.get(counter, 0) + amount
+        self.registry.inc(f"dsr_service_{counter}_total", amount)
 
     def count(self, counter: str) -> int:
         with self._lock:
@@ -259,6 +280,9 @@ class DSRService:
             if isinstance(request, StatsRequest):
                 self.metrics.increment("admin")
                 return StatsResponse(stats=self.stats())
+            if isinstance(request, MetricsRequest):
+                self.metrics.increment("admin")
+                return MetricsResponse(text=self.metrics_text())
             if isinstance(request, SnapshotRequest):
                 self.metrics.increment("admin")
                 with self._engine_lock:
@@ -271,25 +295,48 @@ class DSRService:
 
     def _handle_query(self, request: ReachQuery, start: float) -> QueryResponse:
         self.metrics.increment("queries")
-        plan = self.planner.plan(request)
+        trace = QueryTrace() if request.trace else None
+        if trace is not None:
+            with trace.span("plan") as plan_span:
+                plan = self.planner.plan(request)
+            plan_span.attrs.update(
+                direction=plan.direction,
+                representation=plan.representation,
+                num_batches=plan.num_batches,
+            )
+            trace.attrs.setdefault("representation", plan.representation)
+        else:
+            plan = self.planner.plan(request)
         if plan.is_empty:
             latency = time.perf_counter() - start
-            self.metrics.record("query", latency)
+            # A trivially empty plan never touches the engine: account it
+            # separately from full queries so latency percentiles stay honest.
+            self.metrics.record("query_empty", latency)
             return QueryResponse(
                 pairs=(), direction=plan.direction, num_batches=0,
                 latency_seconds=latency,
+                trace=trace.to_dict() if trace is not None else None,
             )
 
         use_cache = self.cache is not None and request.use_cache
         lookup_epoch = self.engine.epoch if self._background_epochs else None
         if use_cache:
-            cached = self.cache.get(
-                request.sources, request.targets, epoch=lookup_epoch
-            )
+            if trace is not None:
+                with trace.span("cache_lookup") as cache_span:
+                    cached = self.cache.get(
+                        request.sources, request.targets, epoch=lookup_epoch
+                    )
+                cache_span.attrs["hit"] = cached is not None
+            else:
+                cached = self.cache.get(
+                    request.sources, request.targets, epoch=lookup_epoch
+                )
             if cached is not None:
                 latency = time.perf_counter() - start
                 self.metrics.increment("cache_hits")
-                self.metrics.record("query", latency)
+                # Cache hits skip the engine entirely; recording them as
+                # full queries used to drag the "query" percentiles down.
+                self.metrics.record("query_cached", latency)
                 return QueryResponse(
                     pairs=tuple(cached),
                     cached=True,
@@ -297,15 +344,18 @@ class DSRService:
                     num_batches=0,
                     latency_seconds=latency,
                     epoch=lookup_epoch if lookup_epoch is not None else -1,
+                    trace=trace.to_dict() if trace is not None else None,
                 )
 
         if self._background_epochs:
             pairs, epoch, messages, byte_count = self._run_batches_lock_free(
-                plan, use_cache, request
+                plan, use_cache, request, trace
             )
         else:
             with self._engine_lock:
-                results, epochs, messages, byte_count = self._run_plan_batches(plan)
+                results, epochs, messages, byte_count = self._run_plan_batches(
+                    plan, trace
+                )
                 epoch = max(epochs)
                 pairs = self.planner.merge(results)
                 if use_cache:
@@ -317,6 +367,8 @@ class DSRService:
         self.metrics.increment("bytes_sent", byte_count)
         latency = time.perf_counter() - start
         self.metrics.record("query", latency)
+        if trace is not None:
+            trace.attrs["epoch"] = epoch
         return QueryResponse(
             pairs=tuple(pairs),
             cached=False,
@@ -326,31 +378,46 @@ class DSRService:
             messages_sent=messages,
             bytes_sent=byte_count,
             epoch=epoch,
+            trace=trace.to_dict() if trace is not None else None,
         )
 
-    def _run_plan_batches(self, plan):
+    def _run_plan_batches(self, plan, trace: Optional[QueryTrace] = None):
         """Run every batch of a plan, accumulating the shared accounting.
 
         Returns ``(per_batch_pair_sets, epochs_observed, messages, bytes)``.
+        When tracing, each batch's engine-level trace is spliced into
+        ``trace`` (prefixed ``batchN.`` when the plan has several batches).
         """
         results, epochs = [], set()
         messages = byte_count = 0
-        for batch_sources, batch_targets in plan.batches:
+        multi_batch = plan.num_batches > 1
+        for index, (batch_sources, batch_targets) in enumerate(plan.batches):
             result = self.engine.run(
                 ReachQuery(
                     batch_sources,
                     batch_targets,
                     direction=plan.direction,
                     representation=plan.representation,
+                    trace=trace is not None,
                 )
             )
+            if trace is not None and result.trace is not None:
+                trace.merge_child(
+                    result.trace, prefix=f"batch{index}." if multi_batch else ""
+                )
             results.append(result.pairs)
             epochs.add(result.epoch)
             messages += result.messages_sent
             byte_count += result.bytes_sent
         return results, epochs, messages, byte_count
 
-    def _run_batches_lock_free(self, plan, use_cache: bool, request: ReachQuery):
+    def _run_batches_lock_free(
+        self,
+        plan,
+        use_cache: bool,
+        request: ReachQuery,
+        trace: Optional[QueryTrace] = None,
+    ):
         """Run a plan's batches without the engine lock (background engines).
 
         Every batch independently captures the published epoch, so a flush
@@ -360,8 +427,12 @@ class DSRService:
         rule), falling back to briefly serialising against updates.  The
         merged answer is therefore always consistent with a single epoch.
         """
-        for _ in range(3):
-            results, epochs, messages, byte_count = self._run_plan_batches(plan)
+        for attempt in range(3):
+            if trace is not None and attempt:
+                trace.event("plan_epoch_retry", attempt=attempt)
+            results, epochs, messages, byte_count = self._run_plan_batches(
+                plan, trace
+            )
             if len(epochs) == 1:
                 break
         else:
@@ -369,9 +440,13 @@ class DSRService:
             # updates take the engine lock, flush_updates() waits out any
             # in-flight forward *and* reverse flush, and with the dirty sets
             # drained a queued background flush publishes nothing new.
+            if trace is not None:
+                trace.event("plan_epoch_retry", attempt=3, serialized=True)
             with self._engine_lock:
                 self.engine.flush_updates()
-                results, epochs, messages, byte_count = self._run_plan_batches(plan)
+                results, epochs, messages, byte_count = self._run_plan_batches(
+                    plan, trace
+                )
         epoch = epochs.pop()
         pairs = self.planner.merge(results)
         if use_cache and plan.direction == "forward":
@@ -421,6 +496,10 @@ class DSRService:
     def stats(self) -> Dict[str, Any]:
         """Serving metrics, cache counters and queue state in one dict."""
         combined = self.metrics.as_dict()
+        # Both kinds always present, even before the first hit: a dashboard
+        # diffing full queries against cache hits should never KeyError.
+        combined.setdefault("query_count", 0)
+        combined.setdefault("query_cached_count", 0)
         combined["queue_depth"] = self.queue_depth
         combined["workers"] = len(self._workers)
         combined["epoch"] = self.engine.epoch
@@ -432,10 +511,33 @@ class DSRService:
         combined["pending_maintenance"] = (
             maintainer.has_pending_changes if maintainer is not None else False
         )
+        if maintainer is not None:
+            combined["maintenance"] = maintainer.maintenance_stats()
         if self.cache is not None:
             combined["cache"] = self.cache.stats.as_dict()
             combined["cache_entries"] = len(self.cache)
         return combined
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the serving + engine registries.
+
+        Combines this service's own registry (``dsr_service_*``) with the
+        process-global engine registry (step counters, shard-task timings,
+        epoch/flush instrumentation — including deltas shipped back from
+        executor worker processes).  A few point-in-time gauges are refreshed
+        on the way out.
+        """
+        registry = self.metrics.registry
+        registry.set_gauge("dsr_service_queue_depth", float(self.queue_depth))
+        registry.set_gauge("dsr_service_workers", float(len(self._workers)))
+        if self.cache is not None:
+            registry.set_gauge("dsr_service_cache_entries", float(len(self.cache)))
+        age = self.engine.index.epoch_age_seconds()
+        if age is not None:
+            # Epoch lag: how stale the published epoch is, in wall seconds.
+            registry.set_gauge("dsr_epoch_age_seconds", age)
+        parts = [registry.to_prometheus(), global_registry().to_prometheus()]
+        return "\n".join(part for part in parts if part)
 
     def close(self) -> None:
         """Drain the workers and detach the cache."""
@@ -508,15 +610,20 @@ class DSRSocketServer:
         with connection:
             stream = connection.makefile("rw", encoding="utf-8", newline="\n")
             while not self._stopped.is_set():
+                # Answer each request at the version its frame was encoded
+                # at, so version-2 clients keep working against a version-3
+                # server (newer optional fields are stripped from replies).
+                reply_version = PROTOCOL_VERSION
                 try:
-                    request = recv_message(stream)
+                    framed = recv_message_versioned(stream)
                 except ProtocolError as exc:
                     send_message(stream, ErrorResponse("ProtocolError", str(exc)))
                     continue
                 except (OSError, ValueError):
                     break
-                if request is None:
+                if framed is None:
                     break
+                request, reply_version = framed
                 if not isinstance(request, REQUEST_TYPES):
                     response = ErrorResponse(
                         "ProtocolError",
@@ -531,7 +638,7 @@ class DSRSocketServer:
                 # hand never observes a stale requests_served.
                 self._count_request()
                 try:
-                    send_message(stream, response)
+                    send_message(stream, response, version=reply_version)
                 except (OSError, ValueError):
                     break
 
@@ -588,9 +695,18 @@ class DSRClient:
         return response
 
     # Convenience wrappers -------------------------------------------- #
-    def query(self, sources, targets, direction: str = "auto", use_cache: bool = True):
+    def query(
+        self,
+        sources,
+        targets,
+        direction: str = "auto",
+        use_cache: bool = True,
+        trace: bool = False,
+    ):
         return self.request(
-            QueryRequest(tuple(sources), tuple(targets), direction, use_cache)
+            QueryRequest(
+                tuple(sources), tuple(targets), direction, use_cache, trace=trace
+            )
         )
 
     def insert_edge(self, u: int, v: int):
@@ -610,6 +726,10 @@ class DSRClient:
 
     def snapshot(self):
         return self.request(SnapshotRequest())
+
+    def metrics(self):
+        """Prometheus text exposition (:class:`MetricsResponse`)."""
+        return self.request(MetricsRequest())
 
     def close(self) -> None:
         try:

@@ -6,8 +6,11 @@ import pytest
 
 from repro.api import ReachQuery
 from repro.service.protocol import (
+    MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
     ErrorResponse,
+    MetricsRequest,
+    MetricsResponse,
     ProtocolError,
     QueryRequest,
     QueryResponse,
@@ -21,8 +24,10 @@ from repro.service.protocol import (
     dumps,
     encode,
     loads,
+    loads_versioned,
     recv_message,
     send_message,
+    wire_version,
 )
 
 ALL_MESSAGES = [
@@ -32,9 +37,16 @@ ALL_MESSAGES = [
     UpdateRequest("flush"),
     StatsRequest(),
     SnapshotRequest(),
+    MetricsRequest(),
     QueryResponse(pairs=((1, 9), (2, 8)), cached=True, direction="backward",
                   num_batches=2, latency_seconds=0.25, messages_sent=3,
                   bytes_sent=512),
+    QueryResponse(pairs=((1, 9),),
+                  trace={"attrs": {"representation": "bits"},
+                         "spans": [{"name": "step1", "seconds": 0.001,
+                                    "offset_seconds": 0.0, "attrs": {}}]}),
+    MetricsResponse(text="# TYPE dsr_queries_total counter\n"
+                         "dsr_queries_total 3\n"),
     UpdateResponse(op="delete-edge", structural_change=True,
                    affected_partitions=(2, 0), latency_seconds=0.01),
     StatsResponse(stats={"queries": 5, "cache_hit_rate": 0.6}),
@@ -117,12 +129,20 @@ class TestVersioning:
         payload = encode(StatsRequest())
         assert payload["version"] == PROTOCOL_VERSION
 
-    @pytest.mark.parametrize("foreign", [1, 3, "2", None])
+    @pytest.mark.parametrize("foreign", [1, PROTOCOL_VERSION + 1, "2", None])
     def test_mismatched_version_rejected(self, foreign):
         payload = encode(StatsRequest())
         payload["version"] = foreign
         with pytest.raises(ProtocolError, match="version"):
             decode(payload)
+
+    @pytest.mark.parametrize(
+        "supported", list(range(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION + 1))
+    )
+    def test_supported_version_range_accepted(self, supported):
+        payload = encode(StatsRequest())
+        payload["version"] = supported
+        assert decode(payload) == StatsRequest()
 
     def test_missing_version_treated_as_current(self):
         payload = encode(StatsRequest())
@@ -134,6 +154,64 @@ class TestVersioning:
 
         frame = json.loads(dumps(QueryRequest((1,), (2,))))
         assert frame["version"] == PROTOCOL_VERSION
+
+
+class TestVersionNegotiation:
+    """Version-3 additions degrade cleanly when talking to version-2 peers."""
+
+    def test_encode_for_v2_strips_query_trace(self):
+        payload = encode(QueryRequest((1,), (2,), trace=True), version=2)
+        assert "trace" not in payload
+        assert payload["version"] == 2
+        # The stripped frame still decodes — trace falls back to its default.
+        assert decode(payload) == QueryRequest((1,), (2,), trace=False)
+
+    def test_encode_for_v2_strips_response_trace(self):
+        response = QueryResponse(
+            pairs=((1, 2),), trace={"attrs": {}, "spans": []}
+        )
+        payload = encode(response, version=2)
+        assert "trace" not in payload
+        assert decode(payload) == QueryResponse(pairs=((1, 2),), trace=None)
+
+    def test_trace_round_trips_at_current_version(self):
+        trace = {"attrs": {"representation": "bits"}, "spans": []}
+        request = QueryRequest((1,), (2,), trace=True)
+        response = QueryResponse(pairs=(), trace=trace)
+        assert loads(dumps(request)).trace is True
+        assert loads(dumps(response)).trace == trace
+
+    def test_v2_frame_from_old_client_decodes(self):
+        # An old client has no idea trace exists: its frames omit the field
+        # and claim version 2.  The server must accept them unchanged.
+        payload = encode(QueryRequest((3,), (4,), direction="forward"))
+        payload.pop("trace")
+        payload["version"] = 2
+        decoded = decode(payload)
+        assert decoded == QueryRequest((3,), (4,), direction="forward")
+        assert decoded.trace is False
+
+    def test_metrics_kind_requires_v3(self):
+        with pytest.raises(ProtocolError, match="metrics"):
+            encode(MetricsRequest(), version=2)
+        payload = encode(MetricsRequest())
+        payload["version"] = 2
+        with pytest.raises(ProtocolError, match="metrics"):
+            decode(payload)
+
+    def test_encode_rejects_unsupported_target_version(self):
+        with pytest.raises(ProtocolError, match="version"):
+            encode(StatsRequest(), version=1)
+        with pytest.raises(ProtocolError, match="version"):
+            encode(StatsRequest(), version=PROTOCOL_VERSION + 1)
+
+    def test_loads_versioned_reports_wire_version(self):
+        message, version = loads_versioned(
+            dumps(StatsRequest(), version=MIN_PROTOCOL_VERSION)
+        )
+        assert message == StatsRequest()
+        assert version == MIN_PROTOCOL_VERSION
+        assert wire_version(encode(StatsRequest())) == PROTOCOL_VERSION
 
 
 class TestReachQueryBridge:

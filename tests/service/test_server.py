@@ -165,10 +165,15 @@ class TestStatsAndMetrics:
         stats = service.handle(StatsRequest()).stats
         assert stats["queries"] == 2
         assert stats["cache_hit_rate"] == 0.5
-        assert stats["query_count"] == 2
+        # Cache hits are accounted under their own kind: only the first call
+        # actually ran the engine, the second was answered from the cache.
+        assert stats["query_count"] == 1
+        assert stats["query_cached_count"] == 1
         assert stats["query_p50_ms"] >= 0.0
+        assert stats["query_cached_p50_ms"] >= 0.0
         assert stats["cache"]["hits"] == 1
         assert stats["workers"] == 3
+        assert stats["maintenance"]["epoch"] == stats["epoch"]
 
     def test_snapshot_reports_cluster_counters(self, graph, service):
         vertices = sorted(graph.vertices())
