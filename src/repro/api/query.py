@@ -58,6 +58,12 @@ class ReachQuery:
         shard-task wall-clock, payload bytes, stale-epoch retries) and attach
         it to ``QueryResult.trace``.  Off by default — tracing costs a little
         bookkeeping per step.  Backends without tracing ignore it.
+    tenant:
+        Optional workload label (e.g. ``"analytics"``).  Tenants never change
+        the answer; they feed the fleet router's query fingerprint so a
+        :class:`~repro.fleet.ReplicaFleet` can learn per-tenant query classes
+        and keep routing stable for each of them.  Single-engine backends
+        ignore it.
     """
 
     sources: Tuple[int, ...]
@@ -67,6 +73,7 @@ class ReachQuery:
     max_batch_pairs: Optional[int] = None
     representation: str = "auto"
     trace: bool = False
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sources", tuple(self.sources))
@@ -90,6 +97,10 @@ class ReachQuery:
             raise QueryError(
                 f"max_batch_pairs must be a positive integer or None, "
                 f"got {self.max_batch_pairs!r}"
+            )
+        if self.tenant is not None and not isinstance(self.tenant, str):
+            raise QueryError(
+                f"tenant must be a string or None, got {self.tenant!r}"
             )
 
     # ------------------------------------------------------------------ #
@@ -123,6 +134,7 @@ class ReachQuery:
             "max_batch_pairs": self.max_batch_pairs,
             "representation": self.representation,
             "trace": self.trace,
+            "tenant": self.tenant,
         }
 
     @classmethod

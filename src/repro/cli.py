@@ -15,7 +15,9 @@ The CLI exposes the most common workflows without writing any Python:
 * ``repro-dsr communities`` — run the community-connectedness application.
 * ``repro-dsr serve <dataset>`` — build an index and run the online query
   service (planner + result cache + concurrent workers), either listening on
-  a local socket or driving a built-in mixed workload (``--self-test``).
+  a local socket or driving a built-in mixed workload (``--self-test``);
+  ``--replicas N`` serves a workload-adaptive fleet of N heterogeneous
+  replicas with cost-routed reads instead of a single engine.
 * ``repro-dsr stats`` — print the observability registries in Prometheus
   text form: either scraped from a running server (``--connect HOST:PORT``)
   or from a built-in demo that runs traced queries and a background epoch
@@ -124,6 +126,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--backward", action="store_true",
         help="also build the mirror index so the planner can go backward",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=None,
+        help="serve a workload-adaptive fleet of N heterogeneous replicas "
+        "instead of a single engine (see docs/FLEET.md)",
     )
     serve.add_argument("--workers", type=int, default=4)
     serve.add_argument("--queue-depth", type=int, default=64)
@@ -324,6 +331,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             local_index=args.local_index,
             seed=args.seed,
             enable_backward=args.backward,
+            replicas=args.replicas,
         ),
     )
     report = engine.last_build_report
@@ -331,6 +339,10 @@ def _command_serve(args: argparse.Namespace) -> int:
         f"{args.dataset}: {graph.num_vertices} vertices, {graph.num_edges} edges — "
         f"index built in {report.parallel_build_seconds:.3f}s simulated-parallel"
     )
+    if args.replicas:
+        strategies = ", ".join(replica.strategy for replica in engine.replicas)
+        print(f"fleet: {args.replicas} replicas [{strategies}] — reads route, "
+              f"updates fan out, tuner re-specialises in the background")
     service = DSRService(
         engine,
         num_workers=args.workers,
@@ -415,6 +427,22 @@ def _serve_self_test(graph, service: DSRService, seed: int) -> int:
             return 1
     print("self-test passed: answers stayed exact across cache + updates")
     print(format_table([_stats_row(service)], title="serving metrics"))
+    fleet_stats = service.stats().get("fleet")
+    if fleet_stats is not None:
+        print(
+            format_table(
+                [
+                    {
+                        "replica": entry["replica"],
+                        "strategy": entry["strategy"],
+                        "routes": entry["routes"],
+                        "rebuilds": entry["rebuilds"],
+                    }
+                    for entry in fleet_stats["replicas"]
+                ],
+                title="fleet routing",
+            )
+        )
     return 0
 
 

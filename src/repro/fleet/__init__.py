@@ -1,0 +1,53 @@
+"""Workload-adaptive replica fleet with cost-routed queries.
+
+Contract: the serving-tier replication layer — N heterogeneous
+:class:`~repro.core.engine.DSREngine` replicas over the same logical graph,
+an argmin-cost :class:`QueryRouter` fed by the stable
+:meth:`~repro.service.planner.QueryPlanner.estimate_query_cost` contract, and
+an online :class:`FleetTuner` that re-clusters the decayed workload histogram
+and re-specialises replicas through background epoch-swap rebuilds.  Reads
+route to one replica; writes fan out to all; answers are replica-invariant.
+Sits beside :mod:`repro.service` above :mod:`repro.core` (see
+``docs/FLEET.md``).
+
+>>> from repro.api import DSRConfig, ReachQuery, open_engine
+>>> from repro.graph import generators
+>>> graph = generators.social_graph(300, avg_degree=5, seed=1)
+>>> fleet = open_engine(graph, DSRConfig(num_partitions=3, replicas=3))
+>>> result = fleet.run(ReachQuery((0, 1), (100, 200), tenant="analytics"))
+>>> fleet.close()
+"""
+
+from repro.fleet.fleet import (
+    DEFAULT_FLEET_STRATEGIES,
+    ReplicaFleet,
+    resolve_replica_strategies,
+)
+from repro.fleet.replica import FleetReplica
+from repro.fleet.router import (
+    QueryClass,
+    QueryFingerprint,
+    QueryRouter,
+    RouteDecision,
+    WorkloadHistogram,
+    fingerprint_query,
+    size_bucket,
+)
+from repro.fleet.tuner import DEFAULT_TUNER_CANDIDATES, FleetTuner, RetuneResult
+
+__all__ = [
+    "DEFAULT_FLEET_STRATEGIES",
+    "DEFAULT_TUNER_CANDIDATES",
+    "FleetReplica",
+    "FleetTuner",
+    "QueryClass",
+    "QueryFingerprint",
+    "QueryRouter",
+    "ReplicaFleet",
+    "RetuneResult",
+    "RouteDecision",
+    "WorkloadHistogram",
+    "fingerprint_query",
+    "resolve_replica_strategies",
+    "size_bucket",
+]

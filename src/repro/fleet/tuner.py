@@ -1,0 +1,260 @@
+"""Online workload clustering and replica re-specialisation.
+
+The tuner closes the fleet's adaptation loop: it reads the router's decayed
+query-class histogram, and alternates two argmin steps until the modeled
+total cost stops improving —
+
+1. **route**: assign every query class to the replica whose (candidate)
+   strategy prices it cheapest;
+2. **recommend**: for every replica, pick the strategy that prices its
+   assigned class share cheapest.
+
+This mirrors the ``best_cost`` / ``next_cost`` stopping rule of the index
+utilisation-based clustering-and-tuning loop (Hang 2024, see SNIPPETS.md):
+an iteration is only accepted while ``next_cost < best_cost``, so the cost
+trajectory is strictly decreasing and — costs being drawn from the finite
+(class × strategy) table — the loop always terminates.  Both properties are
+pinned by tests.
+
+Applying a result never blocks routing: the winning assignment is installed
+as the router's pinned table (an atomic dict swap) and any replica whose
+recommended strategy differs from its current one is rebuilt *in the
+background* through the epoch-swap machinery
+(:meth:`~repro.fleet.replica.FleetReplica.rebuild_to`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.fleet.router import QueryClass, QueryFingerprint
+from repro.obs.runtime import global_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.fleet import ReplicaFleet
+
+#: Strategy candidates a tuner considers for rebuilds, cheapest-spectrum to
+#: baseline.  All answer identically; only the modeled (and real) cost
+#: differs.  ``bitset`` is omitted as an alias of ``msbfs``.
+DEFAULT_TUNER_CANDIDATES = ("closure", "dfs", "ferrari", "grail", "msbfs")
+
+
+@dataclass
+class RetuneResult:
+    """Outcome of one :meth:`FleetTuner.retune` round."""
+
+    applied: bool
+    #: Modeled total workload cost after each accepted iteration (the first
+    #: entry is the pre-tuning cost under the current strategies).  Strictly
+    #: decreasing past the first entry.
+    cost_trajectory: List[float] = field(default_factory=list)
+    #: Winning fingerprint → replica-index assignment.
+    assignment: Dict[QueryFingerprint, int] = field(default_factory=dict)
+    #: Recommended strategy per replica, in replica order.
+    strategies: Tuple[str, ...] = ()
+    #: Replica ids whose rebuild was kicked off by this round.
+    rebuilds: Tuple[int, ...] = ()
+    reason: str = ""
+
+    @property
+    def modeled_cost(self) -> Optional[float]:
+        return self.cost_trajectory[-1] if self.cost_trajectory else None
+
+
+class FleetTuner:
+    """Re-clusters the recent workload and re-specialises replicas."""
+
+    def __init__(
+        self,
+        fleet: "ReplicaFleet",
+        candidates: Sequence[str] = DEFAULT_TUNER_CANDIDATES,
+    ) -> None:
+        if not candidates:
+            raise ValueError("the tuner needs at least one candidate strategy")
+        self.fleet = fleet
+        self.candidates = tuple(candidates)
+        self.retune_count = 0
+        self.last_result: Optional[RetuneResult] = None
+        self.last_error: Optional[BaseException] = None
+        #: One retune at a time; concurrent requests coalesce into a no-op.
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # cost model
+    # ------------------------------------------------------------------ #
+    def class_cost(self, query_class: QueryClass, strategy: str) -> float:
+        """Weighted modeled cost of one class under a hypothetical strategy.
+
+        Costed on the primary replica's planner: every replica shares the
+        same graph statistics, so the price depends only on the strategy —
+        which is what makes the (class × strategy) cost table finite and the
+        loop below terminating.
+        """
+        query = query_class.as_query()
+        planner = self.fleet.replicas[0].planner
+        return query_class.weight * planner.estimate_query_cost(
+            query, local_index=strategy
+        )
+
+    # ------------------------------------------------------------------ #
+    # the clustering-and-tuning loop
+    # ------------------------------------------------------------------ #
+    def cluster_and_tune(
+        self, classes: Sequence[QueryClass]
+    ) -> Tuple[Tuple[str, ...], Dict[QueryFingerprint, int], List[float]]:
+        """Alternate route/recommend argmin steps until cost stops falling.
+
+        Returns ``(strategies, assignment, cost_trajectory)``.  The
+        trajectory starts at the modeled cost under the replicas' *current*
+        strategies and appends one entry per accepted iteration; acceptance
+        requires a strict decrease (``next_cost < best_cost``), so it is
+        strictly decreasing and finite.
+        """
+        replicas = self.fleet.replicas
+        cost_cache: Dict[Tuple[QueryFingerprint, str], float] = {}
+
+        def cost(query_class: QueryClass, strategy: str) -> float:
+            key = (query_class.fingerprint, strategy)
+            if key not in cost_cache:
+                cost_cache[key] = self.class_cost(query_class, strategy)
+            return cost_cache[key]
+
+        def assign(configs: Sequence[str]) -> Dict[QueryFingerprint, int]:
+            return {
+                query_class.fingerprint: min(
+                    range(len(configs)),
+                    key=lambda i: (cost(query_class, configs[i]), i),
+                )
+                for query_class in classes
+            }
+
+        def recommend(
+            assignment: Dict[QueryFingerprint, int], current: Sequence[str]
+        ) -> List[str]:
+            recommended = []
+            for index, replica in enumerate(replicas):
+                share = [
+                    query_class
+                    for query_class in classes
+                    if assignment[query_class.fingerprint] == index
+                ]
+                if not share:
+                    # An idle replica volunteers for the most-regretful
+                    # class — the one paying the most over its global-best
+                    # price — so the next assign step can peel it off onto
+                    # this replica.  Pure coordinate descent would keep the
+                    # idle strategy forever and strand the whole workload on
+                    # one replica.  No positive regret → keep the strategy.
+                    volunteer = current[index]
+                    best_regret = 0.0
+                    for query_class in classes:
+                        paying = cost(
+                            query_class,
+                            current[assignment[query_class.fingerprint]],
+                        )
+                        cheapest, candidate = min(
+                            (cost(query_class, name), name)
+                            for name in self.candidates
+                        )
+                        regret = paying - cheapest
+                        if regret > best_regret:
+                            best_regret, volunteer = regret, candidate
+                    recommended.append(volunteer)
+                    continue
+                recommended.append(
+                    min(
+                        self.candidates,
+                        key=lambda s: (
+                            sum(cost(query_class, s) for query_class in share),
+                            s,
+                        ),
+                    )
+                )
+            return recommended
+
+        def total(
+            assignment: Dict[QueryFingerprint, int], configs: Sequence[str]
+        ) -> float:
+            return sum(
+                cost(query_class, configs[assignment[query_class.fingerprint]])
+                for query_class in classes
+            )
+
+        configs: List[str] = [replica.strategy for replica in replicas]
+        assignment = assign(configs)
+        best_cost = total(assignment, configs)
+        trajectory = [best_cost]
+        while True:
+            next_configs = recommend(assignment, configs)
+            next_assignment = assign(next_configs)
+            next_cost = total(next_assignment, next_configs)
+            if next_cost < best_cost:
+                configs, assignment, best_cost = (
+                    next_configs,
+                    next_assignment,
+                    next_cost,
+                )
+                trajectory.append(next_cost)
+            else:
+                break
+        return tuple(configs), assignment, trajectory
+
+    # ------------------------------------------------------------------ #
+    # applying a round
+    # ------------------------------------------------------------------ #
+    def retune(self) -> RetuneResult:
+        """Run one clustering-and-tuning round and apply the result.
+
+        Installs the winning routing table atomically and schedules a
+        *background* rebuild for every replica whose recommended strategy
+        changed — in-flight queries keep reading each replica's current
+        epoch throughout.  Serialised: a round that arrives while another is
+        running returns a coalesced no-op.
+        """
+        if not self._lock.acquire(blocking=False):
+            return RetuneResult(applied=False, reason="retune already running")
+        registry = global_registry()
+        try:
+            classes = self.fleet.router.histogram.snapshot()
+            if not classes:
+                result = RetuneResult(applied=False, reason="empty workload")
+                if registry.enabled:
+                    registry.inc("dsr_fleet_retunes_total", outcome="noop")
+            else:
+                strategies, assignment, trajectory = self.cluster_and_tune(classes)
+                self.fleet.router.install_table(assignment)
+                rebuilds = []
+                for replica, strategy in zip(self.fleet.replicas, strategies):
+                    if strategy != replica.strategy and replica.rebuild_to(
+                        strategy, background=True
+                    ):
+                        rebuilds.append(replica.replica_id)
+                result = RetuneResult(
+                    applied=True,
+                    cost_trajectory=trajectory,
+                    assignment=assignment,
+                    strategies=strategies,
+                    rebuilds=tuple(rebuilds),
+                    reason=f"clustered {len(classes)} classes",
+                )
+                if registry.enabled:
+                    registry.inc("dsr_fleet_retunes_total", outcome="applied")
+                    registry.set_gauge(
+                        "dsr_fleet_modeled_cost", trajectory[-1]
+                    )
+            self.retune_count += 1
+            self.last_result = result
+            self.last_error = None
+            return result
+        except BaseException as exc:
+            self.last_error = exc
+            if registry.enabled:
+                registry.inc("dsr_fleet_retunes_total", outcome="error")
+            raise
+        finally:
+            self._lock.release()
+
+
+__all__ = ["DEFAULT_TUNER_CANDIDATES", "FleetTuner", "RetuneResult"]

@@ -31,6 +31,20 @@ class MultiSourceBFS(ReachabilityIndex):
         super().__init__(graph)
         self.batch_size = batch_size
 
+    @classmethod
+    def local_cost_factor(cls, num_roots: int, avg_degree: float) -> float:
+        """Shared frontiers amortise roots in machine words.
+
+        One bitset sweep serves up to 64 roots at once, so the per-root
+        traversal cost collapses to ``ceil(roots / 64) / roots`` of a DFS:
+        ~1.0 for a single root (a full frontier sweep regardless), ~1/64th
+        for large root sets.
+        """
+        del avg_degree
+        if num_roots <= 0:
+            return 1.0
+        return -(-num_roots // 64) / num_roots
+
     def reachable(self, source: int, target: int) -> bool:
         reached = self.set_reachability([source], [target])
         return target in reached.get(source, set())

@@ -55,12 +55,13 @@ from repro.api.query import ReachQuery
 #: unversioned pre-``repro.api`` format; version 2 serialises
 #: :class:`~repro.api.query.ReachQuery` as the query message; version 3 adds
 #: the optional ``trace`` fields on query messages and the ``metrics``
-#: exposition request.
-PROTOCOL_VERSION = 3
+#: exposition request; version 4 adds the optional ``tenant`` label on query
+#: messages (the fleet router's workload fingerprint).
+PROTOCOL_VERSION = 4
 
-#: Oldest peer version this side still understands.  Version-2 peers simply
-#: never see the version-3 additions (all of which are optional fields or new
-#: message kinds).
+#: Oldest peer version this side still understands.  Version-2 and -3 peers
+#: simply never see the later additions (all of which are optional fields or
+#: new message kinds).
 MIN_PROTOCOL_VERSION = 2
 
 #: Update operations accepted by :class:`UpdateRequest`.
@@ -101,6 +102,7 @@ class QueryRequest(ReachQuery):
             max_batch_pairs=query.max_batch_pairs,
             representation=query.representation,
             trace=query.trace,
+            tenant=query.tenant,
         )
 
 
@@ -262,7 +264,7 @@ _KIND_MIN_VERSION = {
 #: :func:`encode` strips them when targeting an older peer; :func:`decode`
 #: tolerates their absence (they are all optional with defaults).
 _VERSION_GATED_FIELDS = {
-    "query": {"trace": 3},
+    "query": {"trace": 3, "tenant": 4},
     "query-result": {"trace": 3},
 }
 

@@ -176,7 +176,21 @@ class ServiceMetrics:
 # the service
 # ---------------------------------------------------------------------- #
 class DSRService:
-    """Concurrent query/update service over one :class:`DSREngine`."""
+    """Concurrent query/update service over one :class:`DSREngine`.
+
+    The engine may also be a :class:`~repro.fleet.ReplicaFleet` — it quacks
+    like an engine, so admission, metrics and updates work unchanged.  The
+    service then adds the fleet's read path on top: every query is routed to
+    the argmin-cost replica (whose planner also does the batching), and
+    updates fan out to all replicas through the fleet's own facade methods.
+    Caching becomes *per replica*: each replica owns a ResultCache of the
+    configured capacity, attached to that replica's maintainer and epoch
+    counter exactly like a single engine's cache.  Because routing is a pure
+    function of the query fingerprint, a query class always lands on the
+    same replica (cache affinity) — the fleet's aggregate cache capacity
+    absorbs working sets that would thrash one engine's cache, which is
+    where a fleet wins on a one-core substrate where strategies tie.
+    """
 
     def __init__(
         self,
@@ -193,26 +207,51 @@ class DSRService:
         if not engine.is_built:
             engine.build_index()
         self.engine = engine
+        # Imported here, not at module scope: repro.fleet imports the planner
+        # from this package, so a top-level import would be circular.
+        from repro.fleet.fleet import ReplicaFleet
+
+        #: The fleet behind ``engine``, when serving one (None otherwise).
+        self._fleet: Optional[ReplicaFleet] = (
+            engine if isinstance(engine, ReplicaFleet) else None
+        )
         #: True when the engine maintains epochs in the background: queries
         #: run lock-free against the published epoch and never flush.
         self._background_epochs = (
             getattr(engine, "epoch_flush", "inline") == "background"
         )
         self.planner = QueryPlanner(engine, max_batch_pairs=max_batch_pairs)
+        if self._fleet is not None:
+            # Replica planners do the actual batching for routed queries;
+            # keep their budget aligned with the service's.
+            self._fleet.configure_planners(max_batch_pairs)
         self.metrics = ServiceMetrics()
         self.cache: Optional[ResultCache] = None
+        #: Fleet mode: one cache per replica, indexed by replica id.  Routing
+        #: is deterministic per query fingerprint, so each query class keeps
+        #: hitting the same replica's cache (affinity).
+        self._replica_caches: Optional[List[ResultCache]] = None
         if enable_cache:
-            self.cache = ResultCache(
-                capacity=cache_capacity, ttl_seconds=cache_ttl_seconds
-            )
             # Staleness protection matches the maintenance mode: inline
             # engines clear the cache the moment a structural update is
             # recorded; background engines invalidate at the epoch swap (and
             # every entry is epoch-tagged, so lookups are version-checked).
-            self.cache.attach(
-                engine.maintainer,
-                invalidate_on="flush" if self._background_epochs else "update",
-            )
+            invalidate_on = "flush" if self._background_epochs else "update"
+            if self._fleet is not None:
+                self._replica_caches = []
+                for replica in self._fleet.replicas:
+                    cache = ResultCache(
+                        capacity=cache_capacity, ttl_seconds=cache_ttl_seconds
+                    )
+                    cache.attach(
+                        replica.engine.maintainer, invalidate_on=invalidate_on
+                    )
+                    self._replica_caches.append(cache)
+            else:
+                self.cache = ResultCache(
+                    capacity=cache_capacity, ttl_seconds=cache_ttl_seconds
+                )
+                self.cache.attach(engine.maintainer, invalidate_on=invalidate_on)
 
         self._engine_lock = threading.Lock()
         self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue_depth)
@@ -295,18 +334,29 @@ class DSRService:
 
     def _handle_query(self, request: ReachQuery, start: float) -> QueryResponse:
         self.metrics.increment("queries")
+        # Fleet mode: pick the serving replica up front — its planner does
+        # the batching and its engine runs every batch of this plan, so the
+        # whole answer comes from one replica (one epoch counter to agree
+        # on).  Routing is recorded even when the cache ends up answering:
+        # the workload histogram should reflect demand, not cache luck.
+        route = self._fleet.route(request) if self._fleet is not None else None
+        planner = self.planner if route is None else route.replica.planner
+        engine = self.engine if route is None else route.replica.engine
         trace = QueryTrace() if request.trace else None
         if trace is not None:
             with trace.span("plan") as plan_span:
-                plan = self.planner.plan(request)
+                plan = planner.plan(request)
             plan_span.attrs.update(
                 direction=plan.direction,
                 representation=plan.representation,
                 num_batches=plan.num_batches,
             )
             trace.attrs.setdefault("representation", plan.representation)
+            if route is not None:
+                trace.attrs["replica"] = route.replica.replica_id
+                trace.attrs["replica_strategy"] = route.replica.strategy
         else:
-            plan = self.planner.plan(request)
+            plan = planner.plan(request)
         if plan.is_empty:
             latency = time.perf_counter() - start
             # A trivially empty plan never touches the engine: account it
@@ -318,17 +368,28 @@ class DSRService:
                 trace=trace.to_dict() if trace is not None else None,
             )
 
-        use_cache = self.cache is not None and request.use_cache
-        lookup_epoch = self.engine.epoch if self._background_epochs else None
+        # Fleet mode serves from the routed replica's own cache, tagged and
+        # looked up with that replica's epoch counter — exactly the single
+        # engine contract, replicated per replica.
+        if route is None:
+            cache = self.cache
+        else:
+            cache = (
+                self._replica_caches[route.replica.replica_id]
+                if self._replica_caches is not None
+                else None
+            )
+        use_cache = cache is not None and request.use_cache
+        lookup_epoch = engine.epoch if self._background_epochs else None
         if use_cache:
             if trace is not None:
                 with trace.span("cache_lookup") as cache_span:
-                    cached = self.cache.get(
+                    cached = cache.get(
                         request.sources, request.targets, epoch=lookup_epoch
                     )
                 cache_span.attrs["hit"] = cached is not None
             else:
-                cached = self.cache.get(
+                cached = cache.get(
                     request.sources, request.targets, epoch=lookup_epoch
                 )
             if cached is not None:
@@ -349,20 +410,21 @@ class DSRService:
 
         if self._background_epochs:
             pairs, epoch, messages, byte_count = self._run_batches_lock_free(
-                plan, use_cache, request, trace
+                plan, use_cache, request, trace, engine=engine, cache=cache,
+                planner=planner,
             )
         else:
             with self._engine_lock:
                 results, epochs, messages, byte_count = self._run_plan_batches(
-                    plan, trace
+                    plan, trace, engine=engine
                 )
                 epoch = max(epochs)
-                pairs = self.planner.merge(results)
+                pairs = planner.merge(results)
                 if use_cache:
                     # Store under the lock: an update cannot interleave
                     # between computing the answer and caching it, so entries
                     # always reflect the current graph.
-                    self.cache.put(request.sources, request.targets, pairs)
+                    cache.put(request.sources, request.targets, pairs)
         self.metrics.increment("messages_sent", messages)
         self.metrics.increment("bytes_sent", byte_count)
         latency = time.perf_counter() - start
@@ -381,18 +443,24 @@ class DSRService:
             trace=trace.to_dict() if trace is not None else None,
         )
 
-    def _run_plan_batches(self, plan, trace: Optional[QueryTrace] = None):
+    def _run_plan_batches(
+        self, plan, trace: Optional[QueryTrace] = None, engine=None
+    ):
         """Run every batch of a plan, accumulating the shared accounting.
 
         Returns ``(per_batch_pair_sets, epochs_observed, messages, bytes)``.
         When tracing, each batch's engine-level trace is spliced into
         ``trace`` (prefixed ``batchN.`` when the plan has several batches).
+        ``engine`` pins all batches to one engine (the routed replica in
+        fleet mode); by default the service's own engine runs them.
         """
+        if engine is None:
+            engine = self.engine
         results, epochs = [], set()
         messages = byte_count = 0
         multi_batch = plan.num_batches > 1
         for index, (batch_sources, batch_targets) in enumerate(plan.batches):
-            result = self.engine.run(
+            result = engine.run(
                 ReachQuery(
                     batch_sources,
                     batch_targets,
@@ -417,6 +485,9 @@ class DSRService:
         use_cache: bool,
         request: ReachQuery,
         trace: Optional[QueryTrace] = None,
+        engine=None,
+        cache: Optional[ResultCache] = None,
+        planner=None,
     ):
         """Run a plan's batches without the engine lock (background engines).
 
@@ -426,12 +497,21 @@ class DSRService:
         epoch (epoch swaps are rare — a retry is the exception, not the
         rule), falling back to briefly serialising against updates.  The
         merged answer is therefore always consistent with a single epoch.
+
+        In fleet mode all batches run on the routed replica's ``engine``,
+        the answer goes into that replica's own ``cache``, and the tag is
+        the replica's epoch observed while running — identical semantics to
+        the single-engine path, instantiated once per replica.
         """
+        if cache is None:
+            cache = self.cache
+        if planner is None:
+            planner = self.planner
         for attempt in range(3):
             if trace is not None and attempt:
                 trace.event("plan_epoch_retry", attempt=attempt)
             results, epochs, messages, byte_count = self._run_plan_batches(
-                plan, trace
+                plan, trace, engine=engine
             )
             if len(epochs) == 1:
                 break
@@ -445,10 +525,10 @@ class DSRService:
             with self._engine_lock:
                 self.engine.flush_updates()
                 results, epochs, messages, byte_count = self._run_plan_batches(
-                    plan, trace
+                    plan, trace, engine=engine
                 )
         epoch = epochs.pop()
-        pairs = self.planner.merge(results)
+        pairs = planner.merge(results)
         if use_cache and plan.direction == "forward":
             # No lock needed: the entry is tagged with the epoch it was
             # computed at, and lookups reject entries from any other epoch —
@@ -457,7 +537,7 @@ class DSRService:
             # counter belongs to the *reverse* index, which flushes on its
             # own coalescing thread, so tagging them with it could collide
             # numerically with a different forward epoch at lookup time.
-            self.cache.put(request.sources, request.targets, pairs, epoch=epoch)
+            cache.put(request.sources, request.targets, pairs, epoch=epoch)
         return pairs, epoch, messages, byte_count
 
     def _handle_update(self, request: UpdateRequest, start: float) -> UpdateResponse:
@@ -516,6 +596,33 @@ class DSRService:
         if self.cache is not None:
             combined["cache"] = self.cache.stats.as_dict()
             combined["cache_entries"] = len(self.cache)
+        elif self._replica_caches is not None:
+            # Fleet mode: one cache per replica — the top-level section sums
+            # them so dashboards keep one hit/miss stream either way.
+            merged: Dict[str, Any] = {}
+            entries = 0
+            for cache in self._replica_caches:
+                for key, value in cache.stats.as_dict().items():
+                    if key != "hit_rate":
+                        merged[key] = merged.get(key, 0) + value
+                entries += len(cache)
+            lookups = merged.get("hits", 0) + merged.get("misses", 0)
+            merged["hit_rate"] = (
+                round(merged.get("hits", 0) / lookups, 4) if lookups else 0.0
+            )
+            combined["cache"] = merged
+            combined["cache_entries"] = entries
+        if self._fleet is not None:
+            # Per-replica strategy/epoch/routes, routing-table size, workload
+            # classes and the last retune round — the fleet control plane.
+            combined["fleet"] = self._fleet.stats()
+            if self._replica_caches is not None:
+                for row, cache in zip(
+                    combined["fleet"]["replicas"], self._replica_caches
+                ):
+                    row["cache_entries"] = len(cache)
+                    row["cache_hits"] = cache.stats.hits
+                    row["cache_misses"] = cache.stats.misses
         return combined
 
     def metrics_text(self) -> str:
@@ -532,6 +639,11 @@ class DSRService:
         registry.set_gauge("dsr_service_workers", float(len(self._workers)))
         if self.cache is not None:
             registry.set_gauge("dsr_service_cache_entries", float(len(self.cache)))
+        elif self._replica_caches is not None:
+            registry.set_gauge(
+                "dsr_service_cache_entries",
+                float(sum(len(cache) for cache in self._replica_caches)),
+            )
         age = self.engine.index.epoch_age_seconds()
         if age is not None:
             # Epoch lag: how stale the published epoch is, in wall seconds.
@@ -554,6 +666,9 @@ class DSRService:
             self.engine.wait_for_maintenance(timeout=5.0)
         if self.cache is not None:
             self.cache.detach()
+        if self._replica_caches is not None:
+            for cache in self._replica_caches:
+                cache.detach()
 
     def __enter__(self) -> "DSRService":
         return self

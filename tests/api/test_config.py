@@ -114,8 +114,8 @@ class TestRoundTrip:
         assert config.local_index_options == {"k": 2}
 
     def test_from_dict_rejects_unknown_keys(self):
-        with pytest.raises(ConfigError, match="unknown config keys: replicas"):
-            DSRConfig.from_dict({"backend": "dsr", "replicas": 3})
+        with pytest.raises(ConfigError, match="unknown config keys: shards"):
+            DSRConfig.from_dict({"backend": "dsr", "shards": 3})
 
     def test_from_dict_rejects_non_mapping(self):
         with pytest.raises(ConfigError):

@@ -1,0 +1,211 @@
+"""Fleet construction, answer parity, update fan-out and config plumbing."""
+
+import random
+
+import pytest
+
+from repro.api import DSRConfig, ReachQuery, open_engine
+from repro.api.config import ConfigError
+from repro.fleet import (
+    DEFAULT_FLEET_STRATEGIES,
+    ReplicaFleet,
+    resolve_replica_strategies,
+)
+from repro.graph import generators
+from repro.graph.traversal import reachable_pairs
+
+
+@pytest.fixture
+def graph():
+    return generators.social_graph(200, avg_degree=4, seed=9)
+
+
+def random_queries(graph, count=25, seed=21):
+    rng = random.Random(seed)
+    verts = sorted(graph.vertices())
+    for _ in range(count):
+        sources = tuple(rng.sample(verts, rng.choice([1, 2, 16])))
+        targets = tuple(rng.sample(verts, rng.choice([1, 4, 16])))
+        yield ReachQuery(sources, targets, tenant=rng.choice([None, "a", "b"]))
+
+
+class TestResolveStrategies:
+    def test_none_gives_default_trio(self):
+        assert resolve_replica_strategies(None) == DEFAULT_FLEET_STRATEGIES
+
+    def test_int_cycles_the_trio(self):
+        assert resolve_replica_strategies(5) == (
+            "msbfs", "ferrari", "closure", "msbfs", "ferrari",
+        )
+
+    def test_list_is_taken_verbatim(self):
+        assert resolve_replica_strategies(["grail", "dfs"]) == ("grail", "dfs")
+
+
+class TestFleetConfig:
+    def test_replicas_implies_fleet(self):
+        config = DSRConfig(replicas=3)
+        assert config.fleet is True
+
+    def test_int_replicas_validated(self):
+        with pytest.raises(ConfigError):
+            DSRConfig(replicas=0)
+        with pytest.raises(ConfigError):
+            DSRConfig(replicas=True)
+
+    def test_strategy_list_validated(self):
+        with pytest.raises(ConfigError):
+            DSRConfig(replicas=["msbfs", "btree"])
+        with pytest.raises(ConfigError):
+            DSRConfig(replicas=[])
+
+    def test_fleet_requires_dsr_backend(self):
+        with pytest.raises(ConfigError):
+            DSRConfig(backend="naive", fleet=True)
+
+    def test_round_trips_through_dict(self):
+        config = DSRConfig(replicas=["msbfs", "closure"])
+        clone = DSRConfig.from_dict(config.to_dict())
+        assert clone.fleet is True
+        assert tuple(clone.replicas) == ("msbfs", "closure")
+
+    def test_open_engine_returns_a_fleet(self, graph):
+        fleet = open_engine(graph, DSRConfig(num_partitions=3, replicas=2))
+        try:
+            assert isinstance(fleet, ReplicaFleet)
+            assert [r.strategy for r in fleet.replicas] == ["msbfs", "ferrari"]
+        finally:
+            fleet.close()
+
+
+class TestAnswerParity:
+    def test_fleet_matches_single_engine_and_truth(self, graph):
+        single = open_engine(
+            graph.copy(), DSRConfig(num_partitions=3, local_index="msbfs", seed=9)
+        )
+        fleet = ReplicaFleet.from_config(
+            graph, DSRConfig(num_partitions=3, replicas=3, seed=9)
+        )
+        try:
+            for query in random_queries(graph):
+                expected = reachable_pairs(graph, query.sources, query.targets)
+                assert set(fleet.run(query).pairs) == expected
+                assert set(single.run(query).pairs) == expected
+        finally:
+            fleet.close()
+            single.close()
+
+    def test_reachable_delegates_to_routing(self, graph):
+        fleet = ReplicaFleet.from_config(
+            graph, DSRConfig(num_partitions=3, replicas=2, seed=9)
+        )
+        try:
+            verts = sorted(graph.vertices())
+            truth = reachable_pairs(graph, (verts[0],), (verts[-1],))
+            assert fleet.reachable(verts[0], verts[-1]) == bool(truth)
+        finally:
+            fleet.close()
+
+
+class TestUpdateFanOut:
+    @pytest.fixture
+    def fleet(self, graph):
+        fleet = ReplicaFleet.from_config(
+            graph, DSRConfig(num_partitions=3, replicas=3, seed=9)
+        )
+        yield fleet
+        fleet.close()
+
+    def test_edge_updates_keep_replicas_aligned(self, fleet, graph):
+        verts = sorted(graph.vertices())
+        added = next(
+            (u, v)
+            for u in verts for v in (verts[-1], verts[-2])
+            if u != v and not graph.has_edge(u, v)
+        )
+        fleet.insert_edge(*added)
+        removed = next(iter(graph.edges()))
+        fleet.delete_edge(*removed)
+        for replica in fleet.replicas:
+            assert replica.engine.graph.has_edge(*added)
+            assert not replica.engine.graph.has_edge(*removed)
+            assert replica.engine.graph.num_edges == graph.num_edges
+        for query in random_queries(graph, count=10):
+            expected = reachable_pairs(graph, query.sources, query.targets)
+            assert set(fleet.run(query).pairs) == expected
+
+    def test_vertex_insert_agrees_on_id_and_partition(self, fleet, graph):
+        new_vertex = fleet.insert_vertex()
+        partitions = {
+            replica.engine.partitioning.partition_of(new_vertex)
+            for replica in fleet.replicas
+        }
+        assert len(partitions) == 1
+        for replica in fleet.replicas:
+            assert replica.engine.graph.has_vertex(new_vertex)
+
+    def test_vertex_delete_fans_out(self, fleet, graph):
+        victim = sorted(graph.vertices())[0]
+        fleet.delete_vertex(victim)
+        for replica in fleet.replicas:
+            assert not replica.engine.graph.has_vertex(victim)
+
+    def test_flush_updates_bumps_fleet_version(self, fleet, graph):
+        verts = sorted(graph.vertices())
+        structural = next(
+            (u, v)
+            for u in verts for v in (verts[-1], verts[-2], verts[-3])
+            if u != v
+            and not graph.has_edge(u, v)
+            and not reachable_pairs(graph, (u,), (v,))
+        )
+        before = fleet.epoch
+        fleet.insert_edge(*structural)
+        assert fleet.has_pending_updates
+        fleet.flush_updates()
+        # Every replica published an epoch, and each publish bumped the
+        # fleet version the service's cache keys on.
+        assert fleet.epoch >= before + len(fleet.replicas)
+
+
+class TestStrategyRebuild:
+    def test_sync_rebuild_swaps_strategy_and_preserves_answers(self, graph):
+        fleet = ReplicaFleet.from_config(
+            graph, DSRConfig(num_partitions=3, replicas=["dfs", "msbfs"], seed=9)
+        )
+        try:
+            queries = list(random_queries(graph, count=8))
+            before = [set(fleet.replicas[0].engine.run(q).pairs) for q in queries]
+            version = fleet.epoch
+            assert fleet.replicas[0].rebuild_to("grail")
+            assert fleet.replicas[0].strategy == "grail"
+            assert fleet.epoch > version, "a rebuild is an epoch publish"
+            after = [set(fleet.replicas[0].engine.run(q).pairs) for q in queries]
+            assert before == after
+        finally:
+            fleet.close()
+
+    def test_rebuild_to_same_strategy_is_a_noop(self, graph):
+        fleet = ReplicaFleet.from_config(
+            graph, DSRConfig(num_partitions=3, replicas=["msbfs"], seed=9)
+        )
+        try:
+            assert not fleet.replicas[0].rebuild_to("msbfs")
+            assert fleet.replicas[0].rebuild_count == 0
+        finally:
+            fleet.close()
+
+    def test_stats_expose_the_control_plane(self, graph):
+        fleet = ReplicaFleet.from_config(
+            graph, DSRConfig(num_partitions=3, replicas=2, seed=9)
+        )
+        try:
+            fleet.run(ReachQuery((1,), (2,)))
+            stats = fleet.stats()
+            assert len(stats["replicas"]) == 2
+            assert stats["routes"] == 1
+            assert sum(e["routes"] for e in stats["replicas"]) == 1
+            assert {"version", "routing_table_size", "workload_classes",
+                    "retunes", "last_retune"} <= stats.keys()
+        finally:
+            fleet.close()

@@ -1,0 +1,136 @@
+"""Tuner convergence and retune semantics.
+
+The convergence tests pin the two properties inherited from the
+``best_cost`` / ``next_cost`` stopping rule: the modeled-cost trajectory is
+*strictly decreasing* past its first entry (iterations are only accepted on a
+strict improvement) and the loop *terminates* (costs come from the finite
+class × strategy table, so a strictly decreasing sequence must stop).
+"""
+
+import pytest
+
+from repro.api import DSRConfig, ReachQuery
+from repro.fleet import FleetTuner, QueryClass, ReplicaFleet
+from repro.graph import generators
+
+
+def make_fleet(strategies, seed=5):
+    graph = generators.social_graph(150, avg_degree=4, seed=seed)
+    return ReplicaFleet.from_config(
+        graph,
+        DSRConfig(num_partitions=3, replicas=list(strategies), seed=seed),
+    )
+
+
+def synthetic_classes():
+    """A bimodal workload: a heavy pointwise class and a heavy sweep class."""
+    return [
+        QueryClass(("point", "auto", "auto", 1, 1), weight=50.0,
+                   num_sources=1, num_targets=1),
+        QueryClass(("sweep", "auto", "auto", 7, 4), weight=10.0,
+                   num_sources=96, num_targets=8),
+    ]
+
+
+class TestConvergence:
+    def test_trajectory_is_strictly_decreasing_and_finite(self):
+        # Start from the worst uniform configuration so there is room to move.
+        fleet = make_fleet(("dfs", "dfs", "dfs"))
+        try:
+            strategies, assignment, trajectory = fleet.tuner.cluster_and_tune(
+                synthetic_classes()
+            )
+            assert len(trajectory) >= 2, "dfs-everywhere must be improvable"
+            for earlier, later in zip(trajectory, trajectory[1:]):
+                assert later < earlier
+            assert set(assignment.values()) <= set(range(len(fleet.replicas)))
+        finally:
+            fleet.close()
+
+    def test_specialises_for_a_bimodal_workload(self):
+        fleet = make_fleet(("dfs", "dfs", "dfs"))
+        try:
+            strategies, assignment, _ = fleet.tuner.cluster_and_tune(
+                synthetic_classes()
+            )
+            point_replica = assignment[("point", "auto", "auto", 1, 1)]
+            sweep_replica = assignment[("sweep", "auto", "auto", 7, 4)]
+            # The tiny class should land on a materialised-closure replica,
+            # the huge root set on a shared-frontier sweep replica.
+            assert strategies[point_replica] == "closure"
+            assert strategies[sweep_replica] == "msbfs"
+        finally:
+            fleet.close()
+
+    def test_already_optimal_configuration_stops_immediately(self):
+        fleet = make_fleet(("closure", "msbfs", "ferrari"))
+        try:
+            _, _, trajectory = fleet.tuner.cluster_and_tune(synthetic_classes())
+            # The first accepted cost is also the best: one entry, no churn.
+            assert len(trajectory) == 1
+        finally:
+            fleet.close()
+
+    def test_tuning_is_deterministic(self):
+        def run():
+            fleet = make_fleet(("dfs", "dfs", "dfs"))
+            try:
+                return fleet.tuner.cluster_and_tune(synthetic_classes())
+            finally:
+                fleet.close()
+
+        assert run() == run()
+
+
+class TestRetune:
+    def test_empty_workload_is_a_noop(self):
+        fleet = make_fleet(("msbfs", "ferrari", "closure"))
+        try:
+            result = fleet.retune()
+            assert not result.applied
+            assert result.reason == "empty workload"
+            assert fleet.tuner.retune_count == 1
+        finally:
+            fleet.close()
+
+    def test_retune_installs_table_and_rebuilds(self):
+        fleet = make_fleet(("dfs", "dfs", "dfs"))
+        try:
+            for _ in range(20):
+                fleet.route(ReachQuery((1,), (2,), tenant="point"))
+            result = fleet.retune()
+            assert result.applied
+            assert result.modeled_cost == result.cost_trajectory[-1]
+            assert fleet.router.routing_table() == result.assignment
+            assert result.rebuilds, "dfs replicas should re-specialise"
+            for replica_id in result.rebuilds:
+                assert fleet.replicas[replica_id].wait_for_rebuild(timeout=30.0)
+            rebuilt = {
+                fleet.replicas[replica_id].strategy
+                for replica_id in result.rebuilds
+            }
+            assert rebuilt <= set(result.strategies)
+            assert "dfs" not in rebuilt
+        finally:
+            fleet.close()
+
+    def test_concurrent_retune_coalesces(self):
+        fleet = make_fleet(("msbfs", "ferrari", "closure"))
+        try:
+            assert fleet.tuner._lock.acquire(blocking=False)
+            try:
+                result = fleet.retune()
+            finally:
+                fleet.tuner._lock.release()
+            assert not result.applied
+            assert result.reason == "retune already running"
+        finally:
+            fleet.close()
+
+    def test_tuner_requires_candidates(self):
+        fleet = make_fleet(("msbfs",))
+        try:
+            with pytest.raises(ValueError):
+                FleetTuner(fleet, candidates=())
+        finally:
+            fleet.close()

@@ -214,6 +214,34 @@ class TestVersionNegotiation:
         assert wire_version(encode(StatsRequest())) == PROTOCOL_VERSION
 
 
+class TestVersionFourTenants:
+    """Version-4 adds the fleet's tenant label; older peers never see it."""
+
+    def test_encode_for_v3_strips_tenant(self):
+        payload = encode(QueryRequest((1,), (2,), tenant="analytics"), version=3)
+        assert "tenant" not in payload
+        assert payload["version"] == 3
+        # The stripped frame still decodes — tenant falls back to None.
+        assert decode(payload) == QueryRequest((1,), (2,), tenant=None)
+
+    def test_tenant_round_trips_at_current_version(self):
+        request = QueryRequest((1,), (2,), tenant="analytics")
+        decoded = loads(dumps(request))
+        assert decoded.tenant == "analytics"
+        assert decoded == request
+
+    def test_old_client_frame_without_tenant_decodes(self):
+        payload = encode(QueryRequest((3,), (4,)))
+        payload.pop("tenant")
+        payload["version"] = 3
+        decoded = decode(payload)
+        assert decoded.tenant is None
+
+    def test_from_query_carries_the_tenant(self):
+        query = ReachQuery((1,), (2,), tenant="crm")
+        assert QueryRequest.from_query(query).tenant == "crm"
+
+
 class TestReachQueryBridge:
     """QueryRequest is a thin serialisation of the API's ReachQuery."""
 
