@@ -13,7 +13,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-dsr",
-    version="1.5.0",
+    version="1.6.0",
     description=(
         "Reproduction of 'Distributed Set Reachability' (SIGMOD 2016): "
         "DSR index, one-round query protocol, incremental maintenance, an "
@@ -34,6 +34,10 @@ setup(
     },
     extras_require={
         "test": ["pytest", "pytest-benchmark"],
+        # Optional vectorised kernel backend (DSRConfig(kernels="numpy")):
+        # byte-identical answers, just faster.  Nothing imports numpy unless
+        # it is selected, so the base install stays dependency-free.
+        "numpy": ["numpy"],
     },
     classifiers=[
         "Development Status :: 4 - Beta",

@@ -25,6 +25,7 @@ from typing import Any, Dict, Mapping, Optional
 
 from repro.cluster.executors import EXECUTOR_NAMES
 from repro.reachability.factory import available_strategies
+from repro.reachability.kernels import KERNEL_NAMES, resolve_kernels
 
 #: Partitioning strategies understood by ``repro.partition.make_partitioning``.
 PARTITIONERS = ("metis", "min-cut", "mincut", "hash")
@@ -72,6 +73,12 @@ class DSRConfig:
         ``"background"`` (a coalescing maintenance thread builds epoch
         ``N+1`` while queries keep reading epoch ``N``; queries never block
         on maintenance).
+    kernels:
+        Bitset-kernel backend for the hot traversal/harvest loops:
+        ``"python"`` (pure-python reference), ``"numpy"`` (vectorized;
+        requires numpy) or ``"auto"`` (default — numpy when importable).
+        All backends produce byte-identical results; only speed differs.
+        Asking for ``"numpy"`` without numpy installed raises here.
     parallel:
         Deprecated alias: ``parallel=True`` with the default executor maps
         to ``executor="threads"``.
@@ -104,6 +111,7 @@ class DSRConfig:
     local_index_options: Optional[Dict[str, Any]] = None
     executor: str = "serial"
     epoch_flush: str = "inline"
+    kernels: str = "auto"
     fleet: bool = False
     replicas: Optional[Any] = None
 
@@ -138,6 +146,17 @@ class DSRConfig:
             f"unknown epoch_flush mode {self.epoch_flush!r}; "
             f"available: {', '.join(EPOCH_FLUSH_MODES)}",
         )
+        _require(
+            self.kernels in KERNEL_NAMES,
+            f"unknown kernels backend {self.kernels!r}; "
+            f"available: {', '.join(KERNEL_NAMES)}",
+        )
+        try:
+            # Fail at configuration time, not first query: kernels="numpy"
+            # on a host without numpy is a ConfigError, not a silent fallback.
+            resolve_kernels(self.kernels)
+        except ValueError as exc:
+            raise ConfigError(str(exc)) from exc
         for flag in ("use_equivalence", "parallel", "enable_backward"):
             _require(
                 isinstance(getattr(self, flag), bool),

@@ -219,6 +219,17 @@ def _record_hydration(seconds: float) -> None:
         registry.observe("dsr_shard_hydrate_seconds", seconds)
 
 
+def _close_shard(shard: Any) -> None:
+    """Release a retired shard's resources (e.g. a shared-memory mapping)."""
+    close = getattr(shard, "close", None)
+    if close is None:
+        return
+    try:
+        close()
+    except Exception:  # pragma: no cover - release is best-effort
+        pass
+
+
 class _InProcessShardStore:
     """Epoch-keyed shard storage shared by the in-process executors."""
 
@@ -227,12 +238,18 @@ class _InProcessShardStore:
         self._lock = threading.Lock()
 
     def put(self, rank: int, epoch: int, shard: Any, retire_below: Optional[int]) -> None:
+        retired = []
         with self._lock:
             per_rank = self._shards.setdefault(rank, {})
+            previous = per_rank.get(epoch)
+            if previous is not None and previous is not shard:
+                retired.append(previous)
             per_rank[epoch] = shard
             if retire_below is not None:
                 for old in [e for e in per_rank if e < retire_below]:
-                    del per_rank[old]
+                    retired.append(per_rank.pop(old))
+        for old_shard in retired:
+            _close_shard(old_shard)
 
     def get(self, rank: int, epoch: Optional[int]) -> Any:
         with self._lock:
@@ -358,11 +375,14 @@ def _process_worker_main(conn, rank: int, task_modules: Sequence[str]) -> None:
             if kind == "hydrate":
                 _, epoch, loader_name, blob, retire_below = message
                 start = time.perf_counter()
+                previous = shards.get(epoch)
                 shards[epoch] = _SHARD_LOADERS[loader_name](blob)
+                if previous is not None:
+                    _close_shard(previous)
                 _record_hydration(time.perf_counter() - start)
                 if retire_below is not None:
                     for old in [e for e in shards if e < retire_below]:
-                        del shards[old]
+                        _close_shard(shards.pop(old))
                 conn.send(("ok", None, 0.0, obs_runtime.collect_worker_delta()))
             elif kind == "task":
                 _, task_name, epoch, payload = message
@@ -386,6 +406,9 @@ def _process_worker_main(conn, rank: int, task_modules: Sequence[str]) -> None:
             conn.send(("stale", exc.epoch, list(exc.available), obs_runtime.collect_worker_delta()))
         except Exception:
             conn.send(("error", "TaskError", traceback.format_exc()))
+    # Clean exit: detach from any shared-memory shard mappings.
+    for shard in shards.values():
+        _close_shard(shard)
 
 
 class ProcessExecutor(ExecutorBackend):
@@ -409,8 +432,33 @@ class ProcessExecutor(ExecutorBackend):
         self._dispatch: Optional[ThreadPoolExecutor] = None
         self._lifecycle = threading.Lock()
         self._closed = False
+        #: rank -> {epoch: last hydrate message}, replayed into a respawned
+        #: worker so a crash is invisible above the executor: the substitute
+        #: process re-hydrates every retained epoch before the retried task.
+        self._hydration_cache: Dict[int, Dict[int, Tuple]] = {}
 
     # -- lifecycle ------------------------------------------------------ #
+    def _spawn_worker(self, context, rank: int) -> None:
+        """Start (or restart) the worker process for ``rank``."""
+        parent_conn, child_conn = context.Pipe()
+        process = context.Process(
+            target=_process_worker_main,
+            args=(child_conn, rank, self._task_modules),
+            name=f"shard-worker-{rank}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self._workers[rank] = (process, parent_conn)
+
+    def _fork_context(self):
+        import multiprocessing
+
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            return multiprocessing.get_context()
+
     def _ensure_started(self) -> None:
         with self._lifecycle:
             if self._closed:
@@ -423,23 +471,9 @@ class ProcessExecutor(ExecutorBackend):
             # deadlock on an import lock some other parent thread held at
             # fork time (e.g. another engine's maintenance thread).
             _import_task_modules(self._task_modules)
-            import multiprocessing
-
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX fallback
-                context = multiprocessing.get_context()
+            context = self._fork_context()
             for rank in range(self.num_workers):
-                parent_conn, child_conn = context.Pipe()
-                process = context.Process(
-                    target=_process_worker_main,
-                    args=(child_conn, rank, self._task_modules),
-                    name=f"shard-worker-{rank}",
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()
-                self._workers[rank] = (process, parent_conn)
+                self._spawn_worker(context, rank)
                 self._worker_locks[rank] = threading.Lock()
             self._dispatch = ThreadPoolExecutor(
                 max_workers=max(2, 2 * self.num_workers),
@@ -453,6 +487,7 @@ class ProcessExecutor(ExecutorBackend):
             self._closed = True
             workers, self._workers = self._workers, {}
             dispatch, self._dispatch = self._dispatch, None
+            self._hydration_cache.clear()
         for process, conn in workers.values():
             try:
                 conn.send(("stop",))
@@ -476,14 +511,46 @@ class ProcessExecutor(ExecutorBackend):
             pass
 
     # -- request plumbing ----------------------------------------------- #
+    def _respawn_locked(self, rank: int, message: Tuple) -> Any:
+        """Replace a dead worker and retry ``message`` once (lock held).
+
+        The substitute process is re-hydrated from the cached hydrate
+        messages of every epoch the dead worker retained — segment names
+        are still valid (the master's shm ledger owns them), so replay is
+        cheap attach-by-name.  A second failure gives up for real.
+        """
+        with self._lifecycle:
+            if self._closed:
+                raise RuntimeError(f"shard worker {rank} died") from None
+            old_process, old_conn = self._workers[rank]
+            try:
+                old_conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+            old_process.join(timeout=0.5)
+            self._spawn_worker(self._fork_context(), rank)
+            registry = obs_runtime.global_registry()
+            if registry.enabled:
+                registry.inc("dsr_worker_respawns_total")
+            replay = sorted(self._hydration_cache.get(rank, {}).items())
+        process, conn = self._workers[rank]
+        try:
+            for _, hydrate_message in replay:
+                conn.send(hydrate_message)
+                conn.recv()
+            conn.send(message)
+            return conn.recv()
+        except (EOFError, OSError) as exc:  # pragma: no cover - double death
+            raise RuntimeError(f"shard worker {rank} died") from exc
+
     def _call_worker(self, rank: int, message: Tuple) -> Tuple[Any, float]:
         process, conn = self._workers[rank]
         with self._worker_locks[rank]:
             try:
                 conn.send(message)
                 reply = conn.recv()
-            except (EOFError, OSError) as exc:
-                raise RuntimeError(f"shard worker {rank} died") from exc
+            except (EOFError, OSError):
+                reply = self._respawn_locked(rank, message)
         kind = reply[0]
         if len(reply) > 3 and reply[3] is not None:
             # Piggybacked worker metrics delta: fold into the master registry
@@ -533,6 +600,16 @@ class ProcessExecutor(ExecutorBackend):
             {rank: ("task", task, epoch, payload) for rank, payload in payloads.items()}
         )
 
+    def _remember_hydration(
+        self, rank: int, epoch: int, message: Tuple, retire_below: Optional[int]
+    ) -> None:
+        """Cache the hydrate message for crash-replay, pruned like the worker."""
+        per_rank = self._hydration_cache.setdefault(rank, {})
+        per_rank[epoch] = message
+        if retire_below is not None:
+            for old in [e for e in per_rank if e < retire_below]:
+                del per_rank[old]
+
     def hydrate(
         self,
         rank: int,
@@ -542,7 +619,9 @@ class ProcessExecutor(ExecutorBackend):
         retire_below: Optional[int] = None,
     ) -> None:
         self._ensure_started()
-        self._call_worker(rank, ("hydrate", epoch, loader, blob, retire_below))
+        message = ("hydrate", epoch, loader, blob, retire_below)
+        self._remember_hydration(rank, epoch, message, retire_below)
+        self._call_worker(rank, message)
 
     def hydrate_all(
         self,
@@ -553,12 +632,13 @@ class ProcessExecutor(ExecutorBackend):
     ) -> None:
         # One pipe round-trip per worker, overlapped through the dispatch
         # pool: epoch publication latency stays ~one transfer, not N.
-        self._fan_out(
-            {
-                rank: ("hydrate", epoch, loader, blob, retire_below)
-                for rank, blob in blobs.items()
-            }
-        )
+        messages = {
+            rank: ("hydrate", epoch, loader, blob, retire_below)
+            for rank, blob in blobs.items()
+        }
+        for rank, message in messages.items():
+            self._remember_hydration(rank, epoch, message, retire_below)
+        self._fan_out(messages)
 
 
 _FACTORIES: Dict[str, Callable[[], ExecutorBackend]] = {

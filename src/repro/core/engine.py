@@ -129,6 +129,7 @@ class DSREngine:
             enable_backward=config.enable_backward,
             executor=config.executor,
             epoch_flush=config.epoch_flush,
+            kernels=config.kernels,
         )
         engine.config = config
         return engine
@@ -147,7 +148,15 @@ class DSREngine:
         enable_backward: bool,
         executor: str = "serial",
         epoch_flush: str = "inline",
+        kernels: str = "auto",
     ) -> None:
+        # Select the bitset-kernel backend.  The selection is process-global
+        # (see repro.reachability.kernels): safe because every backend is
+        # byte-identical — engines only ever disagree about speed — and
+        # global is what lets forked shard workers inherit the choice.
+        from repro.reachability.kernels import set_kernel_backend
+
+        self.kernels = set_kernel_backend(kernels)
         self.graph = graph
         #: Registry name under which this engine satisfies the Backend protocol.
         self.name = "dsr"
@@ -555,6 +564,10 @@ class DSREngine:
         if self._reverse_maintainer is not None:
             self._reverse_maintainer.wait_for_flushes(timeout=5.0)
         self.cluster.close()
+        # Unlink any shared-memory epoch segments after the workers are gone.
+        self.index.close()
+        if self._reverse_index is not None:
+            self._reverse_index.close()
 
     def __enter__(self) -> "DSREngine":
         return self

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.graph.csr import CSRGraph
+from repro.reachability import kernels as _kernels
 from repro.reachability.packed import iter_bits
 
 #: Default number of sources propagated per kernel pass.
@@ -41,7 +42,13 @@ def propagate(csr: CSRGraph, seed_bits: Dict[int, int], reverse: bool = False) -
     the returned list maps every dense vertex index to the OR of all source
     bits that reach it (seeds included).  With ``reverse=True`` the frontier
     follows in-edges instead (useful for backward processing).
+
+    The sweep dispatches to the vectorized backend when one is selected
+    (see :mod:`repro.reachability.kernels`); both backends return
+    byte-identical tables.
     """
+    if _kernels.kernel_backend() == "numpy":
+        return _kernels.np_propagate(csr, seed_bits, reverse=reverse)
     seen = [0] * csr.num_vertices
     if reverse:
         offsets, targets = csr.rev_offsets, csr.rev_targets
@@ -138,6 +145,8 @@ def set_reachability_rows(
     Sources are original vertex ids; ids absent from the snapshot yield
     all-zero rows.  A source covered by the mask always reaches itself.
     """
+    if _kernels.kernel_backend() == "numpy":
+        return _kernels.np_set_reachability_rows(csr, sources, target_mask, batch_size)
     if batch_size < 1:
         raise ValueError("batch_size must be positive")
     source_list = list(sources)

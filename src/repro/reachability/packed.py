@@ -24,6 +24,11 @@ from typing import Dict, Iterable, Iterator, List, Sequence, Tuple, TYPE_CHECKIN
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.graph.csr import CSRGraph
 
+from repro.reachability import kernels as _kernels
+
+#: Rank count below which the numpy ``pack_ranks`` is not worth its call
+#: overhead; tiny SCC member lists stay on the byte-buffer loop.
+_NUMPY_PACK_THRESHOLD = 64
 
 #: Bit positions set in each byte value — the decode loop walks bytes, not
 #: bigint lowest-set-bit chains, so scanning an n-bit row costs O(n/8 + k)
@@ -71,6 +76,8 @@ def pack_ranks(ranks: Sequence[int]) -> int:
     """
     if not ranks:
         return 0
+    if len(ranks) >= _NUMPY_PACK_THRESHOLD and _kernels.kernel_backend() == "numpy":
+        return _kernels.np_pack_ranks(ranks)
     buffer = bytearray((ranks[-1] >> 3) + 1)
     for r in ranks:
         buffer[r >> 3] |= 1 << (r & 7)

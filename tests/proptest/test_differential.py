@@ -1,0 +1,146 @@
+"""Differential harness: one random scenario, every configuration axis.
+
+Each seed expands into a full *scenario* — a random graph, an interleaved
+update/query script — which is then replayed across the whole configuration
+matrix: ``kernels=python/numpy`` × ``executor=serial/threads/processes`` ×
+``representation=bits/sets``.  Every cell must produce the exact same pair
+sets at every step of the script; the python/serial/sets cell is the
+reference semantics, everything else is an implementation detail that is not
+allowed to show through.
+
+The executor axis honours ``REPRO_TEST_EXECUTORS`` (same contract as
+``tests/core/test_packed_pipeline.py``); the numpy axis is skipped where
+numpy is unavailable, which is itself the fallback contract under test in
+the default CI job.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.api import DSRConfig, ReachQuery, open_engine
+from repro.graph import generators
+from repro.reachability.kernels import numpy_available
+
+EXECUTORS = tuple(
+    name.strip()
+    for name in os.environ.get(
+        "REPRO_TEST_EXECUTORS", "serial,threads,processes"
+    ).split(",")
+    if name.strip()
+)
+
+KERNELS = ("python",) + (("numpy",) if numpy_available() else ())
+
+#: Scenario seeds.  Every executor runs the first seed; the (spawn-heavy)
+#: processes executor is limited to it, the in-process executors run all.
+SEEDS = (71, 72, 73)
+
+
+def _build_scenario(seed):
+    """One reproducible scenario: ``(graph, script)``.
+
+    The script interleaves structural updates (edge deletes/inserts, a
+    vertex insert) with query batches, so parity is checked across epoch
+    flushes and the sanctioned in-place edits, not just the initial build.
+    """
+    rng = random.Random(seed)
+    n = rng.randrange(40, 80)
+    m = rng.randrange(2 * n, 4 * n)
+    graph = generators.random_digraph(n, m, seed=seed)
+    vertices = sorted(graph.vertices())
+    edges = list(graph.edges())
+    rng.shuffle(edges)
+
+    def queries(count):
+        batch = []
+        for _ in range(count):
+            batch.append(
+                (
+                    "query",
+                    tuple(rng.sample(vertices, min(8, len(vertices)))),
+                    tuple(rng.sample(vertices, min(8, len(vertices)))),
+                )
+            )
+        return batch
+
+    script = []
+    script += queries(3)
+    for u, v in edges[:4]:
+        script.append(("delete_edge", u, v))
+    script += queries(2)
+    script.append(("insert_vertex", max(vertices) + 1))
+    for u, v in edges[4:7]:
+        script.append(("insert_edge", u, v))
+    script.append(("insert_edge", max(vertices) + 1, vertices[0]))
+    script += queries(3)
+    return graph, script
+
+
+def _replay(graph, script, kernels, executor, representation):
+    """Run one matrix cell over the scenario; returns the per-query answers."""
+    engine = open_engine(
+        graph.copy(),
+        DSRConfig(
+            num_partitions=3,
+            local_index="msbfs",
+            executor=executor,
+            kernels=kernels,
+        ),
+    )
+    answers = []
+    try:
+        for op in script:
+            if op[0] == "query":
+                _, sources, targets = op
+                result = engine.run(
+                    ReachQuery(sources, targets, representation=representation)
+                )
+                answers.append(result.pairs)
+            elif op[0] == "delete_edge":
+                engine.delete_edge(op[1], op[2])
+            elif op[0] == "insert_edge":
+                engine.insert_edge(op[1], op[2])
+            elif op[0] == "insert_vertex":
+                engine.insert_vertex(vertex=op[1])
+            else:  # pragma: no cover - script bug
+                raise AssertionError(f"unknown op {op!r}")
+    finally:
+        engine.close()
+    return answers
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_full_matrix_parity(seed):
+    graph, script = _build_scenario(seed)
+    executors = EXECUTORS if seed == SEEDS[0] else tuple(
+        name for name in EXECUTORS if name != "processes"
+    )
+    if not executors:
+        pytest.skip("no executors selected via REPRO_TEST_EXECUTORS")
+    reference = _replay(graph, script, "python", executors[0], "sets")
+    assert reference, "scenario produced no queries"
+    for executor in executors:
+        for kernels in KERNELS:
+            for representation in ("bits", "sets"):
+                answers = _replay(graph, script, kernels, executor, representation)
+                assert answers == reference, (
+                    f"kernels={kernels} executor={executor} "
+                    f"representation={representation} diverges from reference"
+                )
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+def test_kernels_config_round_trip_and_validation():
+    from repro.api.config import ConfigError
+
+    config = DSRConfig(kernels="numpy")
+    assert DSRConfig.from_dict(config.to_dict()) == config
+    with pytest.raises(ConfigError):
+        DSRConfig(kernels="simd")
+
+
+def test_python_kernels_always_accepted():
+    config = DSRConfig(kernels="python")
+    assert config.to_dict()["kernels"] == "python"

@@ -1,0 +1,192 @@
+"""Races between background shm epoch publishes and concurrent queries.
+
+The shared-memory publish path adds a new hazard class on top of the plain
+epoch swap: segments are created, hydrated into worker processes and retired
+while queries are in flight on other threads.  These tests hammer that
+window — 16 query threads against an ``executor="processes"`` engine whose
+epochs flip in the background — and assert the two invariants the design
+promises:
+
+* **all-or-nothing answers** — every query sees exactly one published epoch
+  (never a half-hydrated shard mix), observable on a bridge graph whose
+  answer flips wholesale on one edge;
+* **monotonic epochs** — no thread ever observes the epoch counter move
+  backwards, even while retired segments are being unlinked underneath
+  still-running queries.
+
+The ``maintainer._before_publish`` seam stages the nastiest interleaving
+deterministically: queries running while a fully-built epoch (segments
+written, workers hydrated) sits unpublished on the swap threshold.
+"""
+
+import threading
+
+import pytest
+
+from repro.api import DSRConfig, ReachQuery, open_engine
+from repro.cluster.shm import shm_available
+from repro.fleet import ReplicaFleet
+from repro.graph.digraph import DiGraph
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="shared memory unavailable or disabled"
+)
+
+QUERY_THREADS = 16
+
+
+def _bridge_graph():
+    """Answer flips all-or-nothing on the single ``0 → 1`` bridge edge."""
+    graph = DiGraph.from_edges(
+        [(1, 10), (1, 11), (1, 12), (1, 13), (10, 20), (11, 21), (12, 22), (13, 23)]
+    )
+    graph.add_vertex(0)
+    return graph
+
+
+BRIDGE_QUERY = ReachQuery((0,), (20, 21, 22, 23))
+FULL_ANSWER = {(0, 20), (0, 21), (0, 22), (0, 23)}
+
+
+def _hammer(run_query, rounds, assert_monotonic=True):
+    """Run QUERY_THREADS query loops while ``rounds()`` mutates the index.
+
+    Returns the list of failures collected from the query threads; each
+    thread asserts all-or-nothing answers and (against a single engine,
+    where it is well-defined) monotonic epochs.  A fleet interleaves
+    replicas that flush at different moments, so its per-thread epoch
+    sequence legitimately zig-zags — pass ``assert_monotonic=False``.
+    """
+    errors = []
+    stop = threading.Event()
+
+    def querier():
+        last_epoch = -1
+        try:
+            while not stop.is_set():
+                result = run_query()
+                assert result.pairs in (set(), FULL_ANSWER), (
+                    f"torn answer at epoch {result.epoch}: {result.pairs}"
+                )
+                if assert_monotonic:
+                    assert result.epoch >= last_epoch, (
+                        f"epoch went backwards: {last_epoch} -> {result.epoch}"
+                    )
+                last_epoch = result.epoch
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=querier) for _ in range(QUERY_THREADS)]
+    for thread in threads:
+        thread.start()
+    try:
+        rounds()
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+    return errors
+
+
+class TestEngineShmEpochRace:
+    def _engine(self):
+        return open_engine(
+            _bridge_graph(),
+            DSRConfig(
+                num_partitions=3,
+                partitioner="hash",
+                executor="processes",
+                epoch_flush="background",
+            ),
+        )
+
+    def test_background_shm_flushes_vs_sixteen_query_threads(self):
+        engine = self._engine()
+        try:
+
+            def rounds():
+                for _ in range(5):
+                    engine.insert_edge(0, 1)
+                    engine.wait_for_maintenance(timeout=30)
+                    engine.delete_edge(0, 1)
+                    engine.wait_for_maintenance(timeout=30)
+
+            errors = _hammer(lambda: engine.run(BRIDGE_QUERY), rounds)
+            assert not errors, errors[0]
+            assert engine.maintainer.background_flush_error is None
+            # The retain window held throughout: only the live epochs' shm
+            # segments remain, the older ones were unlinked mid-race.
+            ledger = engine.index._shm_ledger
+            if ledger is not None:
+                held = {
+                    int(name.split("_e")[1].split("_")[0])
+                    for name in ledger.segment_names()
+                }
+                assert held <= {engine.epoch, engine.epoch - 1}
+        finally:
+            engine.close()
+
+    def test_queries_on_swap_threshold_see_exactly_one_epoch(self):
+        """Freeze a built-but-unpublished epoch (segments written, workers
+        hydrated) and query through the window from all threads."""
+        engine = self._engine()
+        try:
+            entered = threading.Event()
+            hold = threading.Event()
+
+            def stall(state):
+                entered.set()
+                assert hold.wait(timeout=30), "flush released too late"
+
+            engine.maintainer._before_publish = stall
+
+            def rounds():
+                engine.insert_edge(0, 1)
+                assert entered.wait(timeout=30), "background flush never started"
+                # Epoch 1's segments exist and rank workers are hydrated,
+                # but the swap has not happened: every answer must still be
+                # the epoch-0 one.
+                for _ in range(50):
+                    result = engine.run(BRIDGE_QUERY)
+                    assert result.epoch == 0
+                    assert result.pairs == set()
+                hold.set()
+                engine.maintainer._before_publish = None
+                assert engine.wait_for_maintenance(timeout=30)
+                assert engine.run(BRIDGE_QUERY).pairs == FULL_ANSWER
+
+            errors = _hammer(lambda: engine.run(BRIDGE_QUERY), rounds)
+            assert not errors, errors[0]
+        finally:
+            engine.maintainer._before_publish = None
+            engine.close()
+
+
+class TestFleetShmEpochRace:
+    def test_fleet_routes_through_background_shm_flushes(self):
+        """Same hammer through a ReplicaFleet: routed reads race fan-out
+        writes while every replica republishes its shm segments."""
+        fleet = ReplicaFleet.from_config(
+            _bridge_graph(),
+            DSRConfig(
+                num_partitions=3,
+                replicas=2,
+                executor="processes",
+                fleet=True,
+            ),
+        )
+        try:
+
+            def rounds():
+                for _ in range(3):
+                    fleet.insert_edge(0, 1)
+                    fleet.flush_updates()
+                    fleet.delete_edge(0, 1)
+                    fleet.flush_updates()
+
+            errors = _hammer(
+                lambda: fleet.run(BRIDGE_QUERY), rounds, assert_monotonic=False
+            )
+            assert not errors, errors[0]
+        finally:
+            fleet.close()
