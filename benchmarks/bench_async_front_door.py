@@ -1,0 +1,301 @@
+"""Async binary front door vs. thread-per-connection server under load.
+
+Measures the serving edge itself — not the engine: a hot, cacheable query
+is asked over N concurrent connections, so almost every request is a cache
+hit and the cost that differs is the transport (one event loop multiplexing
+binary v5 frames vs. one OS thread per connection speaking newline JSON).
+
+For each connection tier (default 1k / 5k / 10k) and each server flavour,
+a **forked client driver** (its own process, so the 20k-fd limit applies
+per side, not to the sum) opens the connections with a single asyncio
+loop, pipelines up to ``PIPELINE`` requests per connection, and reports
+QPS, latency percentiles and an error breakdown:
+
+* ``typed_errors`` — the server said no in-protocol (``ServiceOverloadedError``
+  shed, rate limit): **graceful degradation**;
+* ``transport_errors`` — resets, refusals, timeouts: **collapse**.
+
+After every tier the server must still answer a health query.  The numbers
+land in ``BENCH_async_qps.json``; the acceptance bar is async ≥ 1.5× the
+thread server's QPS at the 1k tier and a 10 k-connection tier that
+completes with zero transport errors on the async side.
+
+Environment knobs: ``REPRO_BENCH_CONN_TIERS`` (comma list, default
+``1000,5000,10000``), ``REPRO_BENCH_TOTAL_REQUESTS`` (per tier, default
+8000), ``REPRO_BENCH_PIPELINE`` (in-flight per connection, default 4),
+``REPRO_BENCH_SKIP_THREAD_TIERS`` (comma list of tiers too big for the
+thread server to even attempt, default ``10000`` — 10k OS threads on one
+box is the collapse mode the async server exists to avoid).
+"""
+
+import asyncio
+import json
+import multiprocessing
+import os
+import time
+
+from benchmarks.conftest import BENCH_SEED, run_once
+from repro.api import DSRConfig, open_engine
+from repro.bench.datasets import load_dataset
+from repro.bench.reporting import format_table, write_bench_json
+from repro.service import DSRService, DSRSocketServer
+from repro.service.aio import DSRAsyncServer
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    QueryRequest,
+    dumps,
+    pack_frame,
+)
+
+DATASET = "amazon"
+SCALE = 0.3
+NUM_SLAVES = 3
+NUM_WORKERS = 4
+QUEUE_DEPTH = 256
+
+CONN_TIERS = tuple(
+    int(t)
+    for t in os.environ.get("REPRO_BENCH_CONN_TIERS", "1000,5000,10000").split(",")
+    if t.strip()
+)
+TOTAL_REQUESTS = int(os.environ.get("REPRO_BENCH_TOTAL_REQUESTS", "8000"))
+PIPELINE = int(os.environ.get("REPRO_BENCH_PIPELINE", "8"))
+SKIP_THREAD_TIERS = tuple(
+    int(t)
+    for t in os.environ.get("REPRO_BENCH_SKIP_THREAD_TIERS", "10000").split(",")
+    if t.strip()
+)
+CONNECT_BATCH = 500
+REQUEST_TIMEOUT = 120.0
+
+
+# --------------------------------------------------------------------- #
+# forked client driver (runs in its own process: own fd table, own loop)
+# --------------------------------------------------------------------- #
+async def _drive_connection(host, port, binary, requests, latencies, errors, ready, go):
+    """One connection: pipeline up to PIPELINE requests, closed-loop.
+
+    Connects immediately but only starts sending once ``go`` fires, so QPS
+    is measured over the steady-state request phase — connection setup
+    (and the thread server's per-connection thread spawn) is timed
+    separately, as a load generator would.
+    """
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except OSError:
+        errors["connect"] += 1
+        ready.append(None)
+        return
+    # The driver is a byte pump: the (identical) request is encoded once and
+    # replies are only scanned for the error marker, never fully parsed —
+    # client-side JSON work would otherwise dwarf the transport under test.
+    query = QueryRequest((0, 1, 2), (5, 6, 7))
+    if binary:
+        wire = pack_frame(query, request_id=0)
+    else:
+        wire = (dumps(query) + "\n").encode("utf-8")
+    ready.append(None)
+    try:
+        await go.wait()
+        pending = []
+        sent = 0
+
+        async def read_response():
+            if binary:
+                header = await reader.readexactly(5)
+                length = int.from_bytes(header[:4], "big")
+                body = await reader.readexactly(length - 1)
+            else:
+                body = await reader.readline()
+                if not body:
+                    raise ConnectionResetError("EOF")
+            if body.startswith(b'{"error":'):
+                errors["typed"] += 1
+
+        while sent < requests or pending:
+            while sent < requests and len(pending) < PIPELINE:
+                writer.write(wire)
+                sent += 1
+                pending.append(time.perf_counter())
+            await writer.drain()
+            started = pending.pop(0)
+            await asyncio.wait_for(read_response(), REQUEST_TIMEOUT)
+            latencies.append(time.perf_counter() - started)
+    except (OSError, asyncio.IncompleteReadError, asyncio.TimeoutError, ValueError):
+        errors["transport"] += 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (OSError, ConnectionError):
+            pass
+
+
+async def _drive_tier(host, port, binary, connections, total_requests):
+    per_conn = max(1, total_requests // connections)
+    latencies: list = []
+    errors = {"connect": 0, "typed": 0, "transport": 0}
+    ready: list = []
+    tasks = []
+    go = asyncio.Event()
+    # Staggered connect storm: the kernel accept backlog is finite.
+    connect_started = time.perf_counter()
+    for begin in range(0, connections, CONNECT_BATCH):
+        batch = range(begin, min(begin + CONNECT_BATCH, connections))
+        tasks.extend(
+            asyncio.ensure_future(
+                _drive_connection(
+                    host, port, binary, per_conn, latencies, errors, ready, go
+                )
+            )
+            for _ in batch
+        )
+        await asyncio.sleep(0.01)
+    # Let every connection finish its handshake (and the thread server spawn
+    # its per-connection threads) before the measured request phase begins.
+    while len(ready) < connections:
+        await asyncio.sleep(0.05)
+    connect_wall = time.perf_counter() - connect_started
+    go.set()
+    started = time.perf_counter()
+    await asyncio.gather(*tasks)
+    wall = time.perf_counter() - started
+    latencies.sort()
+
+    def pct(p):
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1, int(p / 100.0 * len(latencies)))]
+
+    return {
+        "connections": connections,
+        "requests": len(latencies),
+        "connect_seconds": round(connect_wall, 3),
+        "wall_seconds": round(wall, 3),
+        "qps": round(len(latencies) / wall, 1) if wall > 0 else 0.0,
+        "p50_ms": round(pct(50) * 1000.0, 3),
+        "p99_ms": round(pct(99) * 1000.0, 3),
+        "connect_errors": errors["connect"],
+        "typed_errors": errors["typed"],
+        "transport_errors": errors["transport"],
+    }
+
+
+def _driver_main(pipe, host, port, binary, connections, total_requests):
+    result = asyncio.run(
+        _drive_tier(host, port, binary, connections, total_requests)
+    )
+    pipe.send(result)
+    pipe.close()
+
+
+def _run_client_driver(host, port, binary, connections, total_requests):
+    context = multiprocessing.get_context("fork")
+    parent, child = context.Pipe()
+    process = context.Process(
+        target=_driver_main,
+        args=(child, host, port, binary, connections, total_requests),
+        daemon=True,
+    )
+    process.start()
+    child.close()
+    if not parent.poll(600.0):
+        process.terminate()
+        raise RuntimeError(f"client driver hung at {connections} connections")
+    result = parent.recv()
+    parent.close()
+    process.join(timeout=10.0)
+    return result
+
+
+# --------------------------------------------------------------------- #
+# the benchmark
+# --------------------------------------------------------------------- #
+def _build_service():
+    graph = load_dataset(DATASET, scale=SCALE, seed=BENCH_SEED)
+    engine = open_engine(
+        graph,
+        DSRConfig(num_partitions=NUM_SLAVES, local_index="msbfs", seed=BENCH_SEED),
+    )
+    service = DSRService(
+        engine, num_workers=NUM_WORKERS, max_queue_depth=QUEUE_DEPTH
+    )
+    # Warm the cache: the benchmark measures the front door, not the engine.
+    service.handle(QueryRequest((0, 1, 2), (5, 6, 7)))
+    return service
+
+
+def _health_check(host, port, binary):
+    return _run_client_driver(host, port, binary, 1, 1)["transport_errors"] == 0
+
+
+def test_async_front_door_vs_thread_server(benchmark):
+    rows = []
+    data = {
+        "tiers": {},
+        "pipeline_depth": PIPELINE,
+        "total_requests_per_tier": TOTAL_REQUESTS,
+        "protocol_version": PROTOCOL_VERSION,
+    }
+
+    def run():
+        for flavour in ("thread", "async"):
+            service = _build_service()
+            if flavour == "async":
+                server = DSRAsyncServer(service, high_watermark=QUEUE_DEPTH)
+                server.start_in_thread()
+                address = server.address
+            else:
+                server = DSRSocketServer(service).start()
+                address = server.address
+            try:
+                for connections in CONN_TIERS:
+                    if flavour == "thread" and connections in SKIP_THREAD_TIERS:
+                        data["tiers"].setdefault(str(connections), {})[
+                            flavour
+                        ] = {"skipped": "thread-per-connection does not scale here"}
+                        continue
+                    tier = _run_client_driver(
+                        address[0], address[1], flavour == "async",
+                        connections, TOTAL_REQUESTS,
+                    )
+                    tier["alive_after"] = _health_check(
+                        address[0], address[1], flavour == "async"
+                    )
+                    data["tiers"].setdefault(str(connections), {})[flavour] = tier
+                    rows.append({"server": flavour, **tier})
+            finally:
+                if flavour == "async":
+                    server.stop_from_thread()
+                else:
+                    server.stop()
+                service.close()
+
+    run_once(benchmark, run)
+    print()
+    print(format_table(rows, title="async binary front door vs thread server"))
+
+    # Graceful degradation: every async tier completed with zero transport
+    # errors and a live server afterwards.
+    for connections in CONN_TIERS:
+        tier = data["tiers"][str(connections)]["async"]
+        assert tier["transport_errors"] == 0, (connections, tier)
+        assert tier["connect_errors"] == 0, (connections, tier)
+        assert tier["alive_after"], (connections, tier)
+
+    lowest = str(min(CONN_TIERS))
+    thread_tier = data["tiers"][lowest].get("thread", {})
+    if "qps" in thread_tier and thread_tier["qps"] > 0:
+        ratio = data["tiers"][lowest]["async"]["qps"] / thread_tier["qps"]
+        data["async_over_thread_qps_at_lowest_tier"] = round(ratio, 2)
+        if min(CONN_TIERS) >= 1000:
+            assert ratio >= 1.5, (
+                f"async front door only {ratio:.2f}x the thread server "
+                f"at {lowest} connections"
+            )
+
+    path = write_bench_json(
+        "async_qps", data, directory=os.path.dirname(os.path.dirname(__file__))
+    )
+    print(f"wrote {path}")
+    print(json.dumps(data.get("async_over_thread_qps_at_lowest_tier"), indent=0))

@@ -39,7 +39,7 @@ from repro.core.query import QueryResult
 from repro.graph.digraph import DiGraph
 from repro.partition.partition import GraphPartitioning, make_partitioning
 
-__version__ = "1.4.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Backend",

@@ -63,10 +63,17 @@ class DSRConfig:
     use_equivalence:
         Enable the equivalence-set optimisation (Section 3.3 of the paper).
     executor:
-        How cluster phases execute on this machine: ``"serial"`` (default),
-        ``"threads"`` (persistent thread pool) or ``"processes"`` (one
-        long-lived worker process per partition, hydrated once per epoch
-        with its immutable CSR shard — real parallelism).
+        How cluster phases execute: ``"serial"`` (default), ``"threads"``
+        (persistent thread pool), ``"processes"`` (one long-lived worker
+        process per partition, hydrated once per epoch with its immutable
+        CSR shard — real parallelism) or ``"tcp"`` (worker hosts reachable
+        over sockets — a managed local fleet by default, or the external
+        hosts named by ``worker_hosts``).
+    worker_hosts:
+        ``executor="tcp"`` only: sequence of ``"host:port"`` strings naming
+        running :class:`~repro.cluster.tcp.WorkerHost` servers; rank ``r``
+        maps to ``worker_hosts[r % len(worker_hosts)]``.  ``None`` (default)
+        lets the tcp executor spawn its own localhost fleet.
     epoch_flush:
         When batched updates are folded into the index: ``"inline"``
         (default — before the next query, which therefore waits) or
@@ -114,6 +121,7 @@ class DSRConfig:
     kernels: str = "auto"
     fleet: bool = False
     replicas: Optional[Any] = None
+    worker_hosts: Optional[Any] = None
 
     def __post_init__(self) -> None:
         _require(
@@ -210,6 +218,28 @@ class DSRConfig:
                 self.backend == "dsr",
                 f"fleet mode requires backend='dsr', got {self.backend!r}",
             )
+        if self.worker_hosts is not None:
+            _require(
+                self.executor == "tcp",
+                "worker_hosts requires executor='tcp', "
+                f"got executor={self.executor!r}",
+            )
+            _require(
+                isinstance(self.worker_hosts, (list, tuple))
+                and len(self.worker_hosts) >= 1
+                and all(isinstance(spec, str) for spec in self.worker_hosts),
+                "worker_hosts must be a non-empty sequence of 'host:port' "
+                f"strings, got {self.worker_hosts!r}",
+            )
+            from repro.cluster.tcp import parse_host_port
+
+            for spec in self.worker_hosts:
+                try:
+                    parse_host_port(spec)
+                except ValueError as exc:
+                    raise ConfigError(str(exc)) from exc
+            # Normalise to a tuple so equality and hashing behave.
+            object.__setattr__(self, "worker_hosts", tuple(self.worker_hosts))
 
     # ------------------------------------------------------------------ #
     # serialisation
@@ -223,6 +253,8 @@ class DSRConfig:
             payload["local_index_options"] = dict(payload["local_index_options"])
         if isinstance(payload["replicas"], tuple):
             payload["replicas"] = list(payload["replicas"])
+        if isinstance(payload["worker_hosts"], tuple):
+            payload["worker_hosts"] = list(payload["worker_hosts"])
         return payload
 
     @classmethod

@@ -17,7 +17,12 @@ The CLI exposes the most common workflows without writing any Python:
   service (planner + result cache + concurrent workers), either listening on
   a local socket or driving a built-in mixed workload (``--self-test``);
   ``--replicas N`` serves a workload-adaptive fleet of N heterogeneous
-  replicas with cost-routed reads instead of a single engine.
+  replicas with cost-routed reads instead of a single engine; ``--async``
+  swaps the thread-per-connection front door for the asyncio binary-framed
+  server (backpressure watermarks, per-tenant rate limits).
+* ``repro-dsr worker-host`` — run a standalone TCP worker host that serves
+  hydrated shards to ``executor="tcp"`` engines (``--worker-hosts`` on
+  ``serve``).
 * ``repro-dsr stats`` — print the observability registries in Prometheus
   text form: either scraped from a running server (``--connect HOST:PORT``)
   or from a built-in demo that runs traced queries and a background epoch
@@ -38,8 +43,11 @@ from repro.bench.datasets import DATASETS, load_dataset
 from repro.bench.reporting import format_table
 from repro.bench.runner import ALL_APPROACHES, ExperimentRunner
 from repro.bench.workloads import random_query
+from repro.cluster.executors import EXECUTOR_NAMES
+from repro.cluster.tcp import WorkerHost
 from repro.graph import generators
 from repro.service import (
+    DSRAsyncServer,
     DSRService,
     DSRSocketServer,
     ErrorResponse,
@@ -147,7 +155,53 @@ def _build_parser() -> argparse.ArgumentParser:
         "--self-test", action="store_true",
         help="drive a built-in mixed query/update workload instead of listening",
     )
+    serve.add_argument(
+        "--async", dest="async_server", action="store_true",
+        help="serve with the asyncio binary-framed front door "
+        "(connection multiplexing, backpressure, per-tenant rate limits)",
+    )
+    serve.add_argument(
+        "--high-watermark", type=int, default=None,
+        help="async only: in-flight requests before reads pause "
+        "(default: the admission queue depth)",
+    )
+    serve.add_argument(
+        "--low-watermark", type=int, default=None,
+        help="async only: in-flight requests before paused reads resume "
+        "(default: half the high watermark)",
+    )
+    serve.add_argument(
+        "--rate-limit-qps", type=float, default=None,
+        help="async only: per-tenant token-bucket refill rate (default: off)",
+    )
+    serve.add_argument(
+        "--rate-limit-burst", type=int, default=None,
+        help="async only: per-tenant token-bucket burst size "
+        "(default: 2x the qps)",
+    )
+    serve.add_argument(
+        "--executor", choices=sorted(EXECUTOR_NAMES), default="serial",
+        help="executor backend the engine runs cluster phases on",
+    )
+    serve.add_argument(
+        "--worker-hosts", default=None, metavar="HOST:PORT,HOST:PORT",
+        help="executor=tcp only: comma-separated external worker hosts "
+        "(started with `repro-dsr worker-host`); rank r maps to host r %% N",
+    )
     _add_common_arguments(serve)
+
+    worker_host = subparsers.add_parser(
+        "worker-host",
+        help="run a standalone TCP worker host for executor=tcp engines",
+    )
+    worker_host.add_argument("--host", default="127.0.0.1")
+    worker_host.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port"
+    )
+    worker_host.add_argument(
+        "--allow-shutdown", action="store_true",
+        help="let connected masters stop this host with a shutdown message",
+    )
 
     stats = subparsers.add_parser(
         "stats", help="print the observability registries (Prometheus text)"
@@ -162,7 +216,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("--partitions", type=int, default=4)
     stats.add_argument(
-        "--executor", choices=["serial", "threads", "processes"], default="serial",
+        "--executor", choices=sorted(EXECUTOR_NAMES), default="serial",
         help="executor backend the demo engine runs on",
     )
     stats.add_argument(
@@ -324,6 +378,11 @@ def _command_communities(args: argparse.Namespace) -> int:
 
 def _command_serve(args: argparse.Namespace) -> int:
     graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    worker_hosts = None
+    if args.worker_hosts:
+        worker_hosts = [
+            spec.strip() for spec in args.worker_hosts.split(",") if spec.strip()
+        ]
     engine = open_engine(
         graph,
         DSRConfig(
@@ -332,6 +391,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             enable_backward=args.backward,
             replicas=args.replicas,
+            executor=args.executor,
+            worker_hosts=worker_hosts,
         ),
     )
     report = engine.last_build_report
@@ -354,6 +415,32 @@ def _command_serve(args: argparse.Namespace) -> int:
     try:
         if args.self_test:
             return _serve_self_test(graph, service, seed=args.seed)
+        if args.async_server:
+            server = DSRAsyncServer(
+                service,
+                host=args.host,
+                port=args.port,
+                high_watermark=args.high_watermark,
+                low_watermark=args.low_watermark,
+                rate_limit_qps=args.rate_limit_qps,
+                rate_limit_burst=args.rate_limit_burst,
+            )
+            server.start_in_thread()
+            host, port = server.address
+            print(
+                f"serving (async, binary frames) on {host}:{port} — "
+                f"watermarks {server.low_watermark}/{server.high_watermark}, "
+                f"rate limit "
+                f"{server.rate_limit_qps or 'off'} qps — Ctrl-C to stop"
+            )
+            try:
+                server.wait()
+            except KeyboardInterrupt:  # pragma: no cover - interactive only
+                pass
+            finally:
+                server.stop_from_thread()
+            print(format_table([_stats_row(service)], title="serving metrics"))
+            return 0
         server = DSRSocketServer(
             service, host=args.host, port=args.port, max_requests=args.max_requests
         )
@@ -446,6 +533,24 @@ def _serve_self_test(graph, service: DSRService, seed: int) -> int:
     return 0
 
 
+def _command_worker_host(args: argparse.Namespace) -> int:
+    host = WorkerHost(
+        host=args.host, port=args.port, allow_shutdown=args.allow_shutdown
+    )
+    bind_host, bind_port = host.address
+    print(
+        f"worker host listening on {bind_host}:{bind_port} — point an "
+        f"executor='tcp' engine at it via worker_hosts=['{bind_host}:{bind_port}']"
+    )
+    try:
+        host.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        host.stop()
+    return 0
+
+
 def _command_stats(args: argparse.Namespace) -> int:
     if args.connect:
         host, _, port = args.connect.rpartition(":")
@@ -530,6 +635,7 @@ _COMMANDS = {
     "sparql": _command_sparql,
     "communities": _command_communities,
     "serve": _command_serve,
+    "worker-host": _command_worker_host,
     "stats": _command_stats,
 }
 

@@ -11,6 +11,7 @@ reproduced faithfully.
 from repro.cluster.cluster import SimulatedCluster
 from repro.cluster.message import Message, payload_size
 from repro.cluster.network import Network, NetworkStats
+from repro.cluster.tcp import TcpExecutor, WorkerHost, WorkerTransportError
 
 __all__ = [
     "Message",
@@ -18,4 +19,7 @@ __all__ = [
     "Network",
     "NetworkStats",
     "SimulatedCluster",
+    "TcpExecutor",
+    "WorkerHost",
+    "WorkerTransportError",
 ]

@@ -52,7 +52,8 @@ from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 from repro.obs import runtime as obs_runtime
 
 #: Names accepted by :func:`make_executor` (and ``DSRConfig.executor``).
-EXECUTOR_NAMES = ("serial", "threads", "processes")
+#: ``tcp`` (worker hosts over sockets) lives in :mod:`repro.cluster.tcp`.
+EXECUTOR_NAMES = ("serial", "threads", "processes", "tcp")
 
 #: Modules imported inside worker processes to populate the task registry.
 DEFAULT_TASK_MODULES = ("repro.core.shard_exec",)
@@ -147,6 +148,10 @@ class ExecutorBackend(ABC):
     supports_closures: bool = True
     #: Should DSR queries run through hydrated shard tasks on this backend?
     wants_sharded_queries: bool = False
+    #: Can hydration blobs reference shared-memory segments?  False for
+    #: backends whose workers live beyond this machine's address space
+    #: (e.g. ``tcp``): the index then builds self-contained pickled blobs.
+    supports_shm_hydration: bool = True
 
     def start(self, num_workers: int) -> None:
         """Bind the backend to a worker count (idempotent)."""
@@ -641,10 +646,18 @@ class ProcessExecutor(ExecutorBackend):
         self._fan_out(messages)
 
 
+def _make_tcp_executor() -> ExecutorBackend:
+    # Imported lazily: repro.cluster.tcp imports from this module.
+    from repro.cluster.tcp import TcpExecutor
+
+    return TcpExecutor()
+
+
 _FACTORIES: Dict[str, Callable[[], ExecutorBackend]] = {
     "serial": SerialExecutor,
     "threads": ThreadExecutor,
     "processes": ProcessExecutor,
+    "tcp": _make_tcp_executor,
 }
 
 def make_executor(name: str) -> ExecutorBackend:

@@ -1,0 +1,651 @@
+"""Remote worker hosts over TCP: ``executor="tcp"``.
+
+The paper's DSR system is a master/slave deployment where each slave holds
+one graph partition and answers local/remote steps over the network.  The
+``processes`` executor already gives the *shape* of that deployment on one
+box (long-lived workers, hydrate-once-per-epoch, shard tasks, piggybacked
+metrics deltas); this module swaps its pipe transport for a socket so the
+workers can live in *other processes reachable over TCP* — on this machine
+or, with ``worker_hosts=[...]``, on other machines.
+
+Two pieces:
+
+:class:`WorkerHost`
+    A standalone server process holding hydrated shards and running
+    registered shard tasks.  Start one per slave (``repro-dsr worker-host``)
+    and point an engine at it.  The request loop mirrors
+    ``_process_worker_main`` exactly — messages are the same tuples with a
+    ``rank`` slot added (one host may serve several ranks), replies are the
+    same ``("ok", result, seconds, delta)`` / ``("stale", ...)`` /
+    ``("error", ...)`` triples, so the StaleEpochError/retry and metrics
+    ``absorb()`` contracts hold unchanged.
+
+:class:`TcpExecutor`
+    The :class:`~repro.cluster.executors.ExecutorBackend` connecting one
+    socket per rank.  With no ``worker_hosts`` it **manages** its own fleet:
+    one local :class:`WorkerHost` subprocess per rank, forked so they
+    inherit the parent's shard-task registry (exactly like process
+    workers).  With ``worker_hosts=["host:port", ...]`` it connects to
+    **external** hosts, rank ``r`` mapping to ``hosts[r % len(hosts)]``.
+
+Hydration across the wire
+-------------------------
+Shared memory cannot cross a socket, so ``supports_shm_hydration = False``
+makes the index build *self-contained* shard blobs
+(:func:`repro.core.shard_exec.build_shard_blob` with ``ledger=None``): the
+CSR arrays travel inside the pickled blob (`CSRGraph.to_bytes` form), one
+transfer per rank per epoch, and the host keeps the hydrated shard across
+any number of queries.
+
+Failure handling
+----------------
+Every hydrate message is cached per rank (the same ``_hydration_cache``
+pattern as :class:`~repro.cluster.executors.ProcessExecutor`).  When a send
+or receive fails, the executor reconnects — respawning the subprocess first
+in managed mode — **replays the cached hydrations** so the substitute holds
+every retained epoch, then retries the in-flight message once.  A worker
+host killed and restarted mid-epoch is therefore invisible above the
+executor, which is what the kill/reconnect acceptance test exercises.
+
+Wire format: ``[u64 length][pickle]`` per message, both directions.  This
+is a trusted-cluster transport (pickle!), matching the paper's deployment
+model; do not expose worker hosts to untrusted networks.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.executors import (
+    DEFAULT_TASK_MODULES,
+    ExecutorBackend,
+    ShardTaskError,
+    StaleEpochError,
+    _close_shard,
+    _import_task_modules,
+    _record_hydration,
+    _record_shard_task,
+    _resolve_loader,
+    _resolve_task,
+)
+from repro.obs import runtime as obs_runtime
+
+_LENGTH = struct.Struct(">Q")
+
+#: Cap on one RPC message (128 MiB) — a corrupted length prefix should fail
+#: fast, not allocate the universe.
+MAX_RPC_BYTES = 128 * 1024 * 1024
+
+
+class WorkerTransportError(ConnectionError):
+    """A worker-host RPC failed after reconnect attempts were exhausted."""
+
+
+# ---------------------------------------------------------------------- #
+# framing helpers
+# ---------------------------------------------------------------------- #
+def _send_obj(sock: socket.socket, obj: Any) -> None:
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_LENGTH.pack(len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = bytearray()
+    while len(chunks) < count:
+        chunk = sock.recv(count - len(chunks))
+        if not chunk:
+            raise EOFError("worker connection closed")
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+def _recv_obj(sock: socket.socket) -> Any:
+    (length,) = _LENGTH.unpack(_recv_exact(sock, _LENGTH.size))
+    if length > MAX_RPC_BYTES:
+        raise ConnectionError(f"rpc message of {length} bytes exceeds the cap")
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def parse_host_port(spec: str) -> Tuple[str, int]:
+    """Parse ``"host:port"`` (the ``worker_hosts`` entry format)."""
+    host, sep, port = str(spec).rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(
+            f"worker host spec {spec!r} is not of the form 'host:port'"
+        )
+    return host, int(port)
+
+
+# ---------------------------------------------------------------------- #
+# the worker host
+# ---------------------------------------------------------------------- #
+class WorkerHost:
+    """A standalone shard-task server: hydrate over TCP, query forever.
+
+    ``allow_shutdown`` lets a ``("shutdown",)`` message stop the whole host
+    (managed subprocess fleets use it); external hosts default to ignoring
+    it so one departing client cannot kill a shared slave.
+    ``collect_deltas=False`` turns off metrics-delta shipping for hosts
+    embedded in the engine's own process (tests), where recordings already
+    land in the master registry and shipping them would double-count.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        task_modules: Sequence[str] = DEFAULT_TASK_MODULES,
+        allow_shutdown: bool = False,
+        collect_deltas: bool = True,
+    ) -> None:
+        self._task_modules = tuple(task_modules)
+        self._allow_shutdown = allow_shutdown
+        self._collect_deltas = collect_deltas
+        self._socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._socket.bind((host, port))
+        self._socket.listen(64)
+        self.address: Tuple[str, int] = self._socket.getsockname()[:2]
+        #: (rank, epoch) -> hydrated shard.  One host may serve many ranks.
+        self._shards: Dict[Tuple[int, int], Any] = {}
+        self._shard_lock = threading.Lock()
+        self._stopped = threading.Event()
+        self._acceptor: Optional[threading.Thread] = None
+        self._connections: set = set()
+        self._connections_lock = threading.Lock()
+
+    # -- lifecycle ------------------------------------------------------- #
+    def start(self) -> "WorkerHost":
+        """Accept connections on a background thread."""
+        _import_task_modules(self._task_modules)
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="worker-host-acceptor", daemon=True
+        )
+        self._acceptor.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Foreground entry point (the CLI's ``worker-host`` command)."""
+        self.start()
+        self._stopped.wait()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._stopped.wait(timeout)
+
+    def stop(self) -> None:
+        """Stop accepting and release every hydrated shard."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        try:
+            # Wake a blocked accept() so the kernel socket actually leaves
+            # LISTEN; close() alone would leave the port bound.
+            self._socket.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+        # Close live connections too: a stopped host must vanish from its
+        # clients' point of view (EOF ⇒ they reconnect elsewhere), never
+        # answer "stale" out of a cleared shard map.
+        with self._connections_lock:
+            connections, self._connections = set(self._connections), set()
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
+        with self._shard_lock:
+            shards, self._shards = dict(self._shards), {}
+        for shard in shards.values():
+            _close_shard(shard)
+
+    def __enter__(self) -> "WorkerHost":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- serving --------------------------------------------------------- #
+    def _accept_loop(self) -> None:
+        while not self._stopped.is_set():
+            try:
+                connection, _ = self._socket.accept()
+            except OSError:
+                break
+            connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._connections_lock:
+                self._connections.add(connection)
+            threading.Thread(
+                target=self._serve_connection, args=(connection,), daemon=True
+            ).start()
+
+    def _delta(self):
+        return obs_runtime.collect_worker_delta() if self._collect_deltas else None
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        try:
+            self._serve_connection_inner(connection)
+        finally:
+            with self._connections_lock:
+                self._connections.discard(connection)
+
+    def _serve_connection_inner(self, connection: socket.socket) -> None:
+        with connection:
+            while not self._stopped.is_set():
+                try:
+                    message = _recv_obj(connection)
+                except (EOFError, OSError, ConnectionError, pickle.PickleError):
+                    break
+                if self._stopped.is_set():
+                    break  # stopping: EOF, never a reply from cleared shards
+                kind = message[0]
+                if kind == "stop":
+                    break  # close this connection only
+                if kind == "shutdown":
+                    if self._allow_shutdown:
+                        try:
+                            _send_obj(connection, ("ok", None, 0.0, None))
+                        except OSError:
+                            pass
+                        self.stop()
+                    break
+                try:
+                    reply = self._handle(message)
+                except StaleEpochError as exc:
+                    reply = ("stale", exc.epoch, list(exc.available), self._delta())
+                except Exception:
+                    reply = ("error", "TaskError", traceback.format_exc())
+                try:
+                    _send_obj(connection, reply)
+                except OSError:
+                    break
+
+    def _handle(self, message: Tuple) -> Tuple:
+        kind = message[0]
+        if kind == "ping":
+            return ("ok", "pong", 0.0, None)
+        if kind == "hydrate":
+            _, rank, epoch, loader_name, blob, retire_below = message
+            start = time.perf_counter()
+            shard = _resolve_loader(loader_name)(blob)
+            retired: List[Any] = []
+            with self._shard_lock:
+                previous = self._shards.get((rank, epoch))
+                if previous is not None and previous is not shard:
+                    retired.append(previous)
+                self._shards[(rank, epoch)] = shard
+                if retire_below is not None:
+                    for key in [
+                        k for k in self._shards if k[0] == rank and k[1] < retire_below
+                    ]:
+                        retired.append(self._shards.pop(key))
+            for old in retired:
+                _close_shard(old)
+            _record_hydration(time.perf_counter() - start)
+            return ("ok", None, 0.0, self._delta())
+        if kind == "task":
+            _, rank, task_name, epoch, payload = message
+            with self._shard_lock:
+                if epoch is not None and (rank, epoch) not in self._shards:
+                    available = sorted(e for r, e in self._shards if r == rank)
+                    return ("stale", epoch, available, self._delta())
+                shard = self._shards.get((rank, epoch))
+            fn = _resolve_task(task_name)
+            start = time.perf_counter()
+            result = fn(shard, payload)
+            seconds = time.perf_counter() - start
+            _record_shard_task(task_name, seconds)
+            return ("ok", result, seconds, self._delta())
+        return ("error", "ProtocolError", f"unknown command {kind!r}")
+
+    @property
+    def epochs_held(self) -> Dict[int, Tuple[int, ...]]:
+        """``{rank: epochs}`` currently hydrated (introspection for tests)."""
+        with self._shard_lock:
+            held: Dict[int, List[int]] = {}
+            for rank, epoch in self._shards:
+                held.setdefault(rank, []).append(epoch)
+        return {rank: tuple(sorted(epochs)) for rank, epochs in held.items()}
+
+
+def _worker_host_process_main(pipe, task_modules: Sequence[str]) -> None:
+    """Managed-fleet subprocess body: serve one host, report its port."""
+    obs_runtime.reset_for_worker()
+    host = WorkerHost(
+        task_modules=task_modules, allow_shutdown=True, collect_deltas=True
+    )
+    host.start()
+    pipe.send(host.address)
+    pipe.close()
+    host.wait()
+
+
+# ---------------------------------------------------------------------- #
+# the executor
+# ---------------------------------------------------------------------- #
+class TcpExecutor(ExecutorBackend):
+    """Shard phases over sockets to worker hosts (see module docstring)."""
+
+    name = "tcp"
+    supports_closures = False
+    wants_sharded_queries = True
+    supports_shm_hydration = False
+
+    def __init__(
+        self,
+        worker_hosts: Optional[Sequence[Any]] = None,
+        task_modules: Sequence[str] = DEFAULT_TASK_MODULES,
+        connect_timeout: float = 5.0,
+        reconnect_attempts: int = 20,
+        reconnect_backoff_seconds: float = 0.05,
+    ) -> None:
+        self._task_modules = tuple(task_modules)
+        self._connect_timeout = connect_timeout
+        self._reconnect_attempts = reconnect_attempts
+        self._reconnect_backoff_seconds = reconnect_backoff_seconds
+        #: Parsed external host list, or None for a managed local fleet.
+        self._external: Optional[List[Tuple[str, int]]] = None
+        if worker_hosts is not None:
+            specs = list(worker_hosts)
+            if not specs:
+                raise ValueError("worker_hosts must not be empty when given")
+            self._external = [
+                spec if isinstance(spec, tuple) else parse_host_port(spec)
+                for spec in specs
+            ]
+        self._addresses: Dict[int, Tuple[str, int]] = {}
+        self._sockets: Dict[int, socket.socket] = {}
+        self._locks: Dict[int, threading.Lock] = {}
+        #: Managed mode: rank -> subprocess serving that rank's host.
+        self._managed: Dict[int, Any] = {}
+        self._dispatch: Optional[ThreadPoolExecutor] = None
+        self._lifecycle = threading.Lock()
+        self._closed = False
+        self._started = False
+        self._hydration_cache: Dict[int, Dict[int, Tuple]] = {}
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+
+    # -- lifecycle ------------------------------------------------------- #
+    def _fork_context(self):
+        import multiprocessing
+
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            return multiprocessing.get_context()
+
+    def _spawn_host(self, rank: int) -> None:
+        """Managed mode: start a local WorkerHost subprocess for ``rank``."""
+        context = self._fork_context()
+        parent_pipe, child_pipe = context.Pipe()
+        process = context.Process(
+            target=_worker_host_process_main,
+            args=(child_pipe, self._task_modules),
+            name=f"worker-host-{rank}",
+            daemon=True,
+        )
+        process.start()
+        child_pipe.close()
+        if not parent_pipe.poll(10.0):  # pragma: no cover - startup hang
+            process.terminate()
+            raise WorkerTransportError(f"worker host {rank} failed to start")
+        self._addresses[rank] = tuple(parent_pipe.recv())
+        parent_pipe.close()
+        self._managed[rank] = process
+
+    def _connect(self, rank: int) -> socket.socket:
+        sock = socket.create_connection(
+            self._addresses[rank], timeout=self._connect_timeout
+        )
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sockets[rank] = sock
+        return sock
+
+    def _ensure_started(self) -> None:
+        with self._lifecycle:
+            if self._closed:
+                raise RuntimeError("executor is closed")
+            if self._started:
+                return
+            # Import task modules in the parent before forking so managed
+            # hosts inherit the registry (same reasoning as ProcessExecutor).
+            _import_task_modules(self._task_modules)
+            for rank in range(self.num_workers):
+                if self._external is not None:
+                    self._addresses[rank] = self._external[
+                        rank % len(self._external)
+                    ]
+                else:
+                    self._spawn_host(rank)
+                self._connect(rank)
+                self._locks[rank] = threading.Lock()
+            self._dispatch = ThreadPoolExecutor(
+                max_workers=max(2, 2 * self.num_workers),
+                thread_name_prefix="tcp-dispatch",
+            )
+            self._started = True
+
+    def close(self) -> None:
+        with self._lifecycle:
+            if self._closed:
+                return
+            self._closed = True
+            sockets, self._sockets = self._sockets, {}
+            managed, self._managed = self._managed, {}
+            dispatch, self._dispatch = self._dispatch, None
+            self._hydration_cache.clear()
+        for rank, sock in sockets.items():
+            try:
+                # Managed hosts are ours to stop; external hosts just see
+                # this client depart.
+                _send_obj(sock, ("shutdown",) if rank in managed else ("stop",))
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for process in managed.values():
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - stuck host
+                process.terminate()
+        if dispatch is not None:
+            dispatch.shutdown(wait=False)
+
+    def __del__(self) -> None:  # pragma: no cover - GC-time cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- transport ------------------------------------------------------- #
+    def _reconnect_locked(self, rank: int, message: Tuple) -> Any:
+        """Reconnect ``rank`` (respawning a managed host if its process
+        died), replay its cached hydrations, retry ``message`` once."""
+        with self._lifecycle:
+            if self._closed:
+                raise WorkerTransportError(f"worker {rank} died") from None
+            old = self._sockets.pop(rank, None)
+            if old is not None:
+                try:
+                    old.close()
+                except OSError:
+                    pass
+            process = self._managed.get(rank)
+            if process is not None and not process.is_alive():
+                process.join(timeout=0.5)
+                self._spawn_host(rank)
+            replay = sorted(self._hydration_cache.get(rank, {}).items())
+        last_error: Optional[BaseException] = None
+        for attempt in range(self._reconnect_attempts):
+            if attempt:
+                time.sleep(self._reconnect_backoff_seconds * attempt)
+            try:
+                sock = self._connect(rank)
+                for _, hydrate_message in replay:
+                    _send_obj(sock, hydrate_message)
+                    _recv_obj(sock)
+                _send_obj(sock, message)
+                reply = _recv_obj(sock)
+            except (EOFError, OSError, ConnectionError) as exc:
+                last_error = exc
+                stale = self._sockets.pop(rank, None)
+                if stale is not None:
+                    try:
+                        stale.close()
+                    except OSError:
+                        pass
+                continue
+            registry = obs_runtime.global_registry()
+            if registry.enabled:
+                registry.inc("dsr_worker_reconnects_total")
+            return reply
+        raise WorkerTransportError(
+            f"worker {rank} at {self._addresses.get(rank)} unreachable after "
+            f"{self._reconnect_attempts} attempts: {last_error}"
+        ) from last_error
+
+    def _set_inflight(self, delta: int) -> None:
+        registry = obs_runtime.global_registry()
+        with self._inflight_lock:
+            self._inflight += delta
+            value = self._inflight
+        if registry.enabled:
+            registry.set_gauge("dsr_rpc_inflight", float(value))
+
+    def _call_worker(self, rank: int, message: Tuple) -> Tuple[Any, float]:
+        self._set_inflight(1)
+        try:
+            with self._locks[rank]:
+                sock = self._sockets.get(rank)
+                try:
+                    if sock is None:
+                        raise ConnectionError("not connected")
+                    _send_obj(sock, message)
+                    reply = _recv_obj(sock)
+                except (EOFError, OSError, ConnectionError):
+                    reply = self._reconnect_locked(rank, message)
+        finally:
+            self._set_inflight(-1)
+        kind = reply[0]
+        if len(reply) > 3 and reply[3] is not None:
+            obs_runtime.absorb_delta(reply[3])
+        if kind == "ok":
+            return reply[1], reply[2]
+        if kind == "stale":
+            raise StaleEpochError(rank, reply[1], reply[2])
+        task = str(message[2]) if len(message) > 2 else "?"
+        raise ShardTaskError(rank, task, reply[2])
+
+    def _fan_out(self, messages: Mapping[int, Tuple]) -> Dict[int, Tuple[Any, float]]:
+        self._ensure_started()
+        if len(messages) == 1:
+            ((rank, message),) = messages.items()
+            return {rank: self._call_worker(rank, message)}
+        assert self._dispatch is not None
+        futures = {
+            rank: self._dispatch.submit(self._call_worker, rank, message)
+            for rank, message in messages.items()
+        }
+        results: Dict[int, Tuple[Any, float]] = {}
+        first_error: Optional[BaseException] = None
+        for rank, future in futures.items():
+            try:
+                results[rank] = future.result()
+            except BaseException as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    # -- backend API ----------------------------------------------------- #
+    def run_phase(self, fns):
+        # Closures cannot cross the socket; closure phases (index build,
+        # maintenance assembly) run at the master, as with ProcessExecutor.
+        from repro.cluster.executors import _timed_call
+
+        return {rank: _timed_call(fn) for rank, fn in fns.items()}
+
+    def run_shard_phase(
+        self, task: str, epoch: Optional[int], payloads: Mapping[int, Any]
+    ) -> Dict[int, Tuple[Any, float]]:
+        return self._fan_out(
+            {
+                rank: ("task", rank, task, epoch, payload)
+                for rank, payload in payloads.items()
+            }
+        )
+
+    def _remember_hydration(
+        self, rank: int, epoch: int, message: Tuple, retire_below: Optional[int]
+    ) -> None:
+        per_rank = self._hydration_cache.setdefault(rank, {})
+        per_rank[epoch] = message
+        if retire_below is not None:
+            for old in [e for e in per_rank if e < retire_below]:
+                del per_rank[old]
+
+    def hydrate(
+        self,
+        rank: int,
+        epoch: int,
+        blob: Any,
+        loader: str,
+        retire_below: Optional[int] = None,
+    ) -> None:
+        self._ensure_started()
+        message = ("hydrate", rank, epoch, loader, blob, retire_below)
+        self._remember_hydration(rank, epoch, message, retire_below)
+        self._call_worker(rank, message)
+
+    def hydrate_all(
+        self,
+        epoch: int,
+        blobs: Mapping[int, Any],
+        loader: str,
+        retire_below: Optional[int] = None,
+    ) -> None:
+        messages = {
+            rank: ("hydrate", rank, epoch, loader, blob, retire_below)
+            for rank, blob in blobs.items()
+        }
+        for rank, message in messages.items():
+            self._remember_hydration(rank, epoch, message, retire_below)
+        self._fan_out(messages)
+
+    # -- introspection ---------------------------------------------------- #
+    def ping(self, rank: int) -> bool:
+        """Round-trip a no-op to one worker (health check)."""
+        self._ensure_started()
+        result, _ = self._call_worker(rank, ("ping",))
+        return result == "pong"
+
+    @property
+    def worker_addresses(self) -> Dict[int, Tuple[str, int]]:
+        return dict(self._addresses)
+
+
+__all__ = [
+    "MAX_RPC_BYTES",
+    "TcpExecutor",
+    "WorkerHost",
+    "WorkerTransportError",
+    "parse_host_port",
+]

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 import warnings
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
 
 from repro.api.config import DSRConfig
 from repro.api.query import ReachQuery
@@ -130,6 +130,7 @@ class DSREngine:
             executor=config.executor,
             epoch_flush=config.epoch_flush,
             kernels=config.kernels,
+            worker_hosts=config.worker_hosts,
         )
         engine.config = config
         return engine
@@ -149,6 +150,7 @@ class DSREngine:
         executor: str = "serial",
         epoch_flush: str = "inline",
         kernels: str = "auto",
+        worker_hosts: Optional[Sequence[str]] = None,
     ) -> None:
         # Select the bitset-kernel backend.  The selection is process-global
         # (see repro.reachability.kernels): safe because every backend is
@@ -174,6 +176,15 @@ class DSREngine:
         effective_executor = (
             executor if executor != "serial" else ("threads" if parallel else "serial")
         )
+        if worker_hosts is not None:
+            if effective_executor != "tcp":
+                raise ValueError(
+                    "worker_hosts requires executor='tcp', "
+                    f"got {effective_executor!r}"
+                )
+            from repro.cluster.tcp import TcpExecutor
+
+            effective_executor = TcpExecutor(worker_hosts=worker_hosts)
         #: How batched updates fold into the index ("inline" | "background").
         self.epoch_flush = epoch_flush
         self.cluster = SimulatedCluster(

@@ -457,7 +457,15 @@ class DSRIndex:
 
         Availability is re-checked per call (not latched) so ``REPRO_SHM=0``
         can force the pickled fallback for a fresh engine without a restart.
+        Executors whose workers live outside this machine's address space
+        (``supports_shm_hydration = False``, e.g. ``tcp``) always get
+        ``None``: their blobs must be self-contained to cross the wire.
         """
+        executor = getattr(self.cluster, "executor", None)
+        if executor is not None and not getattr(
+            executor, "supports_shm_hydration", True
+        ):
+            return None
         if self._shm_ledger is None:
             from repro.cluster.shm import ShmLedger, shm_available
 

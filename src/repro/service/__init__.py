@@ -24,12 +24,17 @@ The wire-form :class:`QueryRequest` is a thin serialisation of the same
 either.
 """
 
+from repro.service.aio import DSRAsyncClient, DSRAsyncServer, RateLimitedError, TokenBucket
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.planner import QueryPlan, QueryPlanner
 from repro.service.protocol import (
+    BINARY_FRAMING_MIN_VERSION,
+    MAX_FRAME_BYTES,
+    MAX_LINE_BYTES,
     MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
     ErrorResponse,
+    OversizedFrameError,
     MetricsRequest,
     MetricsResponse,
     ProtocolError,
@@ -53,6 +58,14 @@ from repro.service.server import (
 __all__ = [
     "PROTOCOL_VERSION",
     "MIN_PROTOCOL_VERSION",
+    "BINARY_FRAMING_MIN_VERSION",
+    "MAX_FRAME_BYTES",
+    "MAX_LINE_BYTES",
+    "OversizedFrameError",
+    "DSRAsyncClient",
+    "DSRAsyncServer",
+    "RateLimitedError",
+    "TokenBucket",
     "CacheStats",
     "ResultCache",
     "QueryPlan",

@@ -39,14 +39,36 @@ rejected with a clear :class:`ProtocolError`, so the wire format can evolve
 without silent misinterpretation.  Frames without a ``version`` tag
 (hand-rolled payloads, pre-versioning peers) are accepted and treated as the
 current version.
+
+Framing
+-------
+Two stream framings carry the same tagged dicts:
+
+* **newline-delimited JSON** (:func:`send_message` / :func:`recv_message`) —
+  one JSON object per line; every protocol version speaks it, and it stays
+  the compatibility path for old peers;
+* **binary length-prefixed frames** (:func:`pack_frame` /
+  :func:`unpack_frame`) — ``[u32 length][u8 version][body]`` where ``length``
+  covers the version byte plus the body and the body is the same JSON
+  payload, optionally tagged with a connection-scoped request ``id`` so many
+  requests can be in flight on one connection (multiplexing).  Binary framing
+  is a *capability of protocol version 5+*
+  (:data:`BINARY_FRAMING_MIN_VERSION`): the async front door
+  (:mod:`repro.service.aio`) speaks it natively and auto-detects old
+  newline-JSON peers from the first byte.
+
+Both framings are bounded: oversized frames/lines raise
+:class:`OversizedFrameError` (a :class:`ProtocolError`) instead of buffering
+without limit.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, fields
+from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Optional, Tuple
 
 import json
+import struct
 
 from repro.api.query import ReachQuery
 
@@ -56,13 +78,28 @@ from repro.api.query import ReachQuery
 #: :class:`~repro.api.query.ReachQuery` as the query message; version 3 adds
 #: the optional ``trace`` fields on query messages and the ``metrics``
 #: exposition request; version 4 adds the optional ``tenant`` label on query
-#: messages (the fleet router's workload fingerprint).
-PROTOCOL_VERSION = 4
+#: messages (the fleet router's workload fingerprint); version 5 adds the
+#: binary length-prefixed framing capability (with per-frame request ids)
+#: spoken by the async front door.
+PROTOCOL_VERSION = 5
 
 #: Oldest peer version this side still understands.  Version-2 and -3 peers
 #: simply never see the later additions (all of which are optional fields or
 #: new message kinds).
 MIN_PROTOCOL_VERSION = 2
+
+#: First protocol version whose peers may speak the binary length-prefixed
+#: framing.  Older peers keep speaking newline-delimited JSON; a version-5
+#: server accepts both on the same port.
+BINARY_FRAMING_MIN_VERSION = 5
+
+#: Default cap on one binary frame (version byte + body).  Frames above the
+#: cap are rejected with :class:`OversizedFrameError` before any buffering.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Default cap on one newline-JSON line.  Connections exceeding it get a
+#: clean protocol error instead of growing an unbounded read buffer.
+MAX_LINE_BYTES = 1024 * 1024
 
 #: Update operations accepted by :class:`UpdateRequest`.
 UPDATE_OPS = ("insert-edge", "delete-edge", "insert-vertex", "delete-vertex", "flush")
@@ -70,6 +107,15 @@ UPDATE_OPS = ("insert-edge", "delete-edge", "insert-vertex", "delete-vertex", "f
 
 class ProtocolError(ValueError):
     """Raised when a message cannot be encoded or decoded."""
+
+
+class OversizedFrameError(ProtocolError):
+    """A frame (binary) or line (JSON) exceeds the configured size cap.
+
+    Servers treat this as a fatal per-connection error: the peer gets a
+    clean ``error`` response naming the cap, then the connection closes —
+    the alternative is buffering attacker-controlled bytes without bound.
+    """
 
 
 # ---------------------------------------------------------------------- #
@@ -253,6 +299,14 @@ _MESSAGE_TYPES = {
 }
 _KIND_OF = {cls: kind for kind, cls in _MESSAGE_TYPES.items()}
 
+#: Field names per message class, precomputed for :func:`encode`.  Every
+#: message is a flat dataclass of JSON-safe values, so a shallow per-field
+#: dict is equivalent to ``dataclasses.asdict`` minus its recursive
+#: deepcopy — which dominated the serving hot path.
+_FIELD_NAMES_OF = {
+    cls: tuple(f.name for f in fields(cls)) for cls in _MESSAGE_TYPES.values()
+}
+
 #: First protocol version that knows each message kind.  Kinds absent here
 #: exist since the first versioned protocol.
 _KIND_MIN_VERSION = {
@@ -313,7 +367,9 @@ def encode(message: Any, version: int = PROTOCOL_VERSION) -> Dict[str, Any]:
             f"message kind {kind!r} requires protocol version "
             f"{_KIND_MIN_VERSION[kind]}, encoding for version {version}"
         )
-    payload = asdict(message)
+    payload = {
+        name: getattr(message, name) for name in _FIELD_NAMES_OF[type(message)]
+    }
     for name, min_version in _VERSION_GATED_FIELDS.get(kind, {}).items():
         if version < min_version:
             payload.pop(name, None)
@@ -406,26 +462,110 @@ def recv_message(stream) -> Optional[Any]:
     return None if framed is None else framed[0]
 
 
-def recv_message_versioned(stream) -> Optional[Tuple[Any, int]]:
+def recv_message_versioned(
+    stream, max_bytes: Optional[int] = None
+) -> Optional[Tuple[Any, int]]:
     """Read one message plus the wire version its frame was encoded at.
 
     Servers use the version to answer each client at the version it spoke
     (:func:`send_message` with ``version=...``).  ``None`` at end of stream.
+    ``max_bytes`` caps the line length: a longer line raises
+    :class:`OversizedFrameError` instead of buffering the rest of the frame
+    (the stream is then mid-frame, so callers should close the connection).
     """
-    line = stream.readline()
+    line = stream.readline() if max_bytes is None else stream.readline(max_bytes)
     if not line:
         return None
+    if max_bytes is not None and len(line) >= max_bytes and not line.endswith("\n"):
+        raise OversizedFrameError(
+            f"line frame exceeds the {max_bytes}-byte cap"
+        )
     line = line.strip()
     if not line:
         return None
     return loads_versioned(line)
 
 
+# ---------------------------------------------------------------------- #
+# binary framing ([u32 length][u8 version][JSON body]) — protocol v5+
+# ---------------------------------------------------------------------- #
+_FRAME_HEADER = struct.Struct(">IB")
+
+
+def pack_frame(
+    message: Any,
+    version: int = PROTOCOL_VERSION,
+    request_id: Optional[int] = None,
+) -> bytes:
+    """Encode one message as a binary length-prefixed frame.
+
+    ``request_id`` tags the frame with a connection-scoped id (the ``id``
+    key of the body) so responses can be matched to requests out of order —
+    the multiplexing contract of the async front door.  Binary framing is a
+    version-5 capability; asking for an older ``version`` raises.
+    """
+    if version < BINARY_FRAMING_MIN_VERSION:
+        raise ProtocolError(
+            f"binary framing requires protocol version "
+            f"{BINARY_FRAMING_MIN_VERSION}+, encoding for version {version}"
+        )
+    payload = encode(message, version=version)
+    if request_id is not None:
+        payload["id"] = request_id
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return _FRAME_HEADER.pack(1 + len(body), version) + body
+
+
+def unpack_frame(
+    buffer, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> Optional[Tuple[Any, int, Optional[int], int]]:
+    """Parse one binary frame off the front of ``buffer`` (bytes-like).
+
+    Returns ``(message, wire_version, request_id, bytes_consumed)``, or
+    ``None`` when the buffer does not yet hold a complete frame (read more
+    and retry).  Frames longer than ``max_frame_bytes`` raise
+    :class:`OversizedFrameError` *from the header alone* — the oversized
+    body is never buffered.
+    """
+    if len(buffer) < _FRAME_HEADER.size:
+        return None
+    length, version_byte = _FRAME_HEADER.unpack_from(buffer, 0)
+    if length < 1:
+        raise ProtocolError(f"invalid binary frame length {length}")
+    if length > max_frame_bytes:
+        raise OversizedFrameError(
+            f"binary frame of {length} bytes exceeds the {max_frame_bytes}-byte cap"
+        )
+    if version_byte < BINARY_FRAMING_MIN_VERSION:
+        raise ProtocolError(
+            f"binary framing requires protocol version "
+            f"{BINARY_FRAMING_MIN_VERSION}+, frame claims version {version_byte}"
+        )
+    total = _FRAME_HEADER.size - 1 + length
+    if len(buffer) < total:
+        return None
+    body = bytes(buffer[_FRAME_HEADER.size : total])
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"invalid binary frame body: {exc}") from exc
+    request_id: Optional[int] = None
+    if isinstance(payload, dict):
+        payload.setdefault("version", version_byte)
+        request_id = payload.pop("id", None)
+    message = decode(payload)
+    return message, wire_version(payload), request_id, total
+
+
 __all__ = [
     "PROTOCOL_VERSION",
     "MIN_PROTOCOL_VERSION",
+    "BINARY_FRAMING_MIN_VERSION",
+    "MAX_FRAME_BYTES",
+    "MAX_LINE_BYTES",
     "UPDATE_OPS",
     "ProtocolError",
+    "OversizedFrameError",
     "QueryRequest",
     "UpdateRequest",
     "StatsRequest",
@@ -447,4 +587,6 @@ __all__ = [
     "send_message",
     "recv_message",
     "recv_message_versioned",
+    "pack_frame",
+    "unpack_frame",
 ]

@@ -53,8 +53,10 @@ from repro.service.cache import ResultCache
 from repro.service.planner import QueryPlanner
 from repro.service.protocol import (
     ErrorResponse,
+    MAX_LINE_BYTES,
     MetricsRequest,
     MetricsResponse,
+    OversizedFrameError,
     PROTOCOL_VERSION,
     ProtocolError,
     QueryRequest,
@@ -328,6 +330,51 @@ class DSRService:
                     snapshot = self.engine.cluster.snapshot()
                 return SnapshotResponse(snapshot=snapshot)
             raise ProtocolError(f"not a request message: {type(request).__name__}")
+        except Exception as exc:
+            self.metrics.increment("errors")
+            return ErrorResponse(error=type(exc).__name__, message=str(exc))
+
+    def handle_nowait(self, request):
+        """Answer ``request`` only if it cannot block; ``None`` otherwise.
+
+        The fast path for front doors that must not stall their calling
+        thread (the async server's event loop): a plain cached query is
+        answered inline — same response shape and same metrics as
+        :meth:`handle` — while anything that needs the engine, a fleet
+        route or a trace returns ``None`` for the caller to
+        :meth:`submit` to the worker pool instead.
+        """
+        if (
+            not isinstance(request, ReachQuery)
+            or request.trace
+            or not request.use_cache
+            or self._fleet is not None
+            or self.cache is None
+        ):
+            return None
+        start = time.perf_counter()
+        try:
+            lookup_epoch = self.engine.epoch if self._background_epochs else None
+            cached = self.cache.get(
+                request.sources, request.targets, epoch=lookup_epoch
+            )
+            if cached is None:
+                return None
+            # The planner only supplies the reply's direction here — a hit
+            # never touches the engine (planning is pure stats arithmetic).
+            plan = self.planner.plan(request)
+            self.metrics.increment("queries")
+            self.metrics.increment("cache_hits")
+            latency = time.perf_counter() - start
+            self.metrics.record("query_cached", latency)
+            return QueryResponse(
+                pairs=tuple(cached),
+                cached=True,
+                direction=plan.direction,
+                num_batches=0,
+                latency_seconds=latency,
+                epoch=lookup_epoch if lookup_epoch is not None else -1,
+            )
         except Exception as exc:
             self.metrics.increment("errors")
             return ErrorResponse(error=type(exc).__name__, message=str(exc))
@@ -681,7 +728,12 @@ class DSRService:
 # socket transport
 # ---------------------------------------------------------------------- #
 class DSRSocketServer:
-    """Serves a :class:`DSRService` over newline-delimited JSON on TCP."""
+    """Serves a :class:`DSRService` over newline-delimited JSON on TCP.
+
+    ``max_line_bytes`` bounds one request line: a peer sending a longer
+    frame gets a clean ``OversizedFrameError`` response and its connection
+    closed, instead of this server buffering the line without limit.
+    """
 
     def __init__(
         self,
@@ -689,9 +741,11 @@ class DSRSocketServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_requests: Optional[int] = None,
+        max_line_bytes: int = MAX_LINE_BYTES,
     ) -> None:
         self.service = service
         self.max_requests = max_requests
+        self.max_line_bytes = max_line_bytes
         self._socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._socket.bind((host, port))
@@ -701,6 +755,8 @@ class DSRSocketServer:
         self._requests_served = 0
         self._count_lock = threading.Lock()
         self._acceptor: Optional[threading.Thread] = None
+        self._connections: set = set()
+        self._connections_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     def start(self) -> "DSRSocketServer":
@@ -717,22 +773,48 @@ class DSRSocketServer:
                 connection, _ = self._socket.accept()
             except OSError:
                 break  # listening socket closed by stop()
+            with self._connections_lock:
+                self._connections.add(connection)
             threading.Thread(
                 target=self._serve_connection, args=(connection,), daemon=True
             ).start()
 
     def _serve_connection(self, connection: socket.socket) -> None:
+        try:
+            self._serve_connection_inner(connection)
+        finally:
+            with self._connections_lock:
+                self._connections.discard(connection)
+
+    def _serve_connection_inner(self, connection: socket.socket) -> None:
         with connection:
-            stream = connection.makefile("rw", encoding="utf-8", newline="\n")
+            # Separate read/write streams: a single makefile("rw") wraps one
+            # TextIOWrapper over both directions, and TextIOWrapper discards
+            # its read-ahead buffer on write for non-seekable streams — a
+            # pipelining client's buffered requests would be silently lost.
+            reader = connection.makefile("r", encoding="utf-8", newline="\n")
+            writer = connection.makefile("w", encoding="utf-8", newline="\n")
             while not self._stopped.is_set():
                 # Answer each request at the version its frame was encoded
                 # at, so version-2 clients keep working against a version-3
                 # server (newer optional fields are stripped from replies).
                 reply_version = PROTOCOL_VERSION
                 try:
-                    framed = recv_message_versioned(stream)
+                    framed = recv_message_versioned(
+                        reader, max_bytes=self.max_line_bytes
+                    )
+                except OversizedFrameError as exc:
+                    # The stream is mid-frame: after reporting the cap the
+                    # only safe continuation is closing the connection.
+                    try:
+                        send_message(
+                            writer, ErrorResponse("OversizedFrameError", str(exc))
+                        )
+                    except (OSError, ValueError):
+                        pass
+                    break
                 except ProtocolError as exc:
-                    send_message(stream, ErrorResponse("ProtocolError", str(exc)))
+                    send_message(writer, ErrorResponse("ProtocolError", str(exc)))
                     continue
                 except (OSError, ValueError):
                     break
@@ -750,21 +832,26 @@ class DSRSocketServer:
                     except ServiceOverloadedError as exc:
                         response = ErrorResponse("ServiceOverloadedError", str(exc))
                 # Count before replying so a client that has its response in
-                # hand never observes a stale requests_served.
-                self._count_request()
+                # hand never observes a stale requests_served — but stop()
+                # only after the reply flushed, since stop() now closes live
+                # connections and would otherwise eat this final response.
+                limit_reached = self._count_request()
                 try:
-                    send_message(stream, response, version=reply_version)
+                    send_message(writer, response, version=reply_version)
                 except (OSError, ValueError):
                     break
+                if limit_reached:
+                    self.stop()
+                    break
 
-    def _count_request(self) -> None:
+    def _count_request(self) -> bool:
+        """Count one served request; True when max_requests is reached."""
         with self._count_lock:
             self._requests_served += 1
-            if (
+            return (
                 self.max_requests is not None
                 and self._requests_served >= self.max_requests
-            ):
-                self.stop()
+            )
 
     @property
     def requests_served(self) -> int:
@@ -781,9 +868,30 @@ class DSRSocketServer:
             return
         self._stopped.set()
         try:
+            # shutdown() wakes an acceptor thread blocked in accept();
+            # close() alone leaves the kernel socket listening (the blocked
+            # syscall pins it), which keeps the port bound after stop().
+            self._socket.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
             self._socket.close()
         except OSError:  # pragma: no cover - close is best-effort
             pass
+        # Close live connections too: a stopped server must look stopped to
+        # its clients (EOF ⇒ DSRClient's retry logic reconnects), not keep
+        # serving from lingering per-connection threads.
+        with self._connections_lock:
+            connections, self._connections = set(self._connections), set()
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
 
     def __enter__(self) -> "DSRSocketServer":
         return self.start()
@@ -793,21 +901,120 @@ class DSRSocketServer:
 
 
 class DSRClient:
-    """Blocking client for :class:`DSRSocketServer` (one request at a time)."""
+    """Blocking client for :class:`DSRSocketServer` (one request at a time).
 
-    def __init__(self, host: str, port: int, timeout: Optional[float] = 10.0) -> None:
-        self._socket = socket.create_connection((host, port), timeout=timeout)
-        self._stream = self._socket.makefile("rw", encoding="utf-8", newline="\n")
+    Timeouts and retries make a restarting server a bounded inconvenience
+    instead of a hung caller:
+
+    * ``connect_timeout`` bounds each TCP connect (defaults to ``timeout``);
+    * ``request_timeout`` bounds each request's round trip — on expiry the
+      connection is closed (the stream may be mid-frame, so it cannot be
+      reused) and :class:`TimeoutError` is raised without retrying, because
+      the server may still execute the request;
+    * a connection reset or EOF mid-request is retried up to ``retries``
+      times with a fresh connection and a short linear backoff, which rides
+      out a server restart between requests.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = 10.0,
+        connect_timeout: Optional[float] = None,
+        request_timeout: Optional[float] = None,
+        retries: int = 2,
+        retry_backoff_seconds: float = 0.05,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self._host = host
+        self._port = port
+        self._connect_timeout = (
+            connect_timeout if connect_timeout is not None else timeout
+        )
+        self._request_timeout = (
+            request_timeout if request_timeout is not None else timeout
+        )
+        self._retries = retries
+        self._retry_backoff_seconds = retry_backoff_seconds
         self._lock = threading.Lock()
+        self._socket: Optional[socket.socket] = None
+        self._reader = None
+        self._writer = None
+        self._reconnects = 0
+        self._connect()
+
+    def _connect(self) -> None:
+        self._socket = socket.create_connection(
+            (self._host, self._port), timeout=self._connect_timeout
+        )
+        self._socket.settimeout(self._request_timeout)
+        # Split streams: a combined makefile("rw") TextIOWrapper drops its
+        # read-ahead buffer on every write (non-seekable stream), losing any
+        # server bytes that arrived early.
+        self._reader = self._socket.makefile("r", encoding="utf-8", newline="\n")
+        self._writer = self._socket.makefile("w", encoding="utf-8", newline="\n")
+
+    def _drop_connection(self) -> None:
+        for stream in (self._reader, self._writer):
+            if stream is not None:
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+        self._reader = None
+        self._writer = None
+        if self._socket is not None:
+            try:
+                self._socket.close()
+            except OSError:
+                pass
+            self._socket = None
+
+    @property
+    def reconnects(self) -> int:
+        """How many times the client re-established its connection."""
+        return self._reconnects
 
     def request(self, message):
         """Send one request message and return the response message."""
         with self._lock:
-            send_message(self._stream, message)
-            response = recv_message(self._stream)
-        if response is None:
-            raise ConnectionError("server closed the connection")
-        return response
+            last_error: Optional[BaseException] = None
+            for attempt in range(self._retries + 1):
+                if attempt:
+                    time.sleep(self._retry_backoff_seconds * attempt)
+                try:
+                    if self._socket is None:
+                        self._connect()
+                        self._reconnects += 1
+                    send_message(self._writer, message)
+                    response = recv_message(self._reader)
+                except socket.timeout as exc:
+                    # The stream may now be mid-frame and the server may
+                    # still run the request — never retry, just fail fast.
+                    self._drop_connection()
+                    raise TimeoutError(
+                        f"no response from {self._host}:{self._port} within "
+                        f"{self._request_timeout}s"
+                    ) from exc
+                except (ConnectionError, OSError) as exc:
+                    last_error = exc
+                    self._drop_connection()
+                    continue
+                if response is None:
+                    # EOF before a reply: the server went away (restart,
+                    # max_requests shutdown) — retriable like a reset.
+                    last_error = ConnectionResetError(
+                        "server closed the connection before replying"
+                    )
+                    self._drop_connection()
+                    continue
+                return response
+            raise ConnectionError(
+                f"request to {self._host}:{self._port} failed after "
+                f"{self._retries + 1} attempt(s): {last_error}"
+            ) from last_error
 
     # Convenience wrappers -------------------------------------------- #
     def query(
@@ -847,10 +1054,8 @@ class DSRClient:
         return self.request(MetricsRequest())
 
     def close(self) -> None:
-        try:
-            self._stream.close()
-        finally:
-            self._socket.close()
+        with self._lock:
+            self._drop_connection()
 
     def __enter__(self) -> "DSRClient":
         return self

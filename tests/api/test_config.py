@@ -124,3 +124,36 @@ class TestRoundTrip:
     def test_from_dict_rejects_invalid_values(self):
         with pytest.raises(ConfigError):
             DSRConfig.from_dict({"num_partitions": 0})
+
+
+class TestWorkerHosts:
+    def test_requires_tcp_executor(self):
+        with pytest.raises(ConfigError, match="executor='tcp'"):
+            DSRConfig(worker_hosts=["127.0.0.1:9000"])
+
+    def test_rejects_empty_or_non_string_sequences(self):
+        with pytest.raises(ConfigError, match="worker_hosts"):
+            DSRConfig(executor="tcp", worker_hosts=[])
+        with pytest.raises(ConfigError, match="worker_hosts"):
+            DSRConfig(executor="tcp", worker_hosts=[("127.0.0.1", 9000)])
+
+    def test_rejects_malformed_specs(self):
+        with pytest.raises(ConfigError, match="host:port"):
+            DSRConfig(executor="tcp", worker_hosts=["nocolon"])
+        with pytest.raises(ConfigError, match="host:port"):
+            DSRConfig(executor="tcp", worker_hosts=["host:notaport"])
+
+    def test_normalised_to_tuple_and_round_trips(self):
+        import json
+
+        config = DSRConfig(
+            executor="tcp", worker_hosts=["127.0.0.1:9000", "10.0.0.2:9001"]
+        )
+        assert config.worker_hosts == ("127.0.0.1:9000", "10.0.0.2:9001")
+        payload = json.loads(json.dumps(config.to_dict()))
+        assert payload["worker_hosts"] == ["127.0.0.1:9000", "10.0.0.2:9001"]
+        assert DSRConfig.from_dict(payload) == config
+
+    def test_tcp_without_hosts_is_valid_managed_mode(self):
+        config = DSRConfig(executor="tcp")
+        assert config.worker_hosts is None

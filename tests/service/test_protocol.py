@@ -6,6 +6,11 @@ import pytest
 
 from repro.api import ReachQuery
 from repro.service.protocol import (
+    BINARY_FRAMING_MIN_VERSION,
+    OversizedFrameError,
+    pack_frame,
+    recv_message_versioned,
+    unpack_frame,
     MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
     ErrorResponse,
@@ -269,3 +274,118 @@ class TestReachQueryBridge:
     def test_batch_budget_travels_the_wire(self):
         request = QueryRequest((1,), (2,), max_batch_pairs=64)
         assert loads(dumps(request)).max_batch_pairs == 64
+
+
+class TestBinaryFraming:
+    """Version-5 adds length-prefixed binary frames for the async front door."""
+
+    @pytest.mark.parametrize("message", ALL_MESSAGES, ids=lambda m: type(m).__name__)
+    def test_frame_round_trip(self, message):
+        frame = pack_frame(message)
+        unpacked = unpack_frame(frame)
+        assert unpacked is not None
+        decoded, version, request_id, consumed = unpacked
+        assert decoded == message
+        assert version == PROTOCOL_VERSION
+        assert request_id is None
+        assert consumed == len(frame)
+
+    def test_request_id_round_trips(self):
+        frame = pack_frame(StatsRequest(), request_id=42)
+        message, _version, request_id, _consumed = unpack_frame(frame)
+        assert message == StatsRequest()
+        assert request_id == 42
+
+    def test_partial_buffer_returns_none(self):
+        frame = pack_frame(StatsRequest())
+        for cut in (0, 1, 4, len(frame) - 1):
+            assert unpack_frame(frame[:cut]) is None
+
+    def test_back_to_back_frames_consume_sequentially(self):
+        messages = [StatsRequest(), SnapshotRequest(), MetricsRequest()]
+        buffer = bytearray()
+        for request_id, message in enumerate(messages):
+            buffer.extend(pack_frame(message, request_id=request_id))
+        received = []
+        while buffer:
+            message, _version, request_id, consumed = unpack_frame(buffer)
+            received.append((request_id, message))
+            del buffer[:consumed]
+        assert received == list(enumerate(messages))
+
+    def test_oversized_frame_rejected_from_header_alone(self):
+        frame = pack_frame(StatsRequest())
+        header = frame[:5]  # u32 length + u8 version, no body attached
+        import struct
+
+        huge = struct.pack(">I", 64 * 1024 * 1024) + header[4:5]
+        with pytest.raises(OversizedFrameError, match="exceeds"):
+            unpack_frame(huge, max_frame_bytes=1024)
+
+    def test_pack_frame_refuses_pre_framing_versions(self):
+        with pytest.raises(ProtocolError, match="version"):
+            pack_frame(StatsRequest(), version=BINARY_FRAMING_MIN_VERSION - 1)
+
+    def test_frame_with_old_version_byte_rejected(self):
+        import struct
+
+        body = b'{"kind": "stats"}'
+        frame = struct.pack(">IB", 1 + len(body), 4) + body
+        with pytest.raises(ProtocolError, match="version"):
+            unpack_frame(frame)
+
+    def test_frame_with_garbage_body_rejected(self):
+        import struct
+
+        body = b"\x00\x01 not json"
+        frame = struct.pack(">IB", 1 + len(body), PROTOCOL_VERSION) + body
+        with pytest.raises(ProtocolError):
+            unpack_frame(frame)
+
+    def test_binary_frames_never_start_with_a_brace(self):
+        # The async server autodetects newline-JSON peers by a leading '{';
+        # the frame cap keeps the length's first byte 0x00 so the two
+        # framings can never be confused.
+        for message in ALL_MESSAGES:
+            assert pack_frame(message)[0] == 0x00
+
+    def test_line_cap_raises_oversized(self):
+        stream = io.StringIO(dumps(StatsRequest()) * 100)
+        with pytest.raises(OversizedFrameError, match="line"):
+            recv_message_versioned(stream, max_bytes=64)
+
+    def test_line_under_cap_still_decodes(self):
+        stream = io.StringIO(dumps(StatsRequest()))
+        message, version = recv_message_versioned(stream, max_bytes=65536)
+        assert message == StatsRequest()
+        assert version == PROTOCOL_VERSION
+
+
+class TestVersionFiveNegotiation:
+    """v5 frames carry every gated field; packing for old peers strips them."""
+
+    def test_v5_frame_keeps_trace_and_tenant(self):
+        request = QueryRequest((1,), (2,), trace=True, tenant="analytics")
+        message, version, _id, _consumed = unpack_frame(pack_frame(request))
+        assert version == PROTOCOL_VERSION
+        assert message.trace is True
+        assert message.tenant == "analytics"
+
+    @pytest.mark.parametrize(
+        "version,keeps_trace,keeps_tenant",
+        [(2, False, False), (3, True, False), (4, True, True)],
+    )
+    def test_json_encode_strips_gated_fields_per_version(
+        self, version, keeps_trace, keeps_tenant
+    ):
+        request = QueryRequest((1,), (2,), trace=True, tenant="analytics")
+        payload = encode(request, version=version)
+        assert payload["version"] == version
+        assert ("trace" in payload) == keeps_trace
+        assert ("tenant" in payload) == keeps_tenant
+
+    def test_response_trace_stripped_for_v2_peer(self):
+        response = QueryResponse(pairs=((1, 2),), trace={"attrs": {}, "spans": []})
+        payload = encode(response, version=2)
+        assert "trace" not in payload
+        assert decode(payload) == QueryResponse(pairs=((1, 2),), trace=None)

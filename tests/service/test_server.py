@@ -273,3 +273,129 @@ class TestSocketTransport:
             payload = json.loads(stream.readline())
             assert payload["kind"] == "error"
             raw.close()
+
+
+class TestLineCap:
+    """Satellite fix: the line reader must not buffer unbounded input."""
+
+    def test_oversized_line_gets_error_then_close(self, graph, service):
+        import json
+        import socket as socket_module
+
+        with DSRSocketServer(service, max_line_bytes=1024) as server:
+            host, port = server.address
+            with socket_module.create_connection((host, port), timeout=5.0) as raw:
+                raw.sendall(b"{" + b"x" * 8192 + b"\n")
+                stream = raw.makefile("r", encoding="utf-8", newline="\n")
+                try:
+                    payload = json.loads(stream.readline())
+                except (ConnectionResetError, ValueError):
+                    return  # reset before the error flushed: also closed
+                assert payload["kind"] == "error"
+                assert payload["error"] == "OversizedFrameError"
+                # The connection is closed afterwards: EOF or a reset, but
+                # never another successful exchange.
+                try:
+                    assert stream.readline() == ""
+                except ConnectionResetError:
+                    pass
+
+    def test_normal_lines_unaffected_by_cap(self, graph, service):
+        vertices = sorted(graph.vertices())
+        with DSRSocketServer(service, max_line_bytes=65536) as server:
+            host, port = server.address
+            with DSRClient(host, port) as client:
+                response = client.query(vertices[:4], vertices[40:44])
+                assert not isinstance(response, ErrorResponse)
+
+
+class TestClientTimeoutsAndRetries:
+    """Satellite fix: DSRClient gets socket timeouts + bounded reconnects."""
+
+    def test_request_timeout_raises_not_hangs(self):
+        import socket as socket_module
+
+        listener = socket_module.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()
+        try:
+            client = DSRClient(host, port, request_timeout=0.3, retries=0)
+            started = __import__("time").perf_counter()
+            with pytest.raises(TimeoutError):
+                client.stats()  # accepted but never answered
+            elapsed = __import__("time").perf_counter() - started
+            assert elapsed < 5.0
+            client.close()
+        finally:
+            listener.close()
+
+    def test_connect_timeout_to_dead_port_raises(self):
+        import socket as socket_module
+
+        probe = socket_module.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(ConnectionError):
+            # The constructor connects eagerly, so refusal surfaces here.
+            DSRClient(
+                "127.0.0.1", dead_port,
+                connect_timeout=0.3, retries=1, retry_backoff_seconds=0.01,
+            )
+
+    def test_reconnects_across_server_restart(self, graph, service):
+        vertices = sorted(graph.vertices())
+        first = DSRSocketServer(service).start()
+        host, port = first.address
+        client = DSRClient(host, port, retries=3, retry_backoff_seconds=0.05)
+        try:
+            response = client.query(vertices[:4], vertices[40:44])
+            assert not isinstance(response, ErrorResponse)
+            first.stop()
+            # Same port, fresh server: the client's next request sees a dead
+            # socket, reconnects within its retry budget and succeeds.
+            second = DSRSocketServer(service, host=host, port=port).start()
+            try:
+                after = client.query(vertices[:4], vertices[44:48])
+                assert not isinstance(after, ErrorResponse)
+                assert client.reconnects >= 1  # the restart forced a retry
+            finally:
+                second.stop()
+        finally:
+            client.close()
+            first.stop()
+
+
+class TestPipelinedRequests:
+    """A client may write several requests before reading any reply.
+
+    Regression guard: the serve loop must use split read/write streams — a
+    combined ``makefile("rw")`` TextIOWrapper discards its read-ahead buffer
+    on every write (sockets are not seekable), silently dropping whatever
+    pipelined requests it had already pulled off the wire.
+    """
+
+    def test_pipelined_requests_all_answered(self, graph, service):
+        import json
+        import socket as socket_module
+
+        from repro.service.protocol import QueryRequest, dumps
+
+        vertices = sorted(graph.vertices())
+        line = (
+            dumps(QueryRequest(tuple(vertices[:3]), tuple(vertices[40:43]))) + "\n"
+        ).encode("utf-8")
+        with DSRSocketServer(service) as server:
+            host, port = server.address
+            with socket_module.create_connection((host, port), timeout=10.0) as raw:
+                reader = raw.makefile("r", encoding="utf-8", newline="\n")
+                # Burst of 4 up front, then lock-step: one new request per
+                # reply received — the pattern that exposed the data loss.
+                raw.sendall(line * 4)
+                for received in range(1, 11):
+                    payload = json.loads(reader.readline())
+                    assert payload["kind"] == "query-result", payload
+                    if received <= 6:
+                        raw.sendall(line)
+        assert server.requests_served == 10

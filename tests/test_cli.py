@@ -148,3 +148,59 @@ class TestCliCommands:
     def test_unknown_dataset_rejected(self):
         with pytest.raises(SystemExit):
             main(["info", "not-a-dataset"])
+
+
+class TestAsyncServeCli:
+    def test_serve_async_starts_and_stops(self, capsys, monkeypatch):
+        # Let the command run its full path (engine build, real async server
+        # on a thread, shutdown, metrics table) but return immediately
+        # instead of blocking for Ctrl-C.
+        from repro.service.aio import DSRAsyncServer
+
+        monkeypatch.setattr(DSRAsyncServer, "wait", lambda self: None)
+        code = main(
+            [
+                "serve", "amazon", "--scale", "0.1", "--partitions", "2",
+                "--async", "--rate-limit-qps", "100",
+                "--high-watermark", "8", "--low-watermark", "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "serving (async, binary frames)" in output
+        assert "watermarks 2/8" in output
+        assert "rate limit 100" in output
+        assert "serving metrics" in output
+
+    def test_serve_async_with_tcp_executor(self, capsys, monkeypatch):
+        from repro.service.aio import DSRAsyncServer
+
+        monkeypatch.setattr(DSRAsyncServer, "wait", lambda self: None)
+        code = main(
+            [
+                "serve", "amazon", "--scale", "0.1", "--partitions", "2",
+                "--async", "--executor", "tcp",
+            ]
+        )
+        assert code == 0
+        assert "serving (async" in capsys.readouterr().out
+
+    def test_worker_host_command(self, capsys, monkeypatch):
+        from repro.cluster.tcp import WorkerHost
+
+        # serve_forever blocks until Ctrl-C; the wiring is what we test.
+        monkeypatch.setattr(WorkerHost, "serve_forever", lambda self: None)
+        assert main(["worker-host", "--port", "0"]) == 0
+        output = capsys.readouterr().out
+        assert "worker host listening on 127.0.0.1:" in output
+
+    def test_worker_hosts_flag_requires_tcp_executor(self, capsys):
+        from repro.api.config import ConfigError
+
+        with pytest.raises(ConfigError, match="executor='tcp'"):
+            main(
+                [
+                    "serve", "amazon", "--scale", "0.1",
+                    "--worker-hosts", "127.0.0.1:9000",
+                ]
+            )
