@@ -177,7 +177,7 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--rate-limit-burst", type=int, default=None,
         help="async only: per-tenant token-bucket burst size "
-        "(default: 2x the qps)",
+        "(default: equal to the qps)",
     )
     serve.add_argument(
         "--executor", choices=sorted(EXECUTOR_NAMES), default="serial",

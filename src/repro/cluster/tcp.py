@@ -451,12 +451,24 @@ class TcpExecutor(ExecutorBackend):
             dispatch, self._dispatch = self._dispatch, None
             self._hydration_cache.clear()
         for rank, sock in sockets.items():
-            try:
-                # Managed hosts are ours to stop; external hosts just see
-                # this client depart.
-                _send_obj(sock, ("shutdown",) if rank in managed else ("stop",))
-            except OSError:
-                pass
+            # Serialise with any in-flight _call_worker on this rank: an
+            # unlocked write could interleave with a request mid-stream and
+            # corrupt the length-prefixed pickle framing the host reads.  If
+            # a call holds the lock past the timeout, skip the polite
+            # goodbye and just close the socket.
+            lock = self._locks.get(rank)
+            if lock is None or lock.acquire(timeout=2.0):
+                try:
+                    # Managed hosts are ours to stop; external hosts just
+                    # see this client depart.
+                    _send_obj(
+                        sock, ("shutdown",) if rank in managed else ("stop",)
+                    )
+                except OSError:
+                    pass
+                finally:
+                    if lock is not None:
+                        lock.release()
             try:
                 sock.close()
             except OSError:

@@ -59,6 +59,7 @@ query.
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import socket
 import threading
 import time
@@ -135,6 +136,8 @@ class _Connection(asyncio.Protocol):
         self._tasks: Set[asyncio.Task] = set()
         #: Compat mode answers strictly in order (old clients expect it):
         #: requests chain on this future instead of running concurrently.
+        #: The slot is reserved synchronously in _dispatch, so a later
+        #: request in the same read batch can never overtake an earlier one.
         self._compat_tail: Optional[asyncio.Future] = None
         #: Replies produced synchronously while draining one read batch are
         #: coalesced here and written with a single transport.write — one
@@ -254,9 +257,14 @@ class _Connection(asyncio.Protocol):
         # Synchronous fast path: a throttle or a cache hit is answered right
         # here — no task object, no compat future chain, no worker handoff.
         # Binary peers are multiplexed by id, so reply order never matters;
-        # compat (in-order) peers may only take it when nothing is pending.
+        # compat (in-order) peers may only take it when no request is
+        # pending at all — neither a reserved ordering slot nor a task
+        # still waiting for its first run.
         admitted = False
-        if self._binary is not False or self._compat_tail is None or self._compat_tail.done():
+        if self._binary is not False or (
+            not self._tasks
+            and (self._compat_tail is None or self._compat_tail.done())
+        ):
             started = time.perf_counter()
             tenant = getattr(message, "tenant", None)
             if not server._admit_tenant(tenant):
@@ -273,8 +281,25 @@ class _Connection(asyncio.Protocol):
                 server._observe(tenant, message, time.perf_counter() - started)
                 return
             admitted = True
+        previous: Optional[asyncio.Future] = None
+        tail: Optional[asyncio.Future] = None
+        if self._binary is False:
+            # Reserve the ordering slot *now*, at dispatch time — if it were
+            # claimed only when the task first runs, a second pipelined
+            # request in the same read batch could fast-path its reply ahead
+            # of this one and a positional legacy client would mismatch.
+            previous = self._compat_tail
+            tail = server._loop.create_future()
+            self._compat_tail = tail
         task = server._loop.create_task(
-            self._run_request(message, version, request_id, admitted=admitted)
+            self._run_request(
+                message,
+                version,
+                request_id,
+                admitted=admitted,
+                previous=previous,
+                tail=tail,
+            )
         )
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
@@ -285,22 +310,19 @@ class _Connection(asyncio.Protocol):
         version: int,
         request_id: Optional[int],
         admitted: bool = False,
+        previous: Optional[asyncio.Future] = None,
+        tail: Optional[asyncio.Future] = None,
     ) -> None:
         server = self.server
         started = time.perf_counter()
         tenant = getattr(request, "tenant", None)
-        if self._binary is False:
+        if previous is not None:
             # Compat peers expect replies in request order: serialise behind
             # the previous request of this connection.
-            previous, self._compat_tail = self._compat_tail, asyncio.Future()
-            tail = self._compat_tail
-            if previous is not None:
-                try:
-                    await previous
-                except asyncio.CancelledError:
-                    raise
-        else:
-            tail = None
+            try:
+                await previous
+            except asyncio.CancelledError:
+                raise
         try:
             executed = False
             if not admitted and not server._admit_tenant(tenant):
@@ -360,7 +382,25 @@ class _Connection(asyncio.Protocol):
             return
         try:
             if self._binary:
-                payload = pack_frame(message, version=version, request_id=request_id)
+                # Cap replies at the receiver-side frame limit: clients
+                # enforce MAX_FRAME_BYTES in unpack_frame, so an oversized
+                # reply would kill their read loop and fail every pending
+                # request on the connection.  Answer with a typed error
+                # (small by construction) instead.
+                cap = min(self.server.max_frame_bytes, MAX_FRAME_BYTES)
+                try:
+                    payload = pack_frame(
+                        message,
+                        version=version,
+                        request_id=request_id,
+                        max_frame_bytes=cap,
+                    )
+                except OversizedFrameError as exc:
+                    payload = pack_frame(
+                        ErrorResponse("OversizedReplyError", str(exc)),
+                        version=version,
+                        request_id=request_id,
+                    )
             else:
                 payload = (dumps(message, version=version) + "\n").encode("utf-8")
             if buffered:
@@ -583,11 +623,56 @@ class DSRAsyncServer:
             "dsr_tenant_request_seconds", percent, tenant=tenant
         )
 
+    def _snapshot_loop_state(self) -> Tuple[Tuple[str, ...], int, int, bool]:
+        """Consistent copy of loop-owned state (buckets, connections, ...).
+
+        ``stats()`` runs on executor or plain sync threads while the event
+        loop mutates ``_buckets`` and ``_connections``; iterating them
+        off-loop can raise ``RuntimeError: dictionary changed size during
+        iteration`` under load.  Hop onto the loop for the snapshot whenever
+        it is running and we are not already on it.
+        """
+
+        def _grab() -> Tuple[Tuple[str, ...], int, int, bool]:
+            return (
+                tuple(self._buckets),
+                len(self._connections),
+                self._inflight,
+                self._reads_paused,
+            )
+
+        loop = self._loop
+        if loop is None or not loop.is_running():
+            return _grab()
+        try:
+            if asyncio.get_running_loop() is loop:
+                return _grab()
+        except RuntimeError:
+            pass
+        snapshot: concurrent.futures.Future = concurrent.futures.Future()
+
+        def _on_loop() -> None:
+            try:
+                snapshot.set_result(_grab())
+            except BaseException as exc:  # pragma: no cover - defensive
+                snapshot.set_exception(exc)
+
+        try:
+            loop.call_soon_threadsafe(_on_loop)
+            return snapshot.result(timeout=5.0)
+        except (RuntimeError, concurrent.futures.TimeoutError):
+            # Loop shut down underneath us: best-effort direct read (no
+            # concurrent mutator is left at that point).
+            return _grab()
+
     def stats(self) -> Dict[str, Any]:
         """The service's stats dict plus an ``async`` front-door section."""
         stats = self.service.stats()
+        bucket_keys, connections, inflight, reads_paused = (
+            self._snapshot_loop_state()
+        )
         tenants: Dict[str, Any] = {}
-        for key in list(self._buckets):
+        for key in bucket_keys:
             tenants[key] = {
                 "throttled": int(
                     self.metrics.counter_value(
@@ -605,9 +690,9 @@ class DSRAsyncServer:
                     self.tenant_percentile(tenant, percent) * 1000.0, 3
                 )
         stats["async"] = {
-            "connections": len(self._connections),
-            "inflight": self._inflight,
-            "reads_paused": self._reads_paused,
+            "connections": connections,
+            "inflight": inflight,
+            "reads_paused": reads_paused,
             "high_watermark": self.high_watermark,
             "low_watermark": self.low_watermark,
             "paused_total": int(self.metrics.counter_total("dsr_conn_paused_total")),
@@ -657,6 +742,7 @@ class DSRAsyncClient:
 
     async def _read_loop(self) -> None:
         buffer = bytearray()
+        failure: Optional[BaseException] = None
         try:
             while True:
                 chunk = await self._reader.read(65536)
@@ -672,10 +758,16 @@ class DSRAsyncClient:
                     future = self._pending.pop(request_id, None)
                     if future is not None and not future.done():
                         future.set_result(message)
-        except (asyncio.CancelledError, OSError, ProtocolError):
+        except asyncio.CancelledError:
             pass
+        except (OSError, ProtocolError) as exc:
+            # Keep the real reason (e.g. an OversizedFrameError) so pending
+            # callers see the protocol failure, not a generic reset.
+            failure = exc
         finally:
-            error = ConnectionResetError("connection to the async server was lost")
+            error = failure or ConnectionResetError(
+                "connection to the async server was lost"
+            )
             for future in self._pending.values():
                 if not future.done():
                     future.set_exception(error)

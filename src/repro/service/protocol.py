@@ -496,6 +496,7 @@ def pack_frame(
     message: Any,
     version: int = PROTOCOL_VERSION,
     request_id: Optional[int] = None,
+    max_frame_bytes: Optional[int] = None,
 ) -> bytes:
     """Encode one message as a binary length-prefixed frame.
 
@@ -503,6 +504,12 @@ def pack_frame(
     key of the body) so responses can be matched to requests out of order —
     the multiplexing contract of the async front door.  Binary framing is a
     version-5 capability; asking for an older ``version`` raises.
+
+    ``max_frame_bytes`` mirrors the receiver-side cap of
+    :func:`unpack_frame`: an encoded frame longer than the cap raises
+    :class:`OversizedFrameError` *before* anything hits the wire, so a
+    sender can substitute a typed error instead of shipping a frame the
+    peer is guaranteed to reject (and kill the connection over).
     """
     if version < BINARY_FRAMING_MIN_VERSION:
         raise ProtocolError(
@@ -513,6 +520,11 @@ def pack_frame(
     if request_id is not None:
         payload["id"] = request_id
     body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if max_frame_bytes is not None and 1 + len(body) > max_frame_bytes:
+        raise OversizedFrameError(
+            f"encoded {type(message).__name__} frame of {1 + len(body)} bytes "
+            f"exceeds the {max_frame_bytes}-byte cap"
+        )
     return _FRAME_HEADER.pack(1 + len(body), version) + body
 
 

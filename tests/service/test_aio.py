@@ -212,6 +212,33 @@ class TestCompatPath:
         kinds = [reply["kind"] for reply in replies]
         assert kinds == ["query-result"] + ["stats-result", "snapshot-result"] * 3
 
+    def test_pipelined_cache_hit_cannot_overtake_miss(self, graph, service):
+        # Two pipelined legacy requests in ONE read batch, where the first
+        # misses the cache (goes to a worker) and the second hits it: the
+        # hit's synchronous fast path must not flush its reply ahead of the
+        # miss, or a positional client silently mismatches every answer.
+        vertices = sorted(graph.vertices())
+        hot = QueryRequest(tuple(vertices[:4]), tuple(vertices[40:44]))
+        cold = QueryRequest(
+            tuple(vertices[:4]), tuple(vertices[50:54]), use_cache=False
+        )
+        cold_pairs = reachable_pairs(graph, vertices[:4], vertices[50:54])
+        hot_pairs = reachable_pairs(graph, vertices[:4], vertices[40:44])
+        assert cold_pairs != hot_pairs  # else a swap would be invisible
+        with DSRAsyncServer(service) as server:
+            _compat_roundtrip(server.address, [encode(hot)])  # prime the cache
+            with socket.create_connection(server.address, timeout=10.0) as raw:
+                batch = "".join(
+                    json.dumps(encode(request)) + "\n" for request in (cold, hot)
+                )
+                raw.sendall(batch.encode("utf-8"))
+                stream = raw.makefile("r", encoding="utf-8", newline="\n")
+                cold_reply, hot_reply = (
+                    json.loads(stream.readline()) for _ in range(2)
+                )
+        assert {tuple(pair) for pair in cold_reply["pairs"]} == cold_pairs
+        assert {tuple(pair) for pair in hot_reply["pairs"]} == hot_pairs
+
 
 class TestFramingErrors:
     def test_oversized_binary_frame_errors_and_closes(self, service):
@@ -243,6 +270,32 @@ class TestFramingErrors:
                     return  # peer reset before the error flushed: also closed
                 assert reply["kind"] == "error"
                 assert reply["error"] == "OversizedFrameError"
+
+    def test_oversized_reply_typed_error_connection_lives(self, graph, service):
+        # A reply bigger than the frame cap must come back as a typed error
+        # on the matching request id — not as an uncapped frame the client's
+        # reader rejects, killing every pending request on the connection.
+        vertices = sorted(graph.vertices())
+
+        async def drive(host, port):
+            async with DSRAsyncClient(host, port) as client:
+                big = await client.query(
+                    vertices[:40], vertices[60:160], use_cache=False
+                )
+                small = await client.query(
+                    vertices[:1], vertices[50:51], use_cache=False
+                )
+                return big, small
+
+        with DSRAsyncServer(service, max_frame_bytes=2048) as server:
+            big, small = asyncio.run(drive(*server.address))
+        assert isinstance(big, ErrorResponse)
+        assert big.error == "OversizedReplyError"
+        # The connection survived and still serves fitting replies.
+        assert not isinstance(small, ErrorResponse)
+        assert small.pair_set == reachable_pairs(
+            graph, vertices[:1], vertices[50:51]
+        )
 
     def test_response_message_as_request_rejected_connection_lives(self, service):
         async def drive(host, port):

@@ -326,6 +326,18 @@ class TestBinaryFraming:
         with pytest.raises(ProtocolError, match="version"):
             pack_frame(StatsRequest(), version=BINARY_FRAMING_MIN_VERSION - 1)
 
+    def test_pack_frame_sender_side_cap(self):
+        # Senders can enforce the receiver's cap before the frame hits the
+        # wire, so an oversized reply becomes a typed error instead of a
+        # frame the peer is guaranteed to reject.
+        message = QueryResponse(pairs=tuple((i, i + 1) for i in range(64)))
+        frame = pack_frame(message)
+        # The cap covers the version byte + body (len - u32 prefix):
+        # exactly at the cap still packs, one byte under it raises.
+        assert pack_frame(message, max_frame_bytes=len(frame) - 4) == frame
+        with pytest.raises(OversizedFrameError, match="exceeds"):
+            pack_frame(message, max_frame_bytes=len(frame) - 5)
+
     def test_frame_with_old_version_byte_rejected(self):
         import struct
 
