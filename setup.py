@@ -13,7 +13,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-dsr",
-    version="1.7.0",
+    version="1.8.0",
     description=(
         "Reproduction of 'Distributed Set Reachability' (SIGMOD 2016): "
         "DSR index, one-round query protocol, incremental maintenance, an "

@@ -64,6 +64,14 @@ class ReachQuery:
         :class:`~repro.fleet.ReplicaFleet` can learn per-tenant query classes
         and keep routing stable for each of them.  Single-engine backends
         ignore it.
+    deadline_ms:
+        Optional end-to-end budget in milliseconds.  The clock starts at
+        admission (service submit / direct engine call); once it runs out
+        the query fails with a typed
+        :class:`~repro.resilience.DeadlineExceededError` instead of
+        queueing, retrying or waiting on a wedged worker indefinitely.
+        ``None`` (the default) means no deadline.  The answer is never
+        affected — a deadlined query either completes exactly or errors.
     """
 
     sources: Tuple[int, ...]
@@ -74,6 +82,7 @@ class ReachQuery:
     representation: str = "auto"
     trace: bool = False
     tenant: Optional[str] = None
+    deadline_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sources", tuple(self.sources))
@@ -101,6 +110,15 @@ class ReachQuery:
         if self.tenant is not None and not isinstance(self.tenant, str):
             raise QueryError(
                 f"tenant must be a string or None, got {self.tenant!r}"
+            )
+        if self.deadline_ms is not None and (
+            not isinstance(self.deadline_ms, (int, float))
+            or isinstance(self.deadline_ms, bool)
+            or self.deadline_ms <= 0
+        ):
+            raise QueryError(
+                f"deadline_ms must be a positive number or None, "
+                f"got {self.deadline_ms!r}"
             )
 
     # ------------------------------------------------------------------ #
@@ -135,6 +153,7 @@ class ReachQuery:
             "representation": self.representation,
             "trace": self.trace,
             "tenant": self.tenant,
+            "deadline_ms": self.deadline_ms,
         }
 
     @classmethod

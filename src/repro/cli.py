@@ -188,6 +188,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="executor=tcp only: comma-separated external worker hosts "
         "(started with `repro-dsr worker-host`); rank r maps to host r %% N",
     )
+    serve.add_argument(
+        "--health-interval", type=float, default=None, metavar="SECONDS",
+        help="probe fleet replicas / tcp worker hosts every SECONDS behind "
+        "per-target circuit breakers (default: off; see docs/RESILIENCE.md)",
+    )
     _add_common_arguments(serve)
 
     worker_host = subparsers.add_parser(
@@ -411,7 +416,13 @@ def _command_serve(args: argparse.Namespace) -> int:
         cache_capacity=args.cache_capacity,
         cache_ttl_seconds=args.cache_ttl,
         enable_cache=not args.no_cache,
+        health_probe_interval_seconds=args.health_interval,
     )
+    if service.health is not None:
+        print(
+            f"health: probing {len(service.health.target_names())} target(s) "
+            f"every {args.health_interval:g}s (circuit breakers + auto eject)"
+        )
     try:
         if args.self_test:
             return _serve_self_test(graph, service, seed=args.seed)
@@ -440,6 +451,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             finally:
                 server.stop_from_thread()
             print(format_table([_stats_row(service)], title="serving metrics"))
+            _print_health(service)
             return 0
         server = DSRSocketServer(
             service, host=args.host, port=args.port, max_requests=args.max_requests
@@ -456,9 +468,28 @@ def _command_serve(args: argparse.Namespace) -> int:
             server.stop()
         print(f"served {server.requests_served} requests")
         print(format_table([_stats_row(service)], title="serving metrics"))
+        _print_health(service)
         return 0
     finally:
         service.close()
+
+
+def _print_health(service: DSRService) -> None:
+    """Print the supervisor's per-target breaker table (when enabled)."""
+    if service.health is None:
+        return
+    rows = [
+        {
+            "target": name,
+            "state": target["state"],
+            "ejected": target["ejected"],
+            "fails": target["consecutive_failures"],
+            "opens": target["opens"],
+        }
+        for name, target in sorted(service.health.stats()["targets"].items())
+    ]
+    if rows:
+        print(format_table(rows, title="health"))
 
 
 def _stats_row(service: DSRService) -> dict:

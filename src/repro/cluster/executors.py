@@ -50,6 +50,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.obs import runtime as obs_runtime
+from repro.resilience.failpoints import failpoint
 
 #: Names accepted by :func:`make_executor` (and ``DSRConfig.executor``).
 #: ``tcp`` (worker hosts over sockets) lives in :mod:`repro.cluster.tcp`.
@@ -552,6 +553,7 @@ class ProcessExecutor(ExecutorBackend):
         process, conn = self._workers[rank]
         with self._worker_locks[rank]:
             try:
+                failpoint("executor.dispatch", rank=rank, kind=message[0])
                 conn.send(message)
                 reply = conn.recv()
             except (EOFError, OSError):

@@ -42,6 +42,7 @@ import weakref
 from typing import Dict, Optional, Tuple
 
 from repro.obs.runtime import global_registry
+from repro.resilience.failpoints import failpoint
 
 try:  # pragma: no cover - import guarded for exotic platforms
     from multiprocessing import shared_memory
@@ -72,6 +73,7 @@ class AttachedSegment:
     def __init__(self, name: str) -> None:
         if shared_memory is None:  # pragma: no cover - guarded by callers
             raise RuntimeError("shared memory is not available on this platform")
+        failpoint("shm.attach", name=name)
         try:
             shm = shared_memory.SharedMemory(name=name, track=False)
         except TypeError:
@@ -219,6 +221,7 @@ def attach(name: str) -> AttachedSegment:
 
 def _destroy(segment: "shared_memory.SharedMemory") -> None:
     """Close and unlink one owned segment, tolerating partial failure."""
+    failpoint("shm.unlink", name=segment.name)
     try:
         segment.close()
     except BufferError:  # pragma: no cover - view still exported

@@ -76,6 +76,9 @@ from repro.cluster.executors import (
     _resolve_task,
 )
 from repro.obs import runtime as obs_runtime
+from repro.resilience.backoff import BackoffPolicy
+from repro.resilience.deadline import current_deadline, deadline_scope
+from repro.resilience.failpoints import failpoint
 
 _LENGTH = struct.Struct(">Q")
 
@@ -352,11 +355,19 @@ class TcpExecutor(ExecutorBackend):
         connect_timeout: float = 5.0,
         reconnect_attempts: int = 20,
         reconnect_backoff_seconds: float = 0.05,
+        reconnect_backoff_cap_seconds: float = 1.0,
     ) -> None:
         self._task_modules = tuple(task_modules)
         self._connect_timeout = connect_timeout
         self._reconnect_attempts = reconnect_attempts
         self._reconnect_backoff_seconds = reconnect_backoff_seconds
+        #: Reconnect sleeps come from the shared capped-exponential policy —
+        #: the old ``backoff * attempt`` linear schedule retried a dead peer
+        #: with no ceiling and no jitter (synchronised stampedes).
+        self._backoff = BackoffPolicy(
+            base_seconds=reconnect_backoff_seconds,
+            cap_seconds=max(reconnect_backoff_cap_seconds, reconnect_backoff_seconds),
+        )
         #: Parsed external host list, or None for a managed local fleet.
         self._external: Optional[List[Tuple[str, int]]] = None
         if worker_hosts is not None:
@@ -488,8 +499,17 @@ class TcpExecutor(ExecutorBackend):
 
     # -- transport ------------------------------------------------------- #
     def _reconnect_locked(self, rank: int, message: Tuple) -> Any:
-        """Reconnect ``rank`` (respawning a managed host if its process
-        died), replay its cached hydrations, retry ``message`` once."""
+        """Reconnect ``rank`` (respawning a managed host whenever its
+        process is dead), replay its cached hydrations, retry ``message``
+        once per attempt.
+
+        The dead-process check runs *inside* the attempt loop: a managed
+        host killed again mid-replay (the crash-during-hydration chaos
+        case) gets a fresh substitute on the next attempt instead of the
+        loop reconnecting forever to a corpse's address.  Sleeps come from
+        the capped-exponential-jitter policy, and an active query deadline
+        bounds both the sleeps and the replayed RPCs.
+        """
         with self._lifecycle:
             if self._closed:
                 raise WorkerTransportError(f"worker {rank} died") from None
@@ -499,30 +519,48 @@ class TcpExecutor(ExecutorBackend):
                     old.close()
                 except OSError:
                     pass
-            process = self._managed.get(rank)
-            if process is not None and not process.is_alive():
-                process.join(timeout=0.5)
-                self._spawn_host(rank)
-            replay = sorted(self._hydration_cache.get(rank, {}).items())
+        deadline = current_deadline()
         last_error: Optional[BaseException] = None
         for attempt in range(self._reconnect_attempts):
             if attempt:
-                time.sleep(self._reconnect_backoff_seconds * attempt)
+                if deadline is not None and deadline.expired:
+                    raise deadline.exceeded("reconnect") from last_error
+                time.sleep(self._backoff.delay(attempt))
+            with self._lifecycle:
+                if self._closed:
+                    raise WorkerTransportError(f"worker {rank} died") from None
+                try:
+                    process = self._managed.get(rank)
+                    if process is not None and not process.is_alive():
+                        process.join(timeout=0.5)
+                        self._spawn_host(rank)
+                except (EOFError, OSError, ConnectionError, WorkerTransportError) as exc:
+                    last_error = exc
+                    continue
+                # Snapshot per attempt: a substitute host needs every epoch
+                # hydrated so far, including one cached mid-crash.
+                replay = sorted(self._hydration_cache.get(rank, {}).items())
             try:
                 sock = self._connect(rank)
+                if deadline is not None:
+                    sock.settimeout(max(deadline.remaining_seconds(), 0.001))
                 for _, hydrate_message in replay:
+                    failpoint("tcp.hydrate.replay", rank=rank)
                     _send_obj(sock, hydrate_message)
                     _recv_obj(sock)
                 _send_obj(sock, message)
                 reply = _recv_obj(sock)
+                if deadline is not None:
+                    sock.settimeout(None)
+            except socket.timeout as exc:
+                self._drop_socket(rank)
+                if deadline is not None:
+                    raise deadline.exceeded("reconnect") from exc
+                last_error = exc
+                continue
             except (EOFError, OSError, ConnectionError) as exc:
                 last_error = exc
-                stale = self._sockets.pop(rank, None)
-                if stale is not None:
-                    try:
-                        stale.close()
-                    except OSError:
-                        pass
+                self._drop_socket(rank)
                 continue
             registry = obs_runtime.global_registry()
             if registry.enabled:
@@ -532,6 +570,17 @@ class TcpExecutor(ExecutorBackend):
             f"worker {rank} at {self._addresses.get(rank)} unreachable after "
             f"{self._reconnect_attempts} attempts: {last_error}"
         ) from last_error
+
+    def _drop_socket(self, rank: int) -> None:
+        """Forget and close ``rank``'s socket (its stream position is
+        unknowable after a mid-frame failure)."""
+        with self._lifecycle:
+            stale = self._sockets.pop(rank, None)
+        if stale is not None:
+            try:
+                stale.close()
+            except OSError:
+                pass
 
     def _set_inflight(self, delta: int) -> None:
         registry = obs_runtime.global_registry()
@@ -543,14 +592,35 @@ class TcpExecutor(ExecutorBackend):
 
     def _call_worker(self, rank: int, message: Tuple) -> Tuple[Any, float]:
         self._set_inflight(1)
+        deadline = current_deadline()
         try:
             with self._locks[rank]:
                 sock = self._sockets.get(rank)
                 try:
                     if sock is None:
                         raise ConnectionError("not connected")
+                    failpoint("tcp.call", rank=rank, kind=message[0])
+                    if deadline is not None:
+                        remaining = deadline.remaining_seconds()
+                        if remaining <= 0:
+                            raise deadline.exceeded("rpc")
+                        # The remaining budget becomes this call's socket
+                        # timeout: a wedged host yields a typed deadline
+                        # error, not an indefinite recv.
+                        sock.settimeout(remaining)
                     _send_obj(sock, message)
+                    failpoint("tcp.recv", rank=rank, kind=message[0])
                     reply = _recv_obj(sock)
+                    if deadline is not None:
+                        sock.settimeout(None)
+                # socket.timeout subclasses OSError: match it before the
+                # reconnect clause, and drop the socket — after a mid-frame
+                # timeout its stream position is unknowable.
+                except socket.timeout as exc:
+                    self._drop_socket(rank)
+                    if deadline is None:  # pragma: no cover - no timeout armed
+                        raise
+                    raise deadline.exceeded("rpc") from exc
                 except (EOFError, OSError, ConnectionError):
                     reply = self._reconnect_locked(rank, message)
         finally:
@@ -565,14 +635,21 @@ class TcpExecutor(ExecutorBackend):
         task = str(message[2]) if len(message) > 2 else "?"
         raise ShardTaskError(rank, task, reply[2])
 
+    def _scoped_call(self, deadline, rank: int, message: Tuple) -> Tuple[Any, float]:
+        # Dispatch-pool threads do not inherit the submitting thread's
+        # deadline scope (it is a threading.local); re-enter it explicitly.
+        with deadline_scope(deadline):
+            return self._call_worker(rank, message)
+
     def _fan_out(self, messages: Mapping[int, Tuple]) -> Dict[int, Tuple[Any, float]]:
         self._ensure_started()
         if len(messages) == 1:
             ((rank, message),) = messages.items()
             return {rank: self._call_worker(rank, message)}
         assert self._dispatch is not None
+        deadline = current_deadline()
         futures = {
-            rank: self._dispatch.submit(self._call_worker, rank, message)
+            rank: self._dispatch.submit(self._scoped_call, deadline, rank, message)
             for rank, message in messages.items()
         }
         results: Dict[int, Tuple[Any, float]] = {}
@@ -623,6 +700,7 @@ class TcpExecutor(ExecutorBackend):
         retire_below: Optional[int] = None,
     ) -> None:
         self._ensure_started()
+        failpoint("tcp.hydrate", rank=rank, epoch=epoch)
         message = ("hydrate", rank, epoch, loader, blob, retire_below)
         self._remember_hydration(rank, epoch, message, retire_below)
         self._call_worker(rank, message)
@@ -634,6 +712,8 @@ class TcpExecutor(ExecutorBackend):
         loader: str,
         retire_below: Optional[int] = None,
     ) -> None:
+        for rank in blobs:
+            failpoint("tcp.hydrate", rank=rank, epoch=epoch)
         messages = {
             rank: ("hydrate", rank, epoch, loader, blob, retire_below)
             for rank, blob in blobs.items()

@@ -71,6 +71,7 @@ from repro.core.packed_steps import Group, local_step_groups, remote_step_groups
 from repro.obs.runtime import global_registry
 from repro.obs.trace import QueryTrace
 from repro.reachability.packed import iter_bits, row_from_bytes, row_to_bytes
+from repro.resilience.deadline import check_deadline
 
 #: How many times a sharded query re-captures the epoch before falling back.
 _MAX_STALE_RETRIES = 2
@@ -227,6 +228,9 @@ class DistributedQueryExecutor:
                     use_shards = False
                     continue
                 attempts -= 1
+                # A deadlined query stops retrying the moment its budget is
+                # gone — the retry would recompute an answer nobody awaits.
+                check_deadline("stale_retry")
 
         # Fold the exact per-query counters into the cluster totals.
         self.cluster.absorb(stats, net.stats)

@@ -44,6 +44,7 @@ from repro.fleet.tuner import FleetTuner
 from repro.graph.digraph import DiGraph
 from repro.obs.runtime import global_registry
 from repro.partition.partition import GraphPartitioning, make_partitioning
+from repro.resilience.supervisor import HealthSupervisor
 
 #: Default heterogeneous composition: a shared-frontier sweep engine for the
 #: large-root-set end, interval pruning for the middle, and a materialised
@@ -92,6 +93,10 @@ class ReplicaFleet:
         self._retune_thread: Optional[threading.Thread] = None
         self._retune_spawn_lock = threading.Lock()
         self._listeners_attached = False
+        #: Health supervisor ejecting unhealthy replicas from routing
+        #: (``None`` until :meth:`enable_health`).
+        self.health: Optional[HealthSupervisor] = None
+        self._owns_health = False
         if self.is_built:
             self._attach_version_listeners()
         registry = global_registry()
@@ -236,6 +241,8 @@ class ReplicaFleet:
         return self._version
 
     def close(self) -> None:
+        if self.health is not None and self._owns_health:
+            self.health.stop()
         for replica in self.replicas:
             replica.wait_for_rebuild(timeout=5.0)
             replica.engine.close()
@@ -358,6 +365,50 @@ class ReplicaFleet:
             pass
 
     # ------------------------------------------------------------------ #
+    # health
+    # ------------------------------------------------------------------ #
+    def enable_health(
+        self,
+        supervisor: Optional[HealthSupervisor] = None,
+        probe_interval_seconds: float = 1.0,
+        failure_threshold: int = 3,
+        start: bool = True,
+    ) -> HealthSupervisor:
+        """Register every replica with a health supervisor.
+
+        Each replica becomes a ``replica:{id}`` target probed via
+        :meth:`FleetReplica.probe`; when its breaker opens, the replica is
+        ejected from the router (zero routed queries until recovery), and a
+        later successful probe re-admits it automatically.
+
+        Pass an existing ``supervisor`` to share one probe loop (the
+        service does this to co-supervise worker hosts); the fleet then
+        does *not* own its lifecycle.  Otherwise a new supervisor is
+        created (and started when ``start``), stopped again by
+        :meth:`close`.
+        """
+        if self.health is not None:
+            return self.health
+        owned = supervisor is None
+        if supervisor is None:
+            supervisor = HealthSupervisor(
+                probe_interval_seconds=probe_interval_seconds,
+                failure_threshold=failure_threshold,
+            )
+        for replica in self.replicas:
+            supervisor.add_target(
+                f"replica:{replica.replica_id}",
+                probe=replica.probe,
+                on_eject=lambda rid=replica.replica_id: self.router.eject(rid),
+                on_admit=lambda rid=replica.replica_id: self.router.readmit(rid),
+            )
+        self.health = supervisor
+        self._owns_health = owned
+        if owned and start:
+            supervisor.start()
+        return supervisor
+
+    # ------------------------------------------------------------------ #
     # service integration & introspection
     # ------------------------------------------------------------------ #
     def configure_planners(self, max_batch_pairs: int) -> None:
@@ -376,6 +427,7 @@ class ReplicaFleet:
         last = self.tuner.last_result
         return {
             "replicas": replicas,
+            "ejected": list(self.router.ejected_ids()),
             "version": self._version,
             "routes": self._routes,
             "routing_table_size": len(self.router.routing_table()),

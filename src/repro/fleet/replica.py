@@ -20,6 +20,7 @@ from typing import Any, Dict, Optional
 
 from repro.core.engine import DSREngine
 from repro.obs.runtime import global_registry
+from repro.resilience.failpoints import failpoint
 from repro.service.planner import QueryPlanner
 
 
@@ -86,8 +87,9 @@ class FleetReplica:
     def _do_rebuild(self, strategy: str) -> None:
         registry = global_registry()
         try:
+            failpoint("fleet.rebuild", replica=self.replica_id, strategy=strategy)
             self.engine.rebuild_local_strategy(strategy)
-        except BaseException as exc:  # pragma: no cover - defensive
+        except BaseException as exc:
             self.rebuild_error = exc
             if registry.enabled:
                 registry.inc(
@@ -112,6 +114,19 @@ class FleetReplica:
             return True
         thread.join(timeout)
         return not thread.is_alive()
+
+    # ------------------------------------------------------------------ #
+    # health
+    # ------------------------------------------------------------------ #
+    def probe(self) -> bool:
+        """Health-probe predicate: built index and no failed rebuild.
+
+        The :class:`~repro.resilience.HealthSupervisor` calls this per
+        round; a replica whose last strategy rebuild blew up stays
+        unhealthy (and ejected from routing) until a later rebuild clears
+        ``rebuild_error``.
+        """
+        return self.rebuild_error is None and self.engine.is_built
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -213,6 +213,8 @@ class QueryRouter:
         self._route_counts: Dict[int, int] = {
             replica.replica_id: 0 for replica in self.replicas
         }
+        #: Replica ids the health supervisor has ejected from routing.
+        self._ejected: set = set()
 
     # ------------------------------------------------------------------ #
     # routing
@@ -234,12 +236,25 @@ class QueryRouter:
         costs = tuple(
             replica.planner.estimate_query_cost(query) for replica in self.replicas
         )
-        best_index = min(range(len(costs)), key=lambda i: (costs[i], i))
         with self._table_lock:
             pinned = self._table.get(fingerprint)
-        if pinned is not None and 0 <= pinned < len(self.replicas):
+            ejected = set(self._ejected)
+        # Health filter: an ejected replica receives zero routed queries.
+        # If *everything* is ejected, fall back to the full set — answering
+        # on a suspect replica beats answering nothing (availability over
+        # purity; the breaker keeps probing and re-admits on recovery).
+        healthy = [
+            i for i, replica in enumerate(self.replicas)
+            if replica.replica_id not in ejected
+        ]
+        if not healthy:
+            healthy = list(range(len(self.replicas)))
+        best_index = min(healthy, key=lambda i: (costs[i], i))
+        if pinned is not None and pinned in healthy:
             chosen_index, table_hit = pinned, True
         else:
+            # A pinned entry pointing at an ejected replica is bypassed:
+            # failover to the cheapest healthy replica instead.
             chosen_index, table_hit = best_index, False
         replica = self.replicas[chosen_index]
         decision = RouteDecision(
@@ -262,6 +277,30 @@ class QueryRouter:
                 )
                 registry.observe("dsr_fleet_route_cost_gap", decision.cost_gap)
         return decision
+
+    # ------------------------------------------------------------------ #
+    # health interface
+    # ------------------------------------------------------------------ #
+    def eject(self, replica_id: int) -> None:
+        """Remove a replica from routing (supervisor: breaker opened)."""
+        with self._table_lock:
+            if replica_id in self._ejected:
+                return
+            self._ejected.add(replica_id)
+        registry = global_registry()
+        if registry.enabled:
+            registry.inc(
+                "dsr_replica_ejections_total", replica=str(replica_id)
+            )
+
+    def readmit(self, replica_id: int) -> None:
+        """Return an ejected replica to routing (breaker closed again)."""
+        with self._table_lock:
+            self._ejected.discard(replica_id)
+
+    def ejected_ids(self) -> Tuple[int, ...]:
+        with self._table_lock:
+            return tuple(sorted(self._ejected))
 
     # ------------------------------------------------------------------ #
     # tuner interface

@@ -1,0 +1,74 @@
+"""Failure-domain supervision for the DSR serving stack.
+
+Contract: everything that makes the distributed surface *survivable* lives
+here, in one package the rest of the codebase imports from —
+
+* :mod:`repro.resilience.errors` — the typed failure vocabulary
+  (:class:`DeadlineExceededError`);
+* :mod:`repro.resilience.backoff` — the shared capped-exponential-with-jitter
+  :class:`BackoffPolicy` every retry loop draws its sleeps from (replacing
+  ad-hoc ``backoff * attempt`` linear schedules, whose first retry slept
+  zero seconds);
+* :mod:`repro.resilience.deadline` — end-to-end query deadlines: a
+  :class:`Deadline` captured once at admission and consulted between
+  batches, between stale-epoch retries and inside per-call RPC socket
+  timeouts via the :func:`deadline_scope` / :func:`current_deadline`
+  propagation pair;
+* :mod:`repro.resilience.failpoints` — named, seeded, deterministic
+  fault-injection sites (:func:`failpoint`) wired into the real failure
+  seams (TCP RPC, hydration replay, worker dispatch, shm attach/unlink,
+  replica rebuild, the service flush path), zero-cost when disabled;
+* :mod:`repro.resilience.supervisor` — per-target circuit breakers
+  (closed/open/half-open) and the :class:`HealthSupervisor` that probes
+  worker hosts and fleet replicas, ejects unhealthy replicas from routing
+  and re-admits them after a successful probe.
+
+See ``docs/RESILIENCE.md`` for the failpoint catalog, the deadline
+semantics, the breaker state machine and the degraded-mode matrix.
+"""
+
+from repro.resilience.backoff import BackoffPolicy
+from repro.resilience.deadline import (
+    Deadline,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+from repro.resilience.errors import DeadlineExceededError
+from repro.resilience.failpoints import (
+    FailPointError,
+    FailPointRegistry,
+    FailPointSpec,
+    failpoint,
+    global_failpoints,
+    set_global_failpoints,
+    use_failpoints,
+)
+from repro.resilience.supervisor import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    HealthSupervisor,
+)
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceededError",
+    "FailPointError",
+    "FailPointRegistry",
+    "FailPointSpec",
+    "HealthSupervisor",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+    "failpoint",
+    "global_failpoints",
+    "set_global_failpoints",
+    "use_failpoints",
+]

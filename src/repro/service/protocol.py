@@ -80,8 +80,9 @@ from repro.api.query import ReachQuery
 #: exposition request; version 4 adds the optional ``tenant`` label on query
 #: messages (the fleet router's workload fingerprint); version 5 adds the
 #: binary length-prefixed framing capability (with per-frame request ids)
-#: spoken by the async front door.
-PROTOCOL_VERSION = 5
+#: spoken by the async front door; version 6 adds the optional
+#: ``deadline_ms`` end-to-end budget on query messages.
+PROTOCOL_VERSION = 6
 
 #: Oldest peer version this side still understands.  Version-2 and -3 peers
 #: simply never see the later additions (all of which are optional fields or
@@ -149,6 +150,7 @@ class QueryRequest(ReachQuery):
             representation=query.representation,
             trace=query.trace,
             tenant=query.tenant,
+            deadline_ms=query.deadline_ms,
         )
 
 
@@ -318,7 +320,7 @@ _KIND_MIN_VERSION = {
 #: :func:`encode` strips them when targeting an older peer; :func:`decode`
 #: tolerates their absence (they are all optional with defaults).
 _VERSION_GATED_FIELDS = {
-    "query": {"trace": 3, "tenant": 4},
+    "query": {"trace": 3, "tenant": 4, "deadline_ms": 6},
     "query-result": {"trace": 3},
 }
 

@@ -35,6 +35,7 @@ speaking the newline-delimited JSON framing of
 
 from __future__ import annotations
 
+import logging
 import math
 import queue
 import socket
@@ -72,6 +73,27 @@ from repro.service.protocol import (
     recv_message_versioned,
     send_message,
 )
+from repro.resilience.deadline import Deadline, check_deadline, deadline_scope
+from repro.resilience.failpoints import failpoint
+from repro.resilience.supervisor import HealthSupervisor
+
+logger = logging.getLogger(__name__)
+
+
+def _count_stuck_threads(threads, where: str) -> int:
+    """Warn about and count threads that survived their shutdown join."""
+    stuck = [thread.name for thread in threads if thread.is_alive()]
+    if stuck:
+        logger.warning(
+            "%s: %d thread(s) still alive after join timeout: %s",
+            where, len(stuck), ", ".join(stuck),
+        )
+        registry = global_registry()
+        if registry.enabled:
+            registry.inc(
+                "dsr_shutdown_stuck_threads", float(len(stuck)), where=where
+            )
+    return len(stuck)
 
 
 class ServiceOverloadedError(RuntimeError):
@@ -203,6 +225,7 @@ class DSRService:
         cache_ttl_seconds: Optional[float] = None,
         max_batch_pairs: int = 4096,
         enable_cache: bool = True,
+        health_probe_interval_seconds: Optional[float] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("the service needs at least one worker")
@@ -266,13 +289,49 @@ class DSRService:
             )
             worker.start()
             self._workers.append(worker)
+        #: Optional self-healing loop: heartbeat probes of fleet replicas
+        #: and TCP worker hosts behind per-target circuit breakers.
+        self.health: Optional[HealthSupervisor] = None
+        if health_probe_interval_seconds is not None:
+            self._enable_health(health_probe_interval_seconds)
+
+    def _enable_health(self, probe_interval_seconds: float) -> None:
+        supervisor = HealthSupervisor(
+            probe_interval_seconds=probe_interval_seconds
+        )
+        if self._fleet is not None:
+            # Fleet replicas: probe rebuild state, eject from / re-admit to
+            # the router on breaker edges.
+            self._fleet.enable_health(supervisor=supervisor, start=False)
+        executor = getattr(self.engine.cluster, "executor", None)
+        ping = getattr(executor, "ping", None)
+        if callable(ping):
+            # TCP worker hosts: a ping round-trip per rank.  ping() itself
+            # reconnects/respawns a dead managed host, so a probe doubles as
+            # the recovery trigger.
+            for rank in range(getattr(executor, "num_workers", 0) or 0):
+                supervisor.add_target(
+                    f"worker:{rank}",
+                    probe=lambda r=rank: ping(r),
+                )
+        if supervisor.target_names():
+            self.health = supervisor.start()
 
     # ------------------------------------------------------------------ #
     # asynchronous entry point
     # ------------------------------------------------------------------ #
     def submit(self, request) -> "Future":
-        """Enqueue a request; the future resolves to its response message."""
+        """Enqueue a request; the future resolves to its response message.
+
+        A query's ``deadline_ms`` clock starts *here*, at admission — queue
+        wait counts against the budget, and a request whose budget is
+        already gone when a worker dequeues it is shed without touching the
+        engine.
+        """
         future: Future = Future()
+        deadline = (
+            Deadline.from_query(request) if isinstance(request, ReachQuery) else None
+        )
         # The closed check and the enqueue are one atomic step with respect
         # to close(): otherwise a request slipping in between the check and
         # the worker-shutdown sentinels would never resolve.
@@ -280,7 +339,7 @@ class DSRService:
             if self._closed:
                 raise RuntimeError("service is closed")
             try:
-                self._queue.put_nowait((request, future))
+                self._queue.put_nowait((request, future, deadline))
             except queue.Full:
                 self.metrics.increment("rejected")
                 raise ServiceOverloadedError(
@@ -297,39 +356,61 @@ class DSRService:
             item = self._queue.get()
             if item is None:
                 break
-            request, future = item
+            request, future, deadline = item
             if not future.set_running_or_notify_cancel():
                 continue
+            if deadline is not None and deadline.expired:
+                # Shed before execution: the budget was spent in the queue.
+                self.metrics.increment("errors")
+                exc = deadline.exceeded("queue")
+                future.set_result(
+                    ErrorResponse(error=type(exc).__name__, message=str(exc))
+                )
+                continue
             try:
-                future.set_result(self.handle(request))
+                future.set_result(self.handle(request, deadline=deadline))
             except BaseException as exc:  # pragma: no cover - handle() catches
                 future.set_exception(exc)
 
     # ------------------------------------------------------------------ #
     # synchronous core
     # ------------------------------------------------------------------ #
-    def handle(self, request):
-        """Execute one protocol request and return its response message."""
+    def handle(self, request, deadline: Optional[Deadline] = None):
+        """Execute one protocol request and return its response message.
+
+        ``deadline`` is the budget captured at admission (:meth:`submit`);
+        direct synchronous callers get one started here instead.  The
+        deadline is scoped to this thread for the whole execution, so the
+        planner's batch loops and the executors below check it without
+        threading it through every signature.
+        """
         start = time.perf_counter()
+        if deadline is None and isinstance(request, ReachQuery):
+            deadline = Deadline.from_query(request)
         try:
-            # Wire-form QueryRequests and plain API ReachQuerys are the same
-            # message; in-process callers may submit either.
-            if isinstance(request, ReachQuery):
-                return self._handle_query(request, start)
-            if isinstance(request, UpdateRequest):
-                return self._handle_update(request, start)
-            if isinstance(request, StatsRequest):
-                self.metrics.increment("admin")
-                return StatsResponse(stats=self.stats())
-            if isinstance(request, MetricsRequest):
-                self.metrics.increment("admin")
-                return MetricsResponse(text=self.metrics_text())
-            if isinstance(request, SnapshotRequest):
-                self.metrics.increment("admin")
-                with self._engine_lock:
-                    snapshot = self.engine.cluster.snapshot()
-                return SnapshotResponse(snapshot=snapshot)
-            raise ProtocolError(f"not a request message: {type(request).__name__}")
+            with deadline_scope(deadline):
+                if deadline is not None:
+                    deadline.check("admission")
+                # Wire-form QueryRequests and plain API ReachQuerys are the
+                # same message; in-process callers may submit either.
+                if isinstance(request, ReachQuery):
+                    return self._handle_query(request, start)
+                if isinstance(request, UpdateRequest):
+                    return self._handle_update(request, start)
+                if isinstance(request, StatsRequest):
+                    self.metrics.increment("admin")
+                    return StatsResponse(stats=self.stats())
+                if isinstance(request, MetricsRequest):
+                    self.metrics.increment("admin")
+                    return MetricsResponse(text=self.metrics_text())
+                if isinstance(request, SnapshotRequest):
+                    self.metrics.increment("admin")
+                    with self._engine_lock:
+                        snapshot = self.engine.cluster.snapshot()
+                    return SnapshotResponse(snapshot=snapshot)
+                raise ProtocolError(
+                    f"not a request message: {type(request).__name__}"
+                )
         except Exception as exc:
             self.metrics.increment("errors")
             return ErrorResponse(error=type(exc).__name__, message=str(exc))
@@ -507,6 +588,10 @@ class DSRService:
         messages = byte_count = 0
         multi_batch = plan.num_batches > 1
         for index, (batch_sources, batch_targets) in enumerate(plan.batches):
+            # Deadline checkpoint between engine calls: a multi-batch plan
+            # stops (typed error) the moment its budget runs out instead of
+            # finishing batches nobody is waiting for.
+            check_deadline("batch")
             result = engine.run(
                 ReachQuery(
                     batch_sources,
@@ -555,6 +640,8 @@ class DSRService:
         if planner is None:
             planner = self.planner
         for attempt in range(3):
+            if attempt:
+                check_deadline("epoch_retry")
             if trace is not None and attempt:
                 trace.event("plan_epoch_retry", attempt=attempt)
             results, epochs, messages, byte_count = self._run_plan_batches(
@@ -605,6 +692,7 @@ class DSRService:
                 result = self.engine.delete_vertex(request.u)
                 structural, affected = result.structural_change, tuple(result.affected_partitions)
             else:  # "flush"
+                failpoint("service.flush")
                 flushed = self.engine.flush_updates()
                 affected = tuple(flushed.refreshed_partitions)
         latency = time.perf_counter() - start
@@ -659,6 +747,8 @@ class DSRService:
             )
             combined["cache"] = merged
             combined["cache_entries"] = entries
+        if self.health is not None:
+            combined["health"] = self.health.stats()
         if self._fleet is not None:
             # Per-replica strategy/epoch/routes, routing-table size, workload
             # classes and the last retune round — the fleet control plane.
@@ -706,8 +796,13 @@ class DSRService:
             self._closed = True
             for _ in self._workers:
                 self._queue.put(None)
+        if self.health is not None:
+            self.health.stop()
         for worker in self._workers:
             worker.join(timeout=5.0)
+        # A worker wedged past its join timeout (e.g. stuck on a dead peer)
+        # must be visible, not silently abandoned.
+        _count_stuck_threads(self._workers, "DSRService.close")
         if self._background_epochs:
             # Let an in-flight epoch build finish so nothing runs after close.
             self.engine.wait_for_maintenance(timeout=5.0)
@@ -892,6 +987,10 @@ class DSRSocketServer:
                 connection.close()
             except OSError:  # pragma: no cover - close is best-effort
                 pass
+        acceptor = self._acceptor
+        if acceptor is not None and acceptor is not threading.current_thread():
+            acceptor.join(timeout=5.0)
+            _count_stuck_threads([acceptor], "DSRSocketServer.stop")
 
     def __enter__(self) -> "DSRSocketServer":
         return self.start()
@@ -978,16 +1077,29 @@ class DSRClient:
         return self._reconnects
 
     def request(self, message):
-        """Send one request message and return the response message."""
+        """Send one request message and return the response message.
+
+        Only **idempotent** requests (queries, stats, snapshot, metrics)
+        are re-sent after a failure that may have reached the server.  An
+        :class:`UpdateRequest` that failed *after its send began* is never
+        retried — the server may have applied it, and a blind re-send would
+        risk applying the update twice.  An update whose connect failed
+        before any bytes left is still safe to retry.
+        """
+        idempotent = not isinstance(message, UpdateRequest)
         with self._lock:
             last_error: Optional[BaseException] = None
             for attempt in range(self._retries + 1):
                 if attempt:
                     time.sleep(self._retry_backoff_seconds * attempt)
+                sent = False
                 try:
                     if self._socket is None:
                         self._connect()
                         self._reconnects += 1
+                    # From here on bytes may reach the server even if we
+                    # error out mid-call.
+                    sent = True
                     send_message(self._writer, message)
                     response = recv_message(self._reader)
                 except socket.timeout as exc:
@@ -999,16 +1111,30 @@ class DSRClient:
                         f"{self._request_timeout}s"
                     ) from exc
                 except (ConnectionError, OSError) as exc:
-                    last_error = exc
                     self._drop_connection()
+                    if sent and not idempotent:
+                        raise ConnectionError(
+                            f"update request to {self._host}:{self._port} "
+                            f"failed after it may have reached the server; "
+                            f"not retrying (it could apply twice): {exc}"
+                        ) from exc
+                    last_error = exc
                     continue
                 if response is None:
                     # EOF before a reply: the server went away (restart,
-                    # max_requests shutdown) — retriable like a reset.
+                    # max_requests shutdown) — retriable like a reset, but
+                    # only for idempotent requests (the server may have
+                    # applied an update before dying).
                     last_error = ConnectionResetError(
                         "server closed the connection before replying"
                     )
                     self._drop_connection()
+                    if not idempotent:
+                        raise ConnectionError(
+                            f"update request to {self._host}:{self._port} "
+                            f"got no reply; not retrying (it could apply "
+                            f"twice): {last_error}"
+                        ) from last_error
                     continue
                 return response
             raise ConnectionError(
@@ -1024,10 +1150,12 @@ class DSRClient:
         direction: str = "auto",
         use_cache: bool = True,
         trace: bool = False,
+        deadline_ms: Optional[float] = None,
     ):
         return self.request(
             QueryRequest(
-                tuple(sources), tuple(targets), direction, use_cache, trace=trace
+                tuple(sources), tuple(targets), direction, use_cache,
+                trace=trace, deadline_ms=deadline_ms,
             )
         )
 

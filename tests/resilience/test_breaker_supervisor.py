@@ -1,0 +1,245 @@
+"""Circuit-breaker state machine + HealthSupervisor probe/eject/admit tests.
+
+Every test drives the breaker's backoff window with an injected fake clock —
+no sleeping through wall time, fully deterministic transitions.
+"""
+
+import pytest
+
+from repro.obs import use_registry
+from repro.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BackoffPolicy,
+    CircuitBreaker,
+    HealthSupervisor,
+)
+
+FAST = BackoffPolicy(base_seconds=1.0, multiplier=2.0, cap_seconds=60.0, jitter=0.0)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("t", failure_threshold=3, backoff=FAST, clock=clock)
+        assert breaker.record_failure() == BREAKER_CLOSED
+        assert breaker.record_failure() == BREAKER_CLOSED
+        assert breaker.record_failure() == BREAKER_OPEN
+        assert breaker.is_open
+        assert breaker.open_count == 1
+
+    def test_success_resets_the_failure_streak(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("t", failure_threshold=2, backoff=FAST, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.record_failure() == BREAKER_CLOSED
+        assert breaker.consecutive_failures == 1
+
+    def test_open_suppresses_probes_until_backoff_elapses(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("t", failure_threshold=1, backoff=FAST, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow_probe()
+        assert breaker.seconds_until_probe() == pytest.approx(1.0)
+        clock.advance(1.0)
+        # Window elapsed: exactly one probe is allowed, via half-open.
+        assert breaker.allow_probe()
+        assert breaker.state == BREAKER_HALF_OPEN
+
+    def test_half_open_failure_reopens_with_longer_backoff(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("t", failure_threshold=1, backoff=FAST, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow_probe()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.open_count == 2
+        # Exponential: the second open waits base * multiplier.
+        assert breaker.seconds_until_probe() == pytest.approx(2.0)
+
+    def test_half_open_success_closes_and_resets(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker("t", failure_threshold=1, backoff=FAST, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow_probe()
+        assert breaker.record_success() == BREAKER_CLOSED
+        assert not breaker.is_open
+        assert breaker.open_count == 0
+
+    def test_transitions_and_state_are_published_as_metrics(self):
+        clock = FakeClock()
+        with use_registry() as registry:
+            breaker = CircuitBreaker(
+                "worker:0", failure_threshold=1, backoff=FAST, clock=clock
+            )
+            assert registry.gauge_value("dsr_breaker_state", target="worker:0") == 0.0
+            breaker.record_failure()
+            assert registry.gauge_value("dsr_breaker_state", target="worker:0") == 2.0
+            assert (
+                registry.counter_value(
+                    "dsr_breaker_transitions_total", target="worker:0", to="open"
+                )
+                == 1
+            )
+            clock.advance(1.0)
+            breaker.allow_probe()
+            assert registry.gauge_value("dsr_breaker_state", target="worker:0") == 1.0
+            breaker.record_success()
+            assert registry.gauge_value("dsr_breaker_state", target="worker:0") == 0.0
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("t", failure_threshold=0)
+
+
+class TestHealthSupervisor:
+    def _supervisor(self, clock, **kwargs):
+        kwargs.setdefault("failure_threshold", 2)
+        kwargs.setdefault("backoff", FAST)
+        return HealthSupervisor(probe_interval_seconds=60.0, clock=clock, **kwargs)
+
+    def test_probe_now_drives_eject_and_admit_callbacks(self):
+        clock = FakeClock()
+        supervisor = self._supervisor(clock)
+        health = {"value": False}
+        events = []
+        supervisor.add_target(
+            "replica:0",
+            probe=lambda: health["value"],
+            on_eject=lambda: events.append("eject"),
+            on_admit=lambda: events.append("admit"),
+        )
+        assert supervisor.probe_now() == {"replica:0": False}
+        supervisor.probe_now()
+        # Threshold reached: breaker open, exactly one eject callback.
+        assert events == ["eject"]
+        # Still open, inside backoff: target not touched, stays ejected.
+        assert supervisor.probe_now() == {"replica:0": False}
+        assert events == ["eject"]
+        # Recovery: advance past the window, probe goes healthy → admit.
+        health["value"] = True
+        clock.advance(FAST.delay(1))
+        assert supervisor.probe_now() == {"replica:0": True}
+        assert events == ["eject", "admit"]
+        assert supervisor.is_healthy("replica:0")
+
+    def test_probe_exceptions_count_as_failures(self):
+        clock = FakeClock()
+        supervisor = self._supervisor(clock, failure_threshold=1)
+
+        def explode():
+            raise RuntimeError("probe blew up")
+
+        supervisor.add_target("replica:1", probe=explode)
+        assert supervisor.probe_now() == {"replica:1": False}
+        assert supervisor.breaker("replica:1").state == BREAKER_OPEN
+
+    def test_half_open_probe_failure_keeps_target_ejected(self):
+        clock = FakeClock()
+        supervisor = self._supervisor(clock, failure_threshold=1)
+        events = []
+        supervisor.add_target(
+            "replica:2",
+            probe=lambda: False,
+            on_eject=lambda: events.append("eject"),
+            on_admit=lambda: events.append("admit"),
+        )
+        supervisor.probe_now()
+        clock.advance(FAST.delay(1))
+        supervisor.probe_now()  # half-open probe fails → reopen
+        assert events == ["eject"]
+        assert supervisor.breaker("replica:2").open_count == 2
+
+    def test_inline_reports_open_a_breaker_between_probe_rounds(self):
+        clock = FakeClock()
+        supervisor = self._supervisor(clock)
+        ejected = []
+        supervisor.add_target(
+            "worker:0", probe=lambda: True, on_eject=lambda: ejected.append(True)
+        )
+        supervisor.report_failure("worker:0")
+        supervisor.report_failure("worker:0")
+        assert ejected == [True]
+        assert not supervisor.is_healthy("worker:0")
+        supervisor.report_success("worker:0")
+        assert supervisor.is_healthy("worker:0")
+        # Unknown targets are ignored (callers need no registration check).
+        supervisor.report_failure("worker:99")
+        assert supervisor.is_healthy("worker:99")
+
+    def test_duplicate_target_rejected(self):
+        supervisor = self._supervisor(FakeClock())
+        supervisor.add_target("x", probe=lambda: True)
+        with pytest.raises(ValueError, match="already supervised"):
+            supervisor.add_target("x", probe=lambda: True)
+
+    def test_probe_outcomes_counted(self):
+        clock = FakeClock()
+        with use_registry() as registry:
+            supervisor = self._supervisor(clock)
+            flag = {"value": True}
+            supervisor.add_target("w", probe=lambda: flag["value"])
+            supervisor.probe_now()
+            flag["value"] = False
+            supervisor.probe_now()
+            assert (
+                registry.counter_value(
+                    "dsr_health_probes_total", target="w", outcome="ok"
+                )
+                == 1
+            )
+            assert (
+                registry.counter_value(
+                    "dsr_health_probes_total", target="w", outcome="fail"
+                )
+                == 1
+            )
+
+    def test_stats_shape(self):
+        clock = FakeClock()
+        supervisor = self._supervisor(clock, failure_threshold=1)
+        supervisor.add_target("replica:0", probe=lambda: False)
+        supervisor.probe_now()
+        stats = supervisor.stats()
+        assert stats["running"] is False
+        row = stats["targets"]["replica:0"]
+        assert row["state"] == BREAKER_OPEN
+        assert row["ejected"] is True
+        assert row["opens"] == 1
+        assert row["next_probe_seconds"] == pytest.approx(1.0)
+
+    def test_background_loop_start_stop(self):
+        supervisor = HealthSupervisor(probe_interval_seconds=0.02)
+        hits = []
+        supervisor.add_target("t", probe=lambda: hits.append(1) or True)
+        supervisor.start()
+        assert supervisor.running
+        deadline = 5.0
+        import time as _time
+
+        start = _time.monotonic()
+        while not hits and _time.monotonic() - start < deadline:
+            _time.sleep(0.01)
+        supervisor.stop()
+        assert hits
+        assert not supervisor.running
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HealthSupervisor(probe_interval_seconds=0)

@@ -1,0 +1,178 @@
+"""Unit tests for the deterministic fault-injection registry."""
+
+import time
+
+import pytest
+
+from repro.resilience import (
+    FailPointError,
+    FailPointRegistry,
+    FailPointSpec,
+    failpoint,
+    global_failpoints,
+    use_failpoints,
+)
+
+
+class TestSpecValidation:
+    def test_defaults(self):
+        spec = FailPointSpec("tcp.call")
+        assert spec.action == "raise"
+        assert spec.count == 1
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown failpoint action"):
+            FailPointSpec("x", action="explode")
+
+    def test_unknown_raise_type_rejected(self):
+        with pytest.raises(ValueError, match="cannot raise"):
+            FailPointSpec("x", action="raise", value="KeyboardInterrupt")
+
+    def test_delay_needs_seconds(self):
+        with pytest.raises(ValueError, match="non-negative seconds"):
+            FailPointSpec("x", action="delay", value="fast")
+
+    def test_call_needs_callable(self):
+        with pytest.raises(ValueError, match="callable"):
+            FailPointSpec("x", action="call", value=3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"after": -1}, {"count": 0}, {"probability": 1.5}, {"probability": -0.1}],
+    )
+    def test_window_bounds(self, kwargs):
+        with pytest.raises(ValueError):
+            FailPointSpec("x", **kwargs)
+
+    def test_from_dict_rejects_unknown_keys_and_missing_site(self):
+        with pytest.raises(ValueError, match="unknown failpoint spec keys"):
+            FailPointSpec.from_dict({"site": "x", "when": "now"})
+        with pytest.raises(ValueError, match="needs a 'site'"):
+            FailPointSpec.from_dict({"action": "drop"})
+
+
+class TestMatching:
+    def test_site_must_match_exactly(self):
+        spec = FailPointSpec("tcp.call")
+        assert spec.matches("tcp.call", {})
+        assert not spec.matches("tcp.recv", {})
+
+    def test_labels_are_a_subset_match(self):
+        spec = FailPointSpec("tcp.call", labels={"rank": 0})
+        assert spec.matches("tcp.call", {"rank": 0, "kind": "task"})
+        assert not spec.matches("tcp.call", {"rank": 1})
+        assert not spec.matches("tcp.call", {})
+
+
+class TestTriggerWindow:
+    def test_after_and_count_window(self):
+        registry = FailPointRegistry([FailPointSpec("s", after=2, count=2)])
+        outcomes = []
+        for _ in range(6):
+            try:
+                registry.evaluate("s", {})
+                outcomes.append(False)
+            except FailPointError:
+                outcomes.append(True)
+        # Skip hits 1-2, fire on hits 3-4, then exhausted.
+        assert outcomes == [False, False, True, True, False, False]
+        assert registry.fired("s") == 2
+
+    def test_count_none_fires_forever(self):
+        registry = FailPointRegistry([FailPointSpec("s", count=None)])
+        for _ in range(5):
+            with pytest.raises(FailPointError):
+                registry.evaluate("s", {})
+        assert registry.fired() == 5
+
+    def test_probability_is_seed_deterministic(self):
+        def pattern(seed):
+            registry = FailPointRegistry(
+                [FailPointSpec("s", count=None, probability=0.5)], seed=seed
+            )
+            fired = []
+            for _ in range(20):
+                try:
+                    registry.evaluate("s", {})
+                    fired.append(False)
+                except FailPointError:
+                    fired.append(True)
+            return fired
+
+        assert pattern(3) == pattern(3)
+        assert any(pattern(3)) and not all(pattern(3))
+
+
+class TestActions:
+    def test_raise_named_type(self):
+        registry = FailPointRegistry(
+            [FailPointSpec("s", action="raise", value="ValueError")]
+        )
+        with pytest.raises(ValueError, match="failpoint 's' injected"):
+            registry.evaluate("s", {})
+
+    def test_drop_raises_connection_error(self):
+        registry = FailPointRegistry([FailPointSpec("s", action="drop")])
+        with pytest.raises(ConnectionError, match="dropped the connection"):
+            registry.evaluate("s", {})
+
+    def test_delay_sleeps(self, monkeypatch):
+        slept = []
+        monkeypatch.setattr(time, "sleep", lambda s: slept.append(s))
+        registry = FailPointRegistry([FailPointSpec("s", action="delay", value=0.2)])
+        registry.evaluate("s", {})
+        assert slept == [0.2]
+
+    def test_call_receives_labels(self):
+        seen = []
+        registry = FailPointRegistry(
+            [FailPointSpec("s", action="call", value=seen.append)]
+        )
+        registry.evaluate("s", {"rank": 3})
+        assert seen == [{"rank": 3}]
+
+
+class TestRegistryLifecycle:
+    def test_disabled_registry_is_a_no_op(self):
+        # The global registry is unarmed by default: the compiled-in hook
+        # must never fire (and never pay more than a branch).
+        assert not global_failpoints().enabled
+        failpoint("tcp.call", rank=0)  # does nothing
+
+    def test_use_failpoints_scopes_the_schedule(self):
+        with use_failpoints([FailPointSpec("s")]) as registry:
+            assert global_failpoints() is registry
+            with pytest.raises(FailPointError):
+                failpoint("s")
+            assert registry.fired("s") == 1
+        assert not global_failpoints().enabled
+
+    def test_clear_and_configure(self):
+        registry = FailPointRegistry()
+        assert not registry.enabled
+        registry.add(FailPointSpec("s"))
+        assert registry.enabled
+        registry.clear()
+        assert not registry.enabled
+        registry.configure([FailPointSpec("a"), FailPointSpec("b")])
+        assert {spec.site for spec in registry.specs()} == {"a", "b"}
+
+
+class TestEnvBootstrap:
+    def test_from_env_parses_json_schedule(self):
+        registry = FailPointRegistry.from_env(
+            '[{"site": "tcp.call", "action": "drop", '
+            '"labels": {"rank": 0}, "after": 2, "count": 1}]'
+        )
+        (spec,) = registry.specs()
+        assert spec.site == "tcp.call"
+        assert spec.action == "drop"
+        assert spec.labels == {"rank": 0}
+        assert (spec.after, spec.count) == (2, 1)
+        assert registry.enabled
+
+    def test_from_env_rejects_bad_payloads(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            FailPointRegistry.from_env("{nope")
+        with pytest.raises(ValueError, match="JSON list"):
+            FailPointRegistry.from_env('{"site": "x"}')
